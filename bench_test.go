@@ -1,0 +1,214 @@
+package hpbd_test
+
+import (
+	"testing"
+
+	"hpbd/internal/experiments"
+)
+
+// The benchmarks regenerate the paper's tables and figures, one benchmark
+// per figure, at 1/64 of the paper's sizes so a full -bench=. pass stays
+// in CI territory (cmd/hpbd-bench runs the 1/32 default and prints the
+// full rows). Reported metrics are the virtual-time results: "<row>-s" is
+// a configuration's execution time in simulated seconds, and the *_ratio
+// metrics are the paper's headline comparisons.
+var benchCfg = experiments.Config{Scale: 64, Seed: 1}
+
+// reportRows turns a result's rows into benchmark metrics.
+func reportRows(b *testing.B, res *experiments.Result) {
+	b.Helper()
+	for _, row := range res.Rows {
+		if res.Unit != "" {
+			b.ReportMetric(row.Value, row.Label+"-"+res.Unit)
+		}
+	}
+}
+
+func reportRatio(b *testing.B, res *experiments.Result, name, num, den string) {
+	b.Helper()
+	r, err := res.Ratio(num, den)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(r, name)
+}
+
+// BenchmarkFig1Latency regenerates the latency comparison of memcpy, RDMA
+// write, IPoIB and GigE up to 128 K (paper Figure 1).
+func BenchmarkFig1Latency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig1()
+		if i == b.N-1 {
+			reportRows(b, res)
+		}
+	}
+}
+
+// BenchmarkFig3Registration regenerates the registration-vs-memcpy cost
+// comparison (paper Figure 3).
+func BenchmarkFig3Registration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig3()
+		if i == b.N-1 {
+			reportRows(b, res)
+		}
+	}
+}
+
+// BenchmarkFig5Testswap regenerates the testswap execution-time
+// comparison across local memory, HPBD, NBD-IPoIB, NBD-GigE and disk
+// (paper Figure 5).
+func BenchmarkFig5Testswap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig5(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportRows(b, res)
+			reportRatio(b, res, "hpbd/local_ratio", "hpbd", "local-memory")
+			reportRatio(b, res, "disk/hpbd_ratio", "disk", "hpbd")
+			reportRatio(b, res, "gige/hpbd_ratio", "nbd-gige", "hpbd")
+			reportRatio(b, res, "ipoib/hpbd_ratio", "nbd-ipoib", "hpbd")
+		}
+	}
+}
+
+// BenchmarkFig6RequestSizes regenerates the testswap request-size profile
+// (paper Figure 6): the "average-KB" metric should sit near the paper's
+// ~120 K.
+func BenchmarkFig6RequestSizes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig6(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, row := range res.Rows {
+				if row.Label == "average" {
+					b.ReportMetric(row.Value, "avg-request-KB")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig7Quicksort regenerates the quick sort comparison (paper
+// Figure 7).
+func BenchmarkFig7Quicksort(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig7(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportRows(b, res)
+			reportRatio(b, res, "hpbd/local_ratio", "hpbd", "local-memory")
+			reportRatio(b, res, "disk/hpbd_ratio", "disk", "hpbd")
+			reportRatio(b, res, "gige/hpbd_ratio", "nbd-gige", "hpbd")
+			reportRatio(b, res, "ipoib/hpbd_ratio", "nbd-ipoib", "hpbd")
+		}
+	}
+}
+
+// BenchmarkFig8Barnes regenerates the Barnes comparison (paper Figure 8).
+func BenchmarkFig8Barnes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig8(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportRows(b, res)
+			reportRatio(b, res, "hpbd/local_ratio", "hpbd", "local-memory")
+		}
+	}
+}
+
+// BenchmarkFig9Concurrent regenerates the two-concurrent-quick-sorts
+// experiment (paper Figure 9).
+func BenchmarkFig9Concurrent(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig9(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportRows(b, res)
+			reportRatio(b, res, "hpbd50/local_ratio", "hpbd-50%", "local-memory")
+			reportRatio(b, res, "hpbd25/local_ratio", "hpbd-25%", "local-memory")
+			reportRatio(b, res, "disk/local_ratio", "disk-25%", "local-memory")
+		}
+	}
+}
+
+// BenchmarkFig10Servers regenerates the 1-16 memory server sweep (paper
+// Figure 10).
+func BenchmarkFig10Servers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig10(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportRows(b, res)
+			reportRatio(b, res, "16/1_ratio", "16-servers", "1-servers")
+		}
+	}
+}
+
+// BenchmarkAblationRegistration compares the pool-copy design against
+// register-on-the-fly (the paper's §4.1/Fig. 3 argument).
+func BenchmarkAblationRegistration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationRegistration(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportRows(b, res)
+			reportRatio(b, res, "fly/pool_ratio", "register-fly", "pool-copy")
+		}
+	}
+}
+
+// BenchmarkAblationReceiver compares the event-driven receiver against
+// busy polling (§4.2.3).
+func BenchmarkAblationReceiver(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationReceiver(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportRows(b, res)
+		}
+	}
+}
+
+// BenchmarkAblationStriping compares blocked vs striped multi-server
+// layouts (§4.2.5).
+func BenchmarkAblationStriping(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationStriping(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportRows(b, res)
+		}
+	}
+}
+
+// BenchmarkAblationPoolSize sweeps the registration pool size (§4.2.2).
+func BenchmarkAblationPoolSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationPoolSize(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportRows(b, res)
+		}
+	}
+}

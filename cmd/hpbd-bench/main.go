@@ -1,0 +1,68 @@
+// Command hpbd-bench regenerates the paper's tables and figures from the
+// simulation. With no arguments it runs every experiment; -exp selects a
+// comma-separated subset.
+//
+// Usage:
+//
+//	hpbd-bench [-exp fig5,fig7] [-scale 32] [-seed 1] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"hpbd/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "comma-separated experiment IDs (default: all)")
+		scale = flag.Int("scale", experiments.PaperScale, "scale divisor for paper sizes")
+		seed  = flag.Int64("seed", 1, "workload RNG seed")
+		list  = flag.Bool("list", false, "list experiment IDs and exit")
+		csv   = flag.Bool("csv", false, "emit CSV rows instead of tables")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range experiments.Names() {
+			fmt.Println(name)
+		}
+		return
+	}
+
+	names := experiments.Names()
+	if *exp != "" {
+		names = strings.Split(*exp, ",")
+	}
+	cfg := experiments.Config{Scale: *scale, Seed: *seed}
+	failed := false
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		run, ok := experiments.Registry[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", name)
+			failed = true
+			continue
+		}
+		start := time.Now()
+		res, err := run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			failed = true
+			continue
+		}
+		if *csv {
+			fmt.Print(experiments.CSV(res))
+		} else {
+			fmt.Print(experiments.Format(res))
+			fmt.Printf("   (wall time %.1fs)\n\n", time.Since(start).Seconds())
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

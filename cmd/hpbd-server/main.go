@@ -1,0 +1,42 @@
+// Command hpbd-server runs a real HPBD memory server: it exports part of
+// this machine's RAM as remote swap/block space over TCP, speaking the
+// repository's HPBD wire protocol.
+//
+// Usage:
+//
+//	hpbd-server -listen :10809 -capacity 1024
+//
+// capacity is in MiB. Clients attach with cmd/hpbdctl or the
+// internal/netblock Client API.
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+
+	"hpbd/internal/netblock"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", ":10809", "listen address")
+		capacity = flag.Int64("capacity", 512, "exported memory in MiB")
+	)
+	flag.Parse()
+
+	srv, err := netblock.Serve(*listen, netblock.ServerConfig{
+		CapacityBytes: *capacity << 20,
+	})
+	if err != nil {
+		log.Fatalf("hpbd-server: %v", err)
+	}
+	log.Printf("hpbd-server: exporting %d MiB on %s", *capacity, srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	log.Printf("hpbd-server: shutting down")
+	srv.Close()
+}

@@ -1,0 +1,85 @@
+// Multiserver: the paper's Figures 9 and 10. Two quick sort instances run
+// concurrently on one node whose swap area is distributed across several
+// memory servers in blocked (non-striped) ranges; then a single sort
+// sweeps the server count from 1 to 16 to show the HCA QP-scaling effect.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"hpbd/internal/cluster"
+	"hpbd/internal/sim"
+	"hpbd/internal/workload"
+)
+
+const elems = 4 << 20 // 16 MB per instance
+
+func twoSorts(mem int64, servers int) [2]sim.Duration {
+	env := sim.NewEnv()
+	node, err := cluster.Build(env, cluster.Config{
+		MemBytes:  mem,
+		Swap:      cluster.SwapHPBD,
+		SwapBytes: 64 << 20,
+		Servers:   servers,
+	})
+	if err != nil {
+		log.Fatalf("build node: %v", err)
+	}
+	var times [2]sim.Duration
+	for k := 0; k < 2; k++ {
+		k := k
+		q := workload.NewQuicksort(node.VM, fmt.Sprintf("qsort%d", k), elems,
+			rand.New(rand.NewSource(int64(k+1))))
+		env.Go(fmt.Sprintf("inst%d", k), func(p *sim.Proc) {
+			node.Ready.Wait(p)
+			t0 := p.Now()
+			if err := q.Run(p); err != nil {
+				log.Fatalf("qsort %d: %v", k, err)
+			}
+			times[k] = p.Now().Sub(t0)
+		})
+	}
+	env.Run()
+	env.Close()
+	return times
+}
+
+func oneSortServers(servers int) sim.Duration {
+	env := sim.NewEnv()
+	node, err := cluster.Build(env, cluster.Config{
+		MemBytes:  16 << 20,
+		Swap:      cluster.SwapHPBD,
+		SwapBytes: 32 << 20,
+		Servers:   servers,
+	})
+	if err != nil {
+		log.Fatalf("build node: %v", err)
+	}
+	q := workload.NewQuicksort(node.VM, "qsort", 8<<20, rand.New(rand.NewSource(7)))
+	var elapsed sim.Duration
+	env.Go("qsort", func(p *sim.Proc) {
+		node.Ready.Wait(p)
+		t0 := p.Now()
+		if err := q.Run(p); err != nil {
+			log.Fatalf("qsort: %v", err)
+		}
+		elapsed = p.Now().Sub(t0)
+	})
+	env.Run()
+	env.Close()
+	return elapsed
+}
+
+func main() {
+	fmt.Println("two concurrent sorts (16 MB each) across 4 memory servers:")
+	for _, mem := range []int64{40 << 20, 16 << 20, 8 << 20} {
+		t := twoSorts(mem, 4)
+		fmt.Printf("  local memory %2d MB: inst0 %v, inst1 %v\n", mem>>20, t[0], t[1])
+	}
+	fmt.Println("\none sort (32 MB) with the swap area over N servers:")
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		fmt.Printf("  %2d servers: %v\n", n, oneSortServers(n))
+	}
+}

@@ -1,0 +1,3 @@
+module hpbd
+
+go 1.22

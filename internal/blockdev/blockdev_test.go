@@ -1,0 +1,309 @@
+package blockdev
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"hpbd/internal/netmodel"
+	"hpbd/internal/sim"
+)
+
+// memDriver is a trivial instant driver backed by a byte slice, recording
+// every request it sees.
+type memDriver struct {
+	store []byte
+	seen  []*Request
+	delay sim.Duration
+}
+
+func (m *memDriver) Name() string   { return "mem" }
+func (m *memDriver) Sectors() int64 { return int64(len(m.store) / SectorSize) }
+func (m *memDriver) Submit(p *sim.Proc, r *Request) {
+	if m.delay > 0 {
+		p.Sleep(m.delay)
+	}
+	m.seen = append(m.seen, r)
+	off := r.Sector * SectorSize
+	if r.Write {
+		copy(m.store[off:], r.Data())
+	} else {
+		r.Scatter(m.store[off : off+int64(r.Bytes())])
+	}
+	r.Complete(nil)
+}
+
+func newQueue(size int, delay sim.Duration) (*sim.Env, *Queue, *memDriver) {
+	env := sim.NewEnv()
+	d := &memDriver{store: make([]byte, size), delay: delay}
+	q := NewQueue(env, netmodel.DefaultHost(), d)
+	return env, q, d
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	env, q, _ := newQueue(1<<20, 0)
+	env.Go("io", func(p *sim.Proc) {
+		w := make([]byte, 4096)
+		for i := range w {
+			w[i] = byte(i % 251)
+		}
+		io, err := q.Submit(true, 8, w)
+		if err != nil {
+			t.Errorf("Submit: %v", err)
+			return
+		}
+		q.Unplug()
+		if err := io.Wait(p); err != nil {
+			t.Errorf("write: %v", err)
+		}
+		r := make([]byte, 4096)
+		io2, _ := q.Submit(false, 8, r)
+		q.Unplug()
+		if err := io2.Wait(p); err != nil {
+			t.Errorf("read: %v", err)
+		}
+		if !bytes.Equal(r, w) {
+			t.Error("round trip mismatch")
+		}
+	})
+	env.Run()
+	env.Close()
+}
+
+func TestAdjacentWritesMergeUpTo128K(t *testing.T) {
+	env, q, d := newQueue(1<<22, 0)
+	env.Go("io", func(p *sim.Proc) {
+		// 64 sequential 4K pages = 256 KB: must become exactly two 128 KB
+		// requests.
+		var last *IO
+		for i := 0; i < 64; i++ {
+			io, err := q.Submit(true, int64(i*8), make([]byte, 4096))
+			if err != nil {
+				t.Errorf("Submit %d: %v", i, err)
+			}
+			last = io
+		}
+		q.Unplug()
+		last.Wait(p)
+	})
+	env.Run()
+	env.Close()
+	if len(d.seen) != 2 {
+		t.Fatalf("dispatched %d requests, want 2", len(d.seen))
+	}
+	for _, r := range d.seen {
+		if r.Bytes() != MaxRequestBytes {
+			t.Errorf("request bytes = %d, want %d", r.Bytes(), MaxRequestBytes)
+		}
+		if r.NumIOs() != 32 {
+			t.Errorf("request merged %d IOs, want 32", r.NumIOs())
+		}
+	}
+}
+
+func TestFrontMerge(t *testing.T) {
+	env, q, d := newQueue(1<<20, 0)
+	env.Go("io", func(p *sim.Proc) {
+		a, _ := q.Submit(true, 8, make([]byte, 4096))
+		b, _ := q.Submit(true, 0, make([]byte, 4096)) // front-merges
+		q.Unplug()
+		a.Wait(p)
+		b.Wait(p)
+	})
+	env.Run()
+	env.Close()
+	if len(d.seen) != 1 || d.seen[0].Sector != 0 || d.seen[0].Bytes() != 8192 {
+		t.Fatalf("requests = %+v, want one 8K request at sector 0", d.seen)
+	}
+}
+
+func TestNoMergeAcrossDirection(t *testing.T) {
+	env, q, d := newQueue(1<<20, 0)
+	env.Go("io", func(p *sim.Proc) {
+		a, _ := q.Submit(true, 0, make([]byte, 4096))
+		b, _ := q.Submit(false, 8, make([]byte, 4096))
+		q.Unplug()
+		a.Wait(p)
+		b.Wait(p)
+	})
+	env.Run()
+	env.Close()
+	if len(d.seen) != 2 {
+		t.Fatalf("dispatched %d requests, want 2 (no read/write merge)", len(d.seen))
+	}
+}
+
+func TestNonAdjacentDoNotMerge(t *testing.T) {
+	env, q, d := newQueue(1<<20, 0)
+	env.Go("io", func(p *sim.Proc) {
+		a, _ := q.Submit(true, 0, make([]byte, 4096))
+		b, _ := q.Submit(true, 16, make([]byte, 4096)) // gap of one page
+		q.Unplug()
+		a.Wait(p)
+		b.Wait(p)
+	})
+	env.Run()
+	env.Close()
+	if len(d.seen) != 2 {
+		t.Fatalf("dispatched %d requests, want 2", len(d.seen))
+	}
+}
+
+func TestPlugHoldsDispatchUntilUnplug(t *testing.T) {
+	env, q, d := newQueue(1<<20, 0)
+	env.Go("io", func(p *sim.Proc) {
+		q.Submit(true, 0, make([]byte, 4096))
+		p.Sleep(sim.Millisecond)
+		if len(d.seen) != 0 {
+			t.Error("request dispatched while plugged")
+		}
+		q.Unplug()
+		p.Sleep(sim.Millisecond)
+		if len(d.seen) != 1 {
+			t.Error("request not dispatched after unplug")
+		}
+	})
+	env.Run()
+	env.Close()
+}
+
+func TestOutOfRangeAndBadSize(t *testing.T) {
+	env, q, _ := newQueue(1<<20, 0)
+	if _, err := q.Submit(true, 1<<20/SectorSize, make([]byte, 4096)); err != ErrOutOfRange {
+		t.Errorf("out of range err = %v", err)
+	}
+	if _, err := q.Submit(true, -1, make([]byte, 4096)); err != ErrOutOfRange {
+		t.Errorf("negative sector err = %v", err)
+	}
+	if _, err := q.Submit(true, 0, make([]byte, 100)); err == nil {
+		t.Error("non-sector-multiple size accepted")
+	}
+	if _, err := q.Submit(true, 0, nil); err == nil {
+		t.Error("empty I/O accepted")
+	}
+	env.Close()
+}
+
+func TestStatsAndLog(t *testing.T) {
+	env, q, _ := newQueue(1<<20, 0)
+	q.EnableLog()
+	env.Go("io", func(p *sim.Proc) {
+		var last *IO
+		for i := 0; i < 8; i++ {
+			last, _ = q.Submit(true, int64(i*8), make([]byte, 4096))
+		}
+		q.Unplug()
+		last.Wait(p)
+		r, _ := q.Submit(false, 0, make([]byte, 4096))
+		q.Unplug()
+		r.Wait(p)
+	})
+	env.Run()
+	env.Close()
+	st := q.Stats()
+	if st.IOsSubmitted != 9 {
+		t.Errorf("IOsSubmitted = %d, want 9", st.IOsSubmitted)
+	}
+	if st.RequestsDispatched != 2 {
+		t.Errorf("RequestsDispatched = %d, want 2", st.RequestsDispatched)
+	}
+	if st.BytesWritten != 8*4096 || st.BytesRead != 4096 {
+		t.Errorf("bytes = %d/%d", st.BytesWritten, st.BytesRead)
+	}
+	if st.Merges != 7 {
+		t.Errorf("Merges = %d, want 7", st.Merges)
+	}
+	if len(st.Log) != 2 {
+		t.Errorf("log entries = %d, want 2", len(st.Log))
+	}
+}
+
+// Property: any batch of distinct in-range page writes is eventually
+// dispatched covering exactly the submitted sectors, each request is
+// <= MaxRequestBytes, and requests are contiguous runs.
+func TestQuickMergeInvariants(t *testing.T) {
+	f := func(raw []uint8) bool {
+		// Distinct page indices in [0, 256).
+		pages := map[int]bool{}
+		for _, r := range raw {
+			pages[int(r)] = true
+		}
+		if len(pages) == 0 {
+			return true
+		}
+		env, q, d := newQueue(256*4096, 0)
+		ok := true
+		env.Go("io", func(p *sim.Proc) {
+			var ios []*IO
+			for pg := range pages {
+				io, err := q.Submit(true, int64(pg*8), make([]byte, 4096))
+				if err != nil {
+					ok = false
+					return
+				}
+				ios = append(ios, io)
+			}
+			q.Unplug()
+			for _, io := range ios {
+				if io.Wait(p) != nil {
+					ok = false
+				}
+			}
+		})
+		env.Run()
+		env.Close()
+		if !ok {
+			return false
+		}
+		covered := map[int64]bool{}
+		for _, r := range d.seen {
+			if r.Bytes() > MaxRequestBytes || r.Bytes()%4096 != 0 {
+				return false
+			}
+			for s := r.Sector; s < r.End(); s += 8 {
+				if covered[s] {
+					return false // double dispatch
+				}
+				covered[s] = true
+			}
+		}
+		if len(covered) != len(pages) {
+			return false
+		}
+		for pg := range pages {
+			if !covered[int64(pg*8)] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSlowDriverAccumulatesMerges(t *testing.T) {
+	// While the driver is busy with one request, later adjacent I/Os keep
+	// merging — the mechanism that builds large swap-out requests under
+	// a slow disk.
+	env, q, d := newQueue(1<<22, 10*sim.Millisecond)
+	env.Go("io", func(p *sim.Proc) {
+		var ios []*IO
+		for i := 0; i < 40; i++ {
+			io, _ := q.Submit(true, int64(i*8), make([]byte, 4096))
+			ios = append(ios, io)
+			q.Unplug()
+			p.Sleep(100 * sim.Microsecond) // trickle in during service
+		}
+		for _, io := range ios {
+			io.Wait(p)
+		}
+	})
+	env.Run()
+	env.Close()
+	if len(d.seen) >= 40 {
+		t.Errorf("no merging under slow driver: %d requests", len(d.seen))
+	}
+	fmt.Printf("slow-driver merging: 40 IOs -> %d requests\n", len(d.seen))
+}

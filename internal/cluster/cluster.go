@@ -1,0 +1,199 @@
+// Package cluster assembles complete simulated nodes — VM, swap device
+// (HPBD over InfiniBand, NBD over GigE or IPoIB, local disk, or none) and
+// the remote servers behind it — matching the paper's experiment setups.
+package cluster
+
+import (
+	"fmt"
+
+	"hpbd/internal/blockdev"
+	"hpbd/internal/disk"
+	"hpbd/internal/hpbd"
+	"hpbd/internal/ib"
+	"hpbd/internal/nbd"
+	"hpbd/internal/netmodel"
+	"hpbd/internal/sim"
+	"hpbd/internal/tcpip"
+	"hpbd/internal/vm"
+)
+
+// SwapKind selects the swap backing for a node.
+type SwapKind int
+
+const (
+	// SwapNone runs with local memory only (the paper's baseline).
+	SwapNone SwapKind = iota
+	// SwapDisk swaps to the local ATA disk model.
+	SwapDisk
+	// SwapHPBD swaps to remote memory over simulated InfiniBand.
+	SwapHPBD
+	// SwapNBDGigE swaps to an NBD server over Gigabit Ethernet.
+	SwapNBDGigE
+	// SwapNBDIPoIB swaps to an NBD server over IPoIB.
+	SwapNBDIPoIB
+)
+
+func (k SwapKind) String() string {
+	switch k {
+	case SwapNone:
+		return "local-memory"
+	case SwapDisk:
+		return "disk"
+	case SwapHPBD:
+		return "hpbd"
+	case SwapNBDGigE:
+		return "nbd-gige"
+	case SwapNBDIPoIB:
+		return "nbd-ipoib"
+	}
+	return "?"
+}
+
+// Config describes one node and its swap backing.
+type Config struct {
+	// MemBytes is local memory available to applications.
+	MemBytes int64
+	// Swap selects the backing store kind.
+	Swap SwapKind
+	// SwapBytes is the total swap area (split evenly across Servers for
+	// HPBD).
+	SwapBytes int64
+	// Servers is the number of HPBD memory servers (default 1).
+	Servers int
+	// Client overrides the HPBD client configuration (zero: defaults).
+	Client *hpbd.ClientConfig
+	// ServerCfg overrides the per-server configuration (nil: defaults).
+	ServerCfg func(storeBytes int64) hpbd.ServerConfig
+	// IB overrides the fabric configuration (nil: defaults).
+	IB *ib.Config
+	// Disk overrides the disk model (nil: defaults).
+	Disk *disk.Params
+	// VMConfig, if non-nil, mutates the VM configuration before the
+	// system is built (readahead window, watermarks, ...).
+	VMConfig func(*vm.Config)
+	// Elevator enables C-LOOK dispatch on the swap queue (off = FIFO,
+	// which is what the calibration assumes; the elevator is studied as
+	// an extension).
+	Elevator bool
+	// LogRequests enables per-request logging on the swap queue (Fig. 6).
+	LogRequests bool
+}
+
+// Node is an assembled machine.
+type Node struct {
+	Env   *sim.Env
+	VM    *vm.System
+	Queue *blockdev.Queue
+	Swap  SwapKind
+
+	HPBD        *hpbd.Device
+	HPBDServers []*hpbd.Server
+	NBDServer   *nbd.Server
+	Disk        *disk.Disk
+
+	// Ready triggers when the swap device is attached (the NBD dial
+	// happens in simulated time); workloads should wait on it.
+	Ready *sim.Event
+}
+
+// Build assembles a node on env.
+func Build(env *sim.Env, cfg Config) (*Node, error) {
+	if cfg.Servers <= 0 {
+		cfg.Servers = 1
+	}
+	vmcfg := vm.DefaultConfig(cfg.MemBytes)
+	if cfg.VMConfig != nil {
+		cfg.VMConfig(&vmcfg)
+	}
+	n := &Node{
+		Env:   env,
+		VM:    vm.NewSystem(env, vmcfg),
+		Swap:  cfg.Swap,
+		Ready: sim.NewEvent(env),
+	}
+	host := vmcfg.Host
+
+	switch cfg.Swap {
+	case SwapNone:
+		n.Ready.Trigger()
+
+	case SwapDisk:
+		params := disk.DefaultParams()
+		if cfg.Disk != nil {
+			params = *cfg.Disk
+		}
+		n.Disk = disk.New(env, "hda-swap", cfg.SwapBytes, params)
+		n.Queue = blockdev.NewQueue(env, host, n.Disk)
+		n.finish(cfg)
+
+	case SwapHPBD:
+		ibcfg := ib.DefaultConfig()
+		if cfg.IB != nil {
+			ibcfg = *cfg.IB
+		}
+		fabric := ib.NewFabric(env, ibcfg)
+		ccfg := hpbd.DefaultClientConfig()
+		if cfg.Client != nil {
+			ccfg = *cfg.Client
+		}
+		dev := hpbd.NewDevice(fabric, "hpbd0", ccfg)
+		area := cfg.SwapBytes / int64(cfg.Servers)
+		area -= area % blockdev.SectorSize
+		if area <= 0 {
+			return nil, fmt.Errorf("cluster: swap area %d too small for %d servers", cfg.SwapBytes, cfg.Servers)
+		}
+		scfg := hpbd.DefaultServerConfig
+		if cfg.ServerCfg != nil {
+			scfg = cfg.ServerCfg
+		}
+		for i := 0; i < cfg.Servers; i++ {
+			srv := hpbd.NewServer(fabric, fmt.Sprintf("mem%d", i), scfg(area))
+			if err := dev.ConnectServer(srv, area); err != nil {
+				return nil, err
+			}
+			n.HPBDServers = append(n.HPBDServers, srv)
+		}
+		n.HPBD = dev
+		n.Queue = blockdev.NewQueue(env, host, dev)
+		n.finish(cfg)
+
+	case SwapNBDGigE, SwapNBDIPoIB:
+		link := netmodel.GigE()
+		if cfg.Swap == SwapNBDIPoIB {
+			link = netmodel.IPoIB()
+		}
+		mem := netmodel.DefaultMem()
+		net := tcpip.NewNetwork(env, link, mem)
+		ch, sh := net.NewHost("client"), net.NewHost("nbd-server")
+		srv, err := nbd.NewServer(env, sh, cfg.SwapBytes, mem)
+		if err != nil {
+			return nil, err
+		}
+		n.NBDServer = srv
+		size := cfg.SwapBytes
+		env.Go("nbd-setup", func(p *sim.Proc) {
+			dev, derr := nbd.NewDevice(p, "nbd0", ch, sh, size)
+			if derr != nil {
+				return // Ready never triggers; workloads report the hang
+			}
+			n.Queue = blockdev.NewQueue(env, host, dev)
+			n.finish(cfg)
+		})
+
+	default:
+		return nil, fmt.Errorf("cluster: unknown swap kind %d", cfg.Swap)
+	}
+	return n, nil
+}
+
+// finish registers the swap queue with the VM and signals readiness.
+func (n *Node) finish(cfg Config) {
+	if cfg.LogRequests {
+		n.Queue.EnableLog()
+	}
+	if cfg.Elevator {
+		n.Queue.EnableElevator()
+	}
+	n.VM.AddSwap(n.Queue, 0)
+	n.Ready.Trigger()
+}

@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"testing"
+
+	"hpbd/internal/sim"
+	"hpbd/internal/vm"
+)
+
+// fill drives a node with a simple overcommit workload and returns the
+// elapsed virtual time.
+func fill(t *testing.T, cfg Config, pages int) sim.Duration {
+	t.Helper()
+	env := sim.NewEnv()
+	node, err := Build(env, cfg)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	as := node.VM.NewAddressSpace("w", pages)
+	var elapsed sim.Duration
+	env.Go("w", func(p *sim.Proc) {
+		node.Ready.Wait(p)
+		t0 := p.Now()
+		for i := 0; i < pages; i++ {
+			if err := as.Touch(p, i, true); err != nil {
+				t.Errorf("Touch: %v", err)
+				return
+			}
+			p.Sleep(10 * sim.Microsecond)
+		}
+		elapsed = p.Now().Sub(t0)
+	})
+	env.Run()
+	env.Close()
+	return elapsed
+}
+
+func TestBuildEveryKind(t *testing.T) {
+	kinds := []SwapKind{SwapNone, SwapDisk, SwapHPBD, SwapNBDGigE, SwapNBDIPoIB}
+	const mem = 2 << 20
+	for _, k := range kinds {
+		cfg := Config{MemBytes: mem, Swap: k, SwapBytes: 8 << 20}
+		pages := 256 // 1 MB: fits for SwapNone
+		if k != SwapNone {
+			pages = 1024 // 4 MB: must swap
+		}
+		if e := fill(t, cfg, pages); e <= 0 {
+			t.Errorf("%v: elapsed = %v", k, e)
+		}
+	}
+}
+
+func TestHPBDMultiServerSplitsArea(t *testing.T) {
+	env := sim.NewEnv()
+	node, err := Build(env, Config{
+		MemBytes: 2 << 20, Swap: SwapHPBD, SwapBytes: 8 << 20, Servers: 4,
+	})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if len(node.HPBDServers) != 4 {
+		t.Fatalf("servers = %d", len(node.HPBDServers))
+	}
+	if got := node.HPBD.Sectors() * 512; got != 8<<20 {
+		t.Errorf("device bytes = %d, want %d", got, 8<<20)
+	}
+	env.Close()
+}
+
+func TestSwapKindOrderingUnderPressure(t *testing.T) {
+	// The paper's central ordering: hpbd faster than both NBDs, NBDs
+	// faster than disk, when overcommitted.
+	const mem = 2 << 20
+	const pages = 1024
+	times := map[SwapKind]sim.Duration{}
+	for _, k := range []SwapKind{SwapHPBD, SwapNBDGigE, SwapNBDIPoIB, SwapDisk} {
+		times[k] = fill(t, Config{MemBytes: mem, Swap: k, SwapBytes: 16 << 20}, pages)
+	}
+	if !(times[SwapHPBD] < times[SwapNBDIPoIB] &&
+		times[SwapNBDIPoIB] < times[SwapNBDGigE] &&
+		times[SwapNBDGigE] < times[SwapDisk]) {
+		t.Errorf("ordering violated: %v", times)
+	}
+}
+
+func TestStatsAccessible(t *testing.T) {
+	env := sim.NewEnv()
+	node, err := Build(env, Config{MemBytes: 1 << 20, Swap: SwapDisk, SwapBytes: 4 << 20, LogRequests: true})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	as := node.VM.NewAddressSpace("w", 512)
+	env.Go("w", func(p *sim.Proc) {
+		node.Ready.Wait(p)
+		for i := 0; i < 512; i++ {
+			as.Touch(p, i, true)
+		}
+	})
+	env.Run()
+	env.Close()
+	if node.Queue.Stats().RequestsDispatched == 0 {
+		t.Error("no requests dispatched")
+	}
+	if len(node.Queue.Stats().Log) == 0 {
+		t.Error("request log empty despite LogRequests")
+	}
+	if node.VM.Stats().SwapOuts == 0 {
+		t.Error("no swap-outs recorded")
+	}
+}
+
+func TestInvalidConfigs(t *testing.T) {
+	env := sim.NewEnv()
+	if _, err := Build(env, Config{MemBytes: 1 << 20, Swap: SwapHPBD, SwapBytes: 100, Servers: 3}); err == nil {
+		t.Error("tiny swap area across 3 servers should fail")
+	}
+	if _, err := Build(env, Config{MemBytes: 1 << 20, Swap: SwapKind(99)}); err == nil {
+		t.Error("unknown kind should fail")
+	}
+	env.Close()
+}
+
+func TestTwoWorkloadsShareNode(t *testing.T) {
+	env := sim.NewEnv()
+	node, err := Build(env, Config{MemBytes: 2 << 20, Swap: SwapHPBD, SwapBytes: 16 << 20, Servers: 2})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	done := 0
+	for k := 0; k < 2; k++ {
+		as := node.VM.NewAddressSpace("w", 512)
+		env.Go("w", func(p *sim.Proc) {
+			node.Ready.Wait(p)
+			for i := 0; i < 512; i++ {
+				if err := as.Touch(p, i, true); err != nil {
+					t.Errorf("Touch: %v", err)
+					return
+				}
+				p.Sleep(5 * sim.Microsecond)
+			}
+			done++
+		})
+	}
+	env.Run()
+	env.Close()
+	if done != 2 {
+		t.Errorf("done = %d, want 2", done)
+	}
+	_ = vm.PageSize
+}

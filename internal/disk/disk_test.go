@@ -1,0 +1,141 @@
+package disk
+
+import (
+	"bytes"
+	"testing"
+
+	"hpbd/internal/blockdev"
+	"hpbd/internal/netmodel"
+	"hpbd/internal/sim"
+)
+
+func TestSequentialNearMediaRate(t *testing.T) {
+	env := sim.NewEnv()
+	d := New(env, "hda", 64<<20, DefaultParams())
+	q := blockdev.NewQueue(env, netmodel.DefaultHost(), d)
+	const total = 16 << 20
+	var elapsed sim.Duration
+	env.Go("io", func(p *sim.Proc) {
+		t0 := p.Now()
+		var last *blockdev.IO
+		for off := 0; off < total; off += 128 * 1024 {
+			io, err := q.Submit(true, int64(off/blockdev.SectorSize), make([]byte, 128*1024))
+			if err != nil {
+				t.Errorf("Submit: %v", err)
+				return
+			}
+			q.Unplug()
+			last = io
+		}
+		last.Wait(p)
+		elapsed = p.Now().Sub(t0)
+	})
+	env.Run()
+	env.Close()
+	mbps := float64(total) / 1e6 / elapsed.Seconds()
+	if mbps < 25 || mbps > 45 {
+		t.Errorf("sequential write rate %.1f MB/s, want 25-45 (media 42)", mbps)
+	}
+}
+
+func TestRandomReadsPaySeekAndRotation(t *testing.T) {
+	env := sim.NewEnv()
+	d := New(env, "hda", 64<<20, DefaultParams())
+	q := blockdev.NewQueue(env, netmodel.DefaultHost(), d)
+	const reqs = 64
+	var elapsed sim.Duration
+	env.Go("io", func(p *sim.Proc) {
+		t0 := p.Now()
+		for i := 0; i < reqs; i++ {
+			// Jump around the device.
+			sector := int64((i * 7919 * 8) % (60 << 20 / blockdev.SectorSize))
+			io, err := q.Submit(false, sector, make([]byte, 4096))
+			if err != nil {
+				t.Errorf("Submit: %v", err)
+				return
+			}
+			q.Unplug()
+			io.Wait(p)
+		}
+		elapsed = p.Now().Sub(t0)
+	})
+	env.Run()
+	env.Close()
+	per := elapsed / reqs
+	if per < 4*sim.Millisecond || per > 16*sim.Millisecond {
+		t.Errorf("random 4K read = %v each, want 4-16ms", per)
+	}
+}
+
+func TestSequentialVsRandomAsymmetry(t *testing.T) {
+	run := func(random bool) sim.Duration {
+		env := sim.NewEnv()
+		d := New(env, "hda", 64<<20, DefaultParams())
+		q := blockdev.NewQueue(env, netmodel.DefaultHost(), d)
+		var elapsed sim.Duration
+		env.Go("io", func(p *sim.Proc) {
+			t0 := p.Now()
+			for i := 0; i < 32; i++ {
+				sector := int64(i * 256)
+				if random {
+					sector = int64((i*104729*8 + 123456) % (32 << 20 / blockdev.SectorSize))
+				}
+				io, _ := q.Submit(false, sector, make([]byte, 128*1024))
+				q.Unplug()
+				io.Wait(p)
+			}
+			elapsed = p.Now().Sub(t0)
+		})
+		env.Run()
+		env.Close()
+		return elapsed
+	}
+	seq, rnd := run(false), run(true)
+	if float64(rnd) < 1.5*float64(seq) {
+		t.Errorf("random (%v) should be >1.5x sequential (%v)", rnd, seq)
+	}
+}
+
+func TestDataRoundTrip(t *testing.T) {
+	env := sim.NewEnv()
+	d := New(env, "hda", 1<<20, DefaultParams())
+	q := blockdev.NewQueue(env, netmodel.DefaultHost(), d)
+	pattern := make([]byte, 8192)
+	for i := range pattern {
+		pattern[i] = byte(i*13 + 7)
+	}
+	var got []byte
+	env.Go("io", func(p *sim.Proc) {
+		w, _ := q.Submit(true, 64, append([]byte(nil), pattern...))
+		q.Unplug()
+		w.Wait(p)
+		buf := make([]byte, 8192)
+		r, _ := q.Submit(false, 64, buf)
+		q.Unplug()
+		r.Wait(p)
+		got = buf
+	})
+	env.Run()
+	env.Close()
+	if !bytes.Equal(got, pattern) {
+		t.Error("disk data round trip mismatch")
+	}
+	if !bytes.Equal(d.Peek(64*blockdev.SectorSize, 8192), pattern) {
+		t.Error("Peek mismatch")
+	}
+}
+
+func TestServiceTimeContiguousHasNoSeek(t *testing.T) {
+	env := sim.NewEnv()
+	d := New(env, "hda", 1<<20, DefaultParams())
+	env.Close()
+	d.headPos = 100
+	contig := d.ServiceTime(100, 4096)
+	seeky := d.ServiceTime(5000, 4096)
+	if contig >= seeky {
+		t.Errorf("contiguous (%v) should be cheaper than seeking (%v)", contig, seeky)
+	}
+	if contig > sim.Millisecond {
+		t.Errorf("contiguous 4K = %v, want < 1ms", contig)
+	}
+}

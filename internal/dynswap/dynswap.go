@@ -1,0 +1,164 @@
+// Package dynswap implements the paper's stated future work: utilizing
+// cluster-wide idle memory "in a dynamic and cooperative manner". A Pool
+// tracks the memory servers on the fabric and how much each has left; a
+// Manager watches a node's VM and, when free swap runs low, leases a new
+// area from the least-loaded server and attaches it as an additional swap
+// device — online, while applications keep paging.
+package dynswap
+
+import (
+	"errors"
+	"fmt"
+
+	"hpbd/internal/blockdev"
+	"hpbd/internal/hpbd"
+	"hpbd/internal/ib"
+	"hpbd/internal/netmodel"
+	"hpbd/internal/sim"
+	"hpbd/internal/vm"
+)
+
+// ErrNoMemory reports that no server in the pool can host a lease.
+var ErrNoMemory = errors.New("dynswap: no server has enough free memory")
+
+// Pool is the cluster's directory of memory servers.
+type Pool struct {
+	servers []*hpbd.Server
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool { return &Pool{} }
+
+// Add registers a memory server.
+func (p *Pool) Add(srv *hpbd.Server) { p.servers = append(p.servers, srv) }
+
+// Servers returns the registered server count.
+func (p *Pool) Servers() int { return len(p.servers) }
+
+// TotalFree sums the exportable memory across the pool.
+func (p *Pool) TotalFree() int64 {
+	var n int64
+	for _, s := range p.servers {
+		n += s.FreeBytes()
+	}
+	return n
+}
+
+// LeaseBest returns the server with the most free memory that can host
+// size bytes (cooperative balancing: spread leases across idle memory).
+func (p *Pool) LeaseBest(size int64) (*hpbd.Server, error) {
+	var best *hpbd.Server
+	for _, s := range p.servers {
+		if s.FreeBytes() < size {
+			continue
+		}
+		if best == nil || s.FreeBytes() > best.FreeBytes() {
+			best = s
+		}
+	}
+	if best == nil {
+		return nil, ErrNoMemory
+	}
+	return best, nil
+}
+
+// Config parameterizes a Manager.
+type Config struct {
+	// Fabric is the InfiniBand network the leases run over.
+	Fabric *ib.Fabric
+	// Unit is the lease granularity (bytes of swap added per lease).
+	Unit int64
+	// LowPages triggers growth when free swap slots fall below it.
+	LowPages int
+	// MaxLeases bounds growth (0: unlimited).
+	MaxLeases int
+	// Client configures the per-lease HPBD client device.
+	Client hpbd.ClientConfig
+	// Host is the node's cost model.
+	Host netmodel.HostModel
+}
+
+// Stats counts manager activity.
+type Stats struct {
+	Leases       int
+	FailedLeases int
+	BytesLeased  int64
+}
+
+// Manager grows a node's swap space on demand.
+type Manager struct {
+	env  *sim.Env
+	vm   *vm.System
+	pool *Pool
+	cfg  Config
+
+	wake    *sim.WaitQueue
+	devices []*hpbd.Device
+	stats   Stats
+}
+
+// New attaches a manager to vmSys and starts its lease process. The VM's
+// low-swap hook drives it, so an idle manager costs nothing.
+func New(vmSys *vm.System, pool *Pool, cfg Config) (*Manager, error) {
+	if cfg.Fabric == nil || cfg.Unit <= 0 {
+		return nil, errors.New("dynswap: Fabric and a positive Unit are required")
+	}
+	if cfg.Client.PoolBytes == 0 {
+		cfg.Client = hpbd.DefaultClientConfig()
+	}
+	m := &Manager{
+		env:  vmSys.Env(),
+		vm:   vmSys,
+		pool: pool,
+		cfg:  cfg,
+		wake: sim.NewWaitQueue(vmSys.Env()),
+	}
+	m.env.Go("dynswap-manager", m.loop)
+	vmSys.SetLowSwapHook(cfg.LowPages, m.notify)
+	return m, nil
+}
+
+// Stats returns a copy of the counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// Devices returns the leased HPBD devices.
+func (m *Manager) Devices() []*hpbd.Device { return m.devices }
+
+func (m *Manager) notify() { m.wake.WakeAll() }
+
+// loop parks until the VM signals low swap, then leases one unit and
+// re-arms the hook.
+func (m *Manager) loop(p *sim.Proc) {
+	for {
+		m.wake.Wait(p)
+		if m.cfg.MaxLeases > 0 && m.stats.Leases >= m.cfg.MaxLeases {
+			// Fully grown: leave the hook disarmed.
+			continue
+		}
+		if err := m.lease(p); err != nil {
+			m.stats.FailedLeases++
+		}
+		// Re-arm regardless: a failed lease may succeed later when a
+		// server frees capacity.
+		m.vm.SetLowSwapHook(m.cfg.LowPages, m.notify)
+	}
+}
+
+// lease attaches one new swap area from the pool.
+func (m *Manager) lease(p *sim.Proc) error {
+	srv, err := m.pool.LeaseBest(m.cfg.Unit)
+	if err != nil {
+		return err
+	}
+	name := fmt.Sprintf("hpbd-dyn%d", m.stats.Leases)
+	dev := hpbd.NewDevice(m.cfg.Fabric, name, m.cfg.Client)
+	if err := dev.ConnectServer(srv, m.cfg.Unit); err != nil {
+		return err
+	}
+	q := blockdev.NewQueue(m.env, m.cfg.Host, dev)
+	m.vm.AddSwap(q, 0)
+	m.devices = append(m.devices, dev)
+	m.stats.Leases++
+	m.stats.BytesLeased += m.cfg.Unit
+	return nil
+}

@@ -1,0 +1,159 @@
+package dynswap
+
+import (
+	"fmt"
+	"testing"
+
+	"hpbd/internal/blockdev"
+	"hpbd/internal/hpbd"
+	"hpbd/internal/ib"
+	"hpbd/internal/sim"
+	"hpbd/internal/vm"
+)
+
+// rig: a VM with a small initial HPBD swap area, a pool of extra memory
+// servers, and a manager.
+type rig struct {
+	env     *sim.Env
+	fabric  *ib.Fabric
+	sys     *vm.System
+	pool    *Pool
+	manager *Manager
+}
+
+func newRig(t *testing.T, memBytes, initialSwap, unit int64, poolServers int, serverBytes int64, maxLeases int) *rig {
+	t.Helper()
+	env := sim.NewEnv()
+	fabric := ib.NewFabric(env, ib.DefaultConfig())
+	cfg := vm.DefaultConfig(memBytes)
+	sys := vm.NewSystem(env, cfg)
+
+	// Initial fixed swap.
+	srv0 := hpbd.NewServer(fabric, "mem0", hpbd.DefaultServerConfig(initialSwap))
+	dev0 := hpbd.NewDevice(fabric, "hpbd0", hpbd.DefaultClientConfig())
+	if err := dev0.ConnectServer(srv0, initialSwap); err != nil {
+		t.Fatalf("ConnectServer: %v", err)
+	}
+	sys.AddSwap(blockdev.NewQueue(env, cfg.Host, dev0), 0)
+
+	pool := NewPool()
+	for i := 0; i < poolServers; i++ {
+		pool.Add(hpbd.NewServer(fabric, fmt.Sprintf("pool%d", i), hpbd.DefaultServerConfig(serverBytes)))
+	}
+	mgr, err := New(sys, pool, Config{
+		Fabric:    fabric,
+		Unit:      unit,
+		LowPages:  64,
+		MaxLeases: maxLeases,
+		Host:      cfg.Host,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return &rig{env: env, fabric: fabric, sys: sys, pool: pool, manager: mgr}
+}
+
+// fill touches pages sequentially, requiring swap for the overflow.
+func (r *rig) fill(t *testing.T, pages int) error {
+	t.Helper()
+	as := r.sys.NewAddressSpace("w", pages)
+	var ferr error
+	r.env.Go("fill", func(p *sim.Proc) {
+		for i := 0; i < pages; i++ {
+			if err := as.Touch(p, i, true); err != nil {
+				ferr = err
+				return
+			}
+		}
+	})
+	r.env.Run()
+	r.env.Close()
+	return ferr
+}
+
+func TestGrowsUnderPressure(t *testing.T) {
+	// 2 MB memory, 1 MB initial swap, workload 8 MB: needs ~5 MB more
+	// swap, available as 1 MB leases from the pool.
+	r := newRig(t, 2<<20, 1<<20, 1<<20, 3, 4<<20, 0)
+	if err := r.fill(t, 2048); err != nil {
+		t.Fatalf("fill with growth available: %v", err)
+	}
+	st := r.manager.Stats()
+	if st.Leases < 4 {
+		t.Errorf("leases = %d, want >= 4", st.Leases)
+	}
+	if st.BytesLeased < 4<<20 {
+		t.Errorf("bytes leased = %d", st.BytesLeased)
+	}
+}
+
+func TestWithoutGrowthOOMs(t *testing.T) {
+	// Same pressure, empty pool: the workload must OOM.
+	r := newRig(t, 2<<20, 1<<20, 1<<20, 0, 0, 0)
+	err := r.fill(t, 2048)
+	if err != vm.ErrOutOfMemory {
+		t.Errorf("err = %v, want ErrOutOfMemory", err)
+	}
+	if r.manager.Stats().FailedLeases == 0 {
+		t.Error("no failed leases recorded despite empty pool")
+	}
+}
+
+func TestMaxLeasesBoundsGrowth(t *testing.T) {
+	r := newRig(t, 2<<20, 1<<20, 1<<20, 8, 4<<20, 2)
+	err := r.fill(t, 2048) // needs ~4 extra MB but only 2 allowed
+	if err != vm.ErrOutOfMemory {
+		t.Errorf("err = %v, want ErrOutOfMemory under the lease cap", err)
+	}
+	if got := r.manager.Stats().Leases; got != 2 {
+		t.Errorf("leases = %d, want exactly 2", got)
+	}
+}
+
+func TestLeaseBestPicksMostFree(t *testing.T) {
+	env := sim.NewEnv()
+	fabric := ib.NewFabric(env, ib.DefaultConfig())
+	pool := NewPool()
+	small := hpbd.NewServer(fabric, "small", hpbd.DefaultServerConfig(2<<20))
+	big := hpbd.NewServer(fabric, "big", hpbd.DefaultServerConfig(8<<20))
+	pool.Add(small)
+	pool.Add(big)
+	srv, err := pool.LeaseBest(1 << 20)
+	if err != nil || srv != big {
+		t.Errorf("LeaseBest = %v, %v; want the big server", srv, err)
+	}
+	if _, err := pool.LeaseBest(16 << 20); err != ErrNoMemory {
+		t.Errorf("oversized lease err = %v", err)
+	}
+	if pool.Servers() != 2 || pool.TotalFree() != 10<<20 {
+		t.Errorf("pool accounting wrong: %d servers, %d free", pool.Servers(), pool.TotalFree())
+	}
+	env.Close()
+}
+
+func TestLeasesSpreadAcrossServers(t *testing.T) {
+	r := newRig(t, 2<<20, 1<<20, 1<<20, 4, 2<<20, 0)
+	if err := r.fill(t, 2048); err != nil {
+		t.Fatalf("fill: %v", err)
+	}
+	// 4+ leases of 1 MB against 4 servers of 2 MB: balancing must use at
+	// least 3 distinct servers.
+	used := 0
+	for _, s := range r.pool.servers {
+		if s.FreeBytes() < 2<<20 {
+			used++
+		}
+	}
+	if used < 3 {
+		t.Errorf("leases concentrated on %d servers, want spread >= 3", used)
+	}
+}
+
+func TestBadConfigRejected(t *testing.T) {
+	env := sim.NewEnv()
+	sys := vm.NewSystem(env, vm.DefaultConfig(1<<20))
+	if _, err := New(sys, NewPool(), Config{}); err == nil {
+		t.Error("missing fabric/unit accepted")
+	}
+	env.Close()
+}

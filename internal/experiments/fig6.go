@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hpbd/internal/cluster"
+	"hpbd/internal/sim"
+	"hpbd/internal/vm"
+	"hpbd/internal/workload"
+)
+
+// Fig6 reproduces the testswap request-size profile: the average request
+// size within each cluster of requests (bursts separated by idle gaps),
+// showing the ~120 KB swap-out requests the block layer builds.
+func Fig6(c Config) (*Result, error) {
+	s := c.scale()
+	cfg := cluster.Config{
+		MemBytes:    paperMem / s,
+		Swap:        cluster.SwapHPBD,
+		SwapBytes:   paperSwap / s,
+		Servers:     1,
+		LogRequests: true,
+	}
+	data := int64(paperData) / s
+	var node *cluster.Node
+	elapsed, node, err := measure(cfg, c.Seed, func(sys *vm.System, _ *rand.Rand) runnable {
+		return workload.NewTestswap(sys, data)
+	})
+	if err != nil {
+		return nil, err
+	}
+	_ = elapsed
+	log := node.Queue.Stats().Log
+	res := &Result{
+		ID:        "fig6",
+		Title:     fmt.Sprintf("Testswap average request size per request cluster (1/%d scale)", s),
+		Unit:      "KB",
+		PaperNote: "paper: testswap involves mostly ~120K requests",
+	}
+	if len(log) == 0 {
+		return nil, fmt.Errorf("fig6: no requests logged")
+	}
+	// A "request cluster" is a burst of requests separated by >= 1 ms of
+	// queue silence (kswapd reclaim batches).
+	const gap = sim.Millisecond
+	var cur []int
+	var clusters [][]int
+	last := log[0].At
+	for _, r := range log {
+		if r.At.Sub(last) >= gap && len(cur) > 0 {
+			clusters = append(clusters, cur)
+			cur = nil
+		}
+		cur = append(cur, r.Bytes)
+		last = r.At
+	}
+	if len(cur) > 0 {
+		clusters = append(clusters, cur)
+	}
+	// Report up to 24 evenly spaced clusters plus the global average.
+	stride := len(clusters)/24 + 1
+	for i := 0; i < len(clusters); i += stride {
+		sum := 0
+		for _, b := range clusters[i] {
+			sum += b
+		}
+		res.Rows = append(res.Rows, Row{
+			Label: fmt.Sprintf("cluster-%d", i),
+			Value: float64(sum) / float64(len(clusters[i])) / 1024,
+			Stat:  fmt.Sprintf("%d reqs", len(clusters[i])),
+		})
+	}
+	total, count := 0, 0
+	for _, cl := range clusters {
+		for _, b := range cl {
+			total += b
+			count++
+		}
+	}
+	res.Rows = append(res.Rows, Row{
+		Label: "average",
+		Value: float64(total) / float64(count) / 1024,
+		Stat:  fmt.Sprintf("%d requests in %d clusters", count, len(clusters)),
+	})
+	return res, nil
+}

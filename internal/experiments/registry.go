@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Runner produces one result.
+type Runner func(Config) (*Result, error)
+
+// Registry maps experiment IDs to their runners.
+var Registry = map[string]Runner{
+	"fig1":   func(Config) (*Result, error) { return Fig1(), nil },
+	"fig3":   func(Config) (*Result, error) { return Fig3(), nil },
+	"table1": func(Config) (*Result, error) { return Table1(), nil },
+	"fig5":   Fig5,
+	"fig6":   Fig6,
+	"fig7":   Fig7,
+	"fig8":   Fig8,
+	"fig9":   Fig9,
+	"fig10":  Fig10,
+
+	"ablation-registration": AblationRegistration,
+	"ablation-receiver":     AblationReceiver,
+	"ablation-striping":     AblationStriping,
+	"ablation-poolsize":     AblationPoolSize,
+
+	"sweep-bandwidth": SweepBandwidth,
+	"sweep-credits":   SweepCredits,
+	"sweep-readahead": SweepReadahead,
+	"sweep-elevator":  SweepElevator,
+}
+
+// Names returns the registered experiment IDs in stable order.
+func Names() []string {
+	out := make([]string, 0, len(Registry))
+	for k := range Registry {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		// figN first in numeric order, then the rest alphabetically.
+		fi, fj := strings.HasPrefix(out[i], "fig"), strings.HasPrefix(out[j], "fig")
+		if fi != fj {
+			return fi
+		}
+		if fi && fj {
+			var a, b int
+			fmt.Sscanf(out[i], "fig%d", &a)
+			fmt.Sscanf(out[j], "fig%d", &b)
+			return a < b
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// Format renders a result as an aligned text table.
+func Format(r *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s\n", r.ID, r.Title)
+	if r.PaperNote != "" {
+		fmt.Fprintf(&b, "   (%s)\n", r.PaperNote)
+	}
+	width := 0
+	for _, row := range r.Rows {
+		if len(row.Label) > width {
+			width = len(row.Label)
+		}
+	}
+	for _, row := range r.Rows {
+		if r.Unit == "" {
+			fmt.Fprintf(&b, "   %-*s\n", width, row.Label)
+			continue
+		}
+		fmt.Fprintf(&b, "   %-*s  %10.3f %s", width, row.Label, row.Value, r.Unit)
+		if row.Stat != "" {
+			fmt.Fprintf(&b, "   [%s]", row.Stat)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders a result as comma-separated rows (id,label,value,unit,stat)
+// for downstream plotting.
+func CSV(r *Result) string {
+	var b strings.Builder
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%s,%s,%g,%s,%q\n", r.ID, row.Label, row.Value, r.Unit, row.Stat)
+	}
+	return b.String()
+}
+
+// Ratio returns rows[i].Value / rows[j].Value for ratio checks.
+func (r *Result) Ratio(labelNum, labelDen string) (float64, error) {
+	num, den := -1.0, -1.0
+	for _, row := range r.Rows {
+		if row.Label == labelNum {
+			num = row.Value
+		}
+		if row.Label == labelDen {
+			den = row.Value
+		}
+	}
+	if num < 0 || den <= 0 {
+		return 0, fmt.Errorf("experiments: labels %q/%q not found", labelNum, labelDen)
+	}
+	return num / den, nil
+}

@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hpbd/internal/cluster"
+	"hpbd/internal/hpbd"
+	"hpbd/internal/ib"
+	"hpbd/internal/netmodel"
+	"hpbd/internal/vm"
+	"hpbd/internal/workload"
+)
+
+// SweepBandwidth reruns testswap over HPBD with the fabric bandwidth
+// swept from well below to well above the paper's 4X link. It backs the
+// paper's central observation (§6.2): once the network approaches what
+// the memory system delivers, host overhead dominates and faster links
+// stop helping.
+func SweepBandwidth(c Config) (*Result, error) {
+	s := c.scale()
+	res := &Result{
+		ID:    "sweep-bandwidth",
+		Title: fmt.Sprintf("Testswap vs fabric bandwidth (1/%d scale)", s),
+		Unit:  "s",
+		PaperNote: "paper §6.2: with HPBD the network cost is < 30%; " +
+			"host overhead dominates, so returns diminish with faster links",
+	}
+	data := int64(paperData) / s
+	for _, mbps := range []float64{125, 250, 500, 840, 1600, 3200} {
+		ibcfg := ib.DefaultConfig()
+		ibcfg.Link.BW = netmodel.MBps(mbps)
+		cfg := cluster.Config{
+			MemBytes:  paperMem / s,
+			Swap:      cluster.SwapHPBD,
+			SwapBytes: paperSwap / s,
+			Servers:   1,
+			IB:        &ibcfg,
+		}
+		elapsed, _, err := measure(cfg, c.Seed, func(sys *vm.System, _ *rand.Rand) runnable {
+			return workload.NewTestswap(sys, data)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s/%.0f: %w", res.ID, mbps, err)
+		}
+		res.Rows = append(res.Rows, Row{
+			Label: fmt.Sprintf("%.0fMBps", mbps),
+			Value: elapsed.Seconds(),
+		})
+	}
+	return res, nil
+}
+
+// SweepElevator compares FIFO against C-LOOK dispatch on the disk under
+// the two-concurrent-sorts workload — the case where seek ping-pong
+// between the two instances' streams is worst. (Runs at twice the
+// configured scale divisor: the disk case is expensive.)
+func SweepElevator(c Config) (*Result, error) {
+	s := c.scale() * 2
+	res := &Result{
+		ID:        "sweep-elevator",
+		Title:     fmt.Sprintf("Two quick sorts on disk: FIFO vs C-LOOK dispatch (1/%d scale)", s),
+		Unit:      "s",
+		PaperNote: "extension: 2.4's elevator reduces the read/write seek alternation",
+	}
+	elems := int(int64(paperQsortInt) / s)
+	for _, elevator := range []bool{false, true} {
+		label := "fifo"
+		if elevator {
+			label = "c-look"
+		}
+		cfg := cluster.Config{
+			MemBytes:  paperData / s / 2,
+			Swap:      cluster.SwapDisk,
+			SwapBytes: 5 * (int64(512<<20) / s),
+			Elevator:  elevator,
+		}
+		times, _, err := measureTwoOn(cfg, c.Seed, elems)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", res.ID, label, err)
+		}
+		res.Rows = append(res.Rows, Row{
+			Label: label,
+			Value: ((times[0] + times[1]) / 2).Seconds(),
+		})
+	}
+	return res, nil
+}
+
+// SweepCredits varies the flow-control water-mark (§4.2.4): too few
+// credits serialize the pipeline; beyond a handful there is nothing left
+// to win because requests are latency-bound.
+func SweepCredits(c Config) (*Result, error) {
+	s := c.scale()
+	res := &Result{
+		ID:        "sweep-credits",
+		Title:     fmt.Sprintf("Quick sort vs flow-control credits (1/%d scale)", s),
+		Unit:      "s",
+		PaperNote: "water-mark flow control §4.2.4",
+	}
+	elems := int(int64(paperQsortInt) / s)
+	for _, credits := range []int{1, 2, 4, 8, 16, 32} {
+		credits := credits
+		cfg := hpbdConfig(s, 1, func(cc *hpbd.ClientConfig) { cc.Credits = credits })
+		elapsed, node, err := measure(cfg, c.Seed, func(sys *vm.System, rnd *rand.Rand) runnable {
+			return workload.NewQuicksort(sys, "qsort", elems, rnd)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s/%d: %w", res.ID, credits, err)
+		}
+		res.Rows = append(res.Rows, Row{
+			Label: fmt.Sprintf("credits-%d", credits),
+			Value: elapsed.Seconds(),
+			Stat:  fmt.Sprintf("stalls %d", node.HPBD.Stats().CreditStalls),
+		})
+	}
+	return res, nil
+}
+
+// SweepReadahead varies the swap-in readahead window on the quick sort;
+// the 2.4 default (8 pages) sits near the knee for sequential-scan
+// workloads.
+func SweepReadahead(c Config) (*Result, error) {
+	s := c.scale()
+	res := &Result{
+		ID:        "sweep-readahead",
+		Title:     fmt.Sprintf("Quick sort vs swap-in readahead window (1/%d scale)", s),
+		Unit:      "s",
+		PaperNote: "Linux page_cluster: readahead amortizes request latency on sequential faults",
+	}
+	elems := int(int64(paperQsortInt) / s)
+	for _, ra := range []int{1, 2, 4, 8, 16, 32} {
+		ra := ra
+		cfg := hpbdConfig(s, 1, nil)
+		cfg.VMConfig = func(v *vm.Config) { v.ReadAheadPages = ra }
+		elapsed, node, err := measure(cfg, c.Seed,
+			func(sys *vm.System, rnd *rand.Rand) runnable {
+				return workload.NewQuicksort(sys, "qsort", elems, rnd)
+			})
+		if err != nil {
+			return nil, fmt.Errorf("%s/%d: %w", res.ID, ra, err)
+		}
+		st := node.VM.Stats()
+		res.Rows = append(res.Rows, Row{
+			Label: fmt.Sprintf("ra-%d", ra),
+			Value: elapsed.Seconds(),
+			Stat: fmt.Sprintf("swapins %d, ra %d, useful %d",
+				st.SwapIns, st.ReadAheadPages, st.ReadAheadUseful),
+		})
+	}
+	return res, nil
+}

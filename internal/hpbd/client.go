@@ -1,0 +1,507 @@
+package hpbd
+
+import (
+	"errors"
+	"fmt"
+
+	"hpbd/internal/blockdev"
+	"hpbd/internal/ib"
+	"hpbd/internal/netmodel"
+	"hpbd/internal/sim"
+	"hpbd/internal/wire"
+)
+
+// ErrDeviceFailed reports that the device lost a server connection and
+// can no longer serve I/O.
+var ErrDeviceFailed = errors.New("hpbd: device failed (server connection lost)")
+
+// ErrRemote reports a non-OK reply status from a server.
+var ErrRemote = errors.New("hpbd: remote error")
+
+// ClientConfig parameterizes the client block device driver.
+type ClientConfig struct {
+	// PoolBytes is the registration buffer pool size (paper default 1 MB,
+	// initialized and registered at device load time).
+	PoolBytes int
+	// Credits is the per-server water-mark: the maximum outstanding
+	// requests to one server (bounded by the server's pre-posted receive
+	// buffers, §4.2.4).
+	Credits int
+	// Host carries wakeup costs.
+	Host netmodel.HostModel
+
+	// The remaining fields flip the paper's design choices for ablation
+	// studies; all default to the paper's design (false/zero).
+
+	// RegisterOnTheFly pays per-request registration/deregistration
+	// instead of copying into the pre-registered pool (the alternative
+	// §4.1 rejects using Figure 3).
+	RegisterOnTheFly bool
+	// PollingReceiver makes the receiver busy-poll the CQ instead of
+	// sleeping on solicited completion events.
+	PollingReceiver bool
+	// StripeBytes, if non-zero, stripes the device across servers in
+	// round-robin chunks instead of the paper's blocked distribution
+	// (§4.2.5 argues striping does not pay at a 128 KB request bound).
+	StripeBytes int64
+}
+
+// DefaultClientConfig returns the paper's client configuration.
+func DefaultClientConfig() ClientConfig {
+	return ClientConfig{
+		PoolBytes: 1 << 20,
+		Credits:   16,
+		Host:      netmodel.DefaultHost(),
+	}
+}
+
+// DeviceStats aggregates client driver activity.
+type DeviceStats struct {
+	PhysReqs     int64 // physical requests sent to servers
+	Replies      int64
+	BytesWritten int64
+	BytesRead    int64
+	Splits       int64 // block requests split across servers
+	CreditStalls int64 // sends that waited on flow-control credits
+	RemoteErrors int64
+}
+
+// serverLink is the client-side state for one memory server connection.
+type serverLink struct {
+	srv       *Server
+	qp        *ib.QP
+	credits   *sim.Semaphore
+	startByte int64
+	size      int64
+	reqMR     *ib.MR // control-message staging
+	recvMR    *ib.MR // Credits reply buffers
+}
+
+// parentReq tracks one block-layer request across its physical requests.
+type parentReq struct {
+	req     *blockdev.Request
+	readBuf []byte // gather buffer for reads
+	remain  int
+	err     error
+}
+
+// phys is one physical request to one server.
+type phys struct {
+	parent  *parentReq
+	link    *serverLink
+	write   bool
+	offset  int64 // byte offset within the server area
+	off     int   // byte offset within the parent request
+	length  int
+	poolOff int
+	handle  uint64
+	sent    bool
+}
+
+// Device is the HPBD client: a block device driver (blockdev.Driver) that
+// serves swap I/O from remote memory servers.
+type Device struct {
+	env  *sim.Env
+	name string
+	cfg  ClientConfig
+	mem  netmodel.MemModel
+
+	hca    *ib.HCA
+	cq     *ib.CQ // shared send+recv CQ across all server QPs (§5)
+	pool   *BufferPool
+	poolMR *ib.MR
+
+	links   []*serverLink
+	byQP    map[*ib.QP]*serverLink
+	total   int64
+	sendQ   *sim.Chan[*phys]
+	pending map[uint64]*phys
+	nextH   uint64
+	sleepQ  *sim.WaitQueue
+	failed  bool
+	stats   DeviceStats
+}
+
+// NewDevice creates an HPBD client on the fabric. Connect servers with
+// ConnectServer before first I/O.
+func NewDevice(f *ib.Fabric, name string, cfg ClientConfig) *Device {
+	env := f.Env()
+	hca := f.NewHCA(name)
+	d := &Device{
+		env:     env,
+		name:    name,
+		cfg:     cfg,
+		mem:     f.Config().Mem,
+		hca:     hca,
+		cq:      hca.CreateCQ(name + "-cq"),
+		pool:    NewBufferPool(env, cfg.PoolBytes),
+		byQP:    make(map[*ib.QP]*serverLink),
+		sendQ:   sim.NewChan[*phys](env, 0),
+		pending: make(map[uint64]*phys),
+		sleepQ:  sim.NewWaitQueue(env),
+	}
+	// The pool is registered once at device load time — the design point
+	// the paper's Figure 3 motivates.
+	d.poolMR = hca.RegisterMRAtSetup(make([]byte, cfg.PoolBytes))
+	d.cq.SetEventHandler(func() { d.sleepQ.WakeAll() })
+	env.Go(name+"-sender", d.sender)
+	env.Go(name+"-receiver", d.receiver)
+	return d
+}
+
+// Name implements blockdev.Driver.
+func (d *Device) Name() string { return d.name }
+
+// Sectors implements blockdev.Driver: the device size is the sum of the
+// areas exported by the connected servers.
+func (d *Device) Sectors() int64 { return d.total / blockdev.SectorSize }
+
+// Stats returns a copy of the driver statistics.
+func (d *Device) Stats() DeviceStats { return d.stats }
+
+// Pool exposes the registration buffer pool (for stats and tests).
+func (d *Device) Pool() *BufferPool { return d.pool }
+
+// Links returns the number of connected servers.
+func (d *Device) Links() int { return len(d.links) }
+
+// Failed reports whether the device has lost a server.
+func (d *Device) Failed() bool { return d.failed }
+
+// ConnectServer attaches areaBytes of srv's memory as the next contiguous
+// range of this device (the paper's blocked, non-striped distribution).
+func (d *Device) ConnectServer(srv *Server, areaBytes int64) error {
+	if areaBytes <= 0 || areaBytes%blockdev.SectorSize != 0 {
+		return fmt.Errorf("hpbd: invalid area size %d", areaBytes)
+	}
+	qp := d.hca.CreateQP(d.cq, d.cq)
+	if _, _, err := srv.attach(qp, areaBytes); err != nil {
+		return err
+	}
+	link := &serverLink{
+		srv:       srv,
+		qp:        qp,
+		credits:   sim.NewSemaphore(d.env, d.cfg.Credits),
+		startByte: d.total,
+		size:      areaBytes,
+		reqMR:     d.hca.RegisterMRAtSetup(make([]byte, wire.RequestSize)),
+		recvMR:    d.hca.RegisterMRAtSetup(make([]byte, d.cfg.Credits*wire.ReplySize)),
+	}
+	for i := 0; i < d.cfg.Credits; i++ {
+		if err := qp.PostRecv(ib.RecvWR{
+			ID:    uint64(i),
+			Local: ib.Segment{MR: link.recvMR, Off: i * wire.ReplySize, Len: wire.ReplySize},
+		}); err != nil {
+			return err
+		}
+	}
+	d.links = append(d.links, link)
+	d.byQP[qp] = link
+	d.total += areaBytes
+	return nil
+}
+
+// seg is one piece of a split request.
+type seg struct {
+	link   *serverLink
+	offset int64 // within the server area
+	off    int   // within the parent request
+	length int
+}
+
+// split maps a contiguous byte range of the device onto server areas
+// using the blocked layout (or the striped layout under ablation).
+func (d *Device) split(start int64, n int) []seg {
+	if d.cfg.StripeBytes > 0 {
+		return d.splitStriped(start, n)
+	}
+	var out []seg
+	reqOff := 0
+	for n > 0 {
+		var link *serverLink
+		for _, l := range d.links {
+			if start >= l.startByte && start < l.startByte+l.size {
+				link = l
+				break
+			}
+		}
+		if link == nil {
+			return nil
+		}
+		avail := int(link.startByte + link.size - start)
+		take := n
+		if take > avail {
+			take = avail
+		}
+		out = append(out, seg{link: link, offset: start - link.startByte, off: reqOff, length: take})
+		start += int64(take)
+		reqOff += take
+		n -= take
+	}
+	return out
+}
+
+// splitStriped distributes the range round-robin in StripeBytes chunks.
+func (d *Device) splitStriped(start int64, n int) []seg {
+	stripe := d.cfg.StripeBytes
+	nl := int64(len(d.links))
+	reqOff := 0
+	var out []seg
+	for n > 0 {
+		chunk := start / stripe
+		li := chunk % nl
+		row := chunk / nl
+		link := d.links[li]
+		inChunk := start % stripe
+		take := int(stripe - inChunk)
+		if take > n {
+			take = n
+		}
+		areaOff := row*stripe + inChunk
+		if areaOff+int64(take) > link.size {
+			return nil
+		}
+		out = append(out, seg{link: link, offset: areaOff, off: reqOff, length: take})
+		start += int64(take)
+		reqOff += take
+		n -= take
+	}
+	return out
+}
+
+// Submit implements blockdev.Driver: it splits the request across servers,
+// copies write data into the registration pool (blocking on the pool's
+// allocation wait queue under pressure), and hands the physical requests
+// to the sender thread. Completion is signalled by the receiver thread.
+func (d *Device) Submit(p *sim.Proc, r *blockdev.Request) {
+	if d.failed {
+		r.Complete(ErrDeviceFailed)
+		return
+	}
+	start := r.Sector * blockdev.SectorSize
+	n := r.Bytes()
+	segs := d.split(start, n)
+	if segs == nil {
+		r.Complete(blockdev.ErrOutOfRange)
+		return
+	}
+	if len(segs) > 1 {
+		d.stats.Splits++
+	}
+	parent := &parentReq{req: r, remain: len(segs)}
+	var wdata []byte
+	if r.Write {
+		wdata = r.Data()
+	} else {
+		parent.readBuf = make([]byte, n)
+	}
+	for _, sg := range segs {
+		poolOff, err := d.pool.Alloc(p, sg.length)
+		if err != nil {
+			d.finishPhys(&phys{parent: parent}, err)
+			continue
+		}
+		if d.cfg.RegisterOnTheFly {
+			// Ablation: pay the registration cost the pool design avoids
+			// (the data still flows through pool space so the RDMA path
+			// is unchanged; only the cost model differs).
+			p.Sleep(d.mem.Register(sg.length))
+			if r.Write {
+				copy(d.poolMR.Buf[poolOff:], wdata[sg.off:sg.off+sg.length])
+			}
+		} else if r.Write {
+			// The copy that replaces on-the-fly registration (§4.2.2).
+			p.Sleep(d.mem.Memcpy(sg.length))
+			copy(d.poolMR.Buf[poolOff:], wdata[sg.off:sg.off+sg.length])
+		}
+		d.nextH++
+		ph := &phys{
+			parent:  parent,
+			link:    sg.link,
+			write:   r.Write,
+			offset:  sg.offset,
+			off:     sg.off,
+			length:  sg.length,
+			poolOff: poolOff,
+			handle:  d.nextH,
+		}
+		d.pending[ph.handle] = ph
+		d.sendQ.Send(p, ph)
+	}
+}
+
+// sender is the request-issuing thread: it forwards queued physical
+// requests as soon as flow-control credits permit (§4.2.3, §4.2.4).
+func (d *Device) sender(p *sim.Proc) {
+	for {
+		ph, ok := d.sendQ.Recv(p)
+		if !ok {
+			return
+		}
+		if d.failed {
+			if _, pending := d.pending[ph.handle]; pending {
+				delete(d.pending, ph.handle)
+				d.pool.Free(ph.poolOff)
+				d.finishPhys(ph, ErrDeviceFailed)
+			}
+			continue
+		}
+		if !ph.link.credits.TryAcquire(1) {
+			d.stats.CreditStalls++
+			ph.link.credits.Acquire(p, 1)
+		}
+		typ := wire.ReqRead
+		if ph.write {
+			typ = wire.ReqWrite
+		}
+		wire.MarshalRequest(ph.link.reqMR.Buf, &wire.Request{
+			Type:   typ,
+			Handle: ph.handle,
+			Offset: uint64(ph.offset),
+			Length: uint32(ph.length),
+			Addr:   uint64(ph.poolOff),
+			RKey:   d.poolMR.RKey,
+		})
+		// Mark in flight before posting: a failure during the post must
+		// not leave the request unaccounted.
+		ph.sent = true
+		err := ph.link.qp.PostSend(p, ib.SendWR{
+			ID:    ph.handle,
+			Op:    ib.OpSend,
+			Local: ib.Segment{MR: ph.link.reqMR, Off: 0, Len: wire.RequestSize},
+		})
+		if err != nil {
+			if _, pending := d.pending[ph.handle]; pending {
+				delete(d.pending, ph.handle)
+				d.pool.Free(ph.poolOff)
+				d.finishPhys(ph, err)
+			}
+			ph.link.credits.Release(1)
+			continue
+		}
+		d.stats.PhysReqs++
+	}
+}
+
+// receiver is the event-driven reply thread: it sleeps until a solicited
+// completion event fires, then drains every available reply in a burst
+// before sleeping again (§4.2.3).
+func (d *Device) receiver(p *sim.Proc) {
+	for {
+		e, ok := d.cq.Poll()
+		if !ok {
+			if d.cfg.PollingReceiver {
+				// Ablation: busy-poll, no event arming or wakeup cost.
+				e = d.cq.WaitPoll(p)
+			} else {
+				d.cq.ReqNotify(true) // solicited replies and errors wake us
+				if e2, ok2 := d.cq.Poll(); ok2 {
+					e = e2
+				} else {
+					d.sleepQ.Wait(p)
+					p.Sleep(d.cfg.Host.Wakeup)
+					continue
+				}
+			}
+		}
+		if e.Status != ib.StatusSuccess {
+			// A failed send or flushed receive means a server is gone.
+			d.fail()
+			continue
+		}
+		if e.Op != ib.OpRecv {
+			continue // send completions: control buffers are reusable
+		}
+		d.handleReply(p, e)
+	}
+}
+
+func (d *Device) handleReply(p *sim.Proc, e ib.CQE) {
+	link := d.byQP[e.QP]
+	if link == nil {
+		return
+	}
+	if e.Status != ib.StatusSuccess {
+		d.fail()
+		return
+	}
+	slot := int(e.WRID)
+	rep, err := wire.UnmarshalReply(link.recvMR.Buf[slot*wire.ReplySize : (slot+1)*wire.ReplySize])
+	if err != nil {
+		d.fail()
+		return
+	}
+	// Repost the reply buffer before releasing the credit so the server
+	// can never overrun our receive queue.
+	if perr := link.qp.PostRecv(ib.RecvWR{
+		ID:    e.WRID,
+		Local: ib.Segment{MR: link.recvMR, Off: slot * wire.ReplySize, Len: wire.ReplySize},
+	}); perr != nil {
+		d.fail()
+		return
+	}
+	ph, ok := d.pending[rep.Handle]
+	if !ok {
+		return // duplicate or stale
+	}
+	delete(d.pending, rep.Handle)
+	d.stats.Replies++
+
+	var ferr error
+	if rep.Status != wire.StatusOK {
+		d.stats.RemoteErrors++
+		ferr = fmt.Errorf("%w: %v", ErrRemote, rep.Status)
+	} else if !ph.write {
+		if d.cfg.RegisterOnTheFly {
+			p.Sleep(d.mem.Deregister())
+		} else {
+			// Copy the RDMA-written data out of the pool into the request.
+			p.Sleep(d.mem.Memcpy(ph.length))
+		}
+		copy(ph.parent.readBuf[ph.off:], d.poolMR.Buf[ph.poolOff:ph.poolOff+ph.length])
+		d.stats.BytesRead += int64(ph.length)
+	} else {
+		if d.cfg.RegisterOnTheFly {
+			p.Sleep(d.mem.Deregister())
+		}
+		d.stats.BytesWritten += int64(ph.length)
+	}
+	d.pool.Free(ph.poolOff)
+	link.credits.Release(1)
+	d.finishPhys(ph, ferr)
+}
+
+// finishPhys records one physical completion and completes the parent
+// when all pieces are done.
+func (d *Device) finishPhys(ph *phys, err error) {
+	parent := ph.parent
+	if err != nil && parent.err == nil {
+		parent.err = err
+	}
+	parent.remain--
+	if parent.remain > 0 {
+		return
+	}
+	if parent.err == nil && !parent.req.Write {
+		parent.req.Scatter(parent.readBuf)
+	}
+	parent.req.Complete(parent.err)
+}
+
+// fail moves the device to the failed state and errors out all pending
+// requests (reliability handling, §4.1: RC excludes network loss, so a
+// completion error means the peer is gone).
+func (d *Device) fail() {
+	if d.failed {
+		return
+	}
+	d.failed = true
+	for h, ph := range d.pending {
+		if !ph.sent {
+			continue // the sender cleans up queued requests on dequeue
+		}
+		delete(d.pending, h)
+		d.pool.Free(ph.poolOff)
+		d.finishPhys(ph, ErrDeviceFailed)
+	}
+}

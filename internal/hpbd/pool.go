@@ -1,0 +1,165 @@
+// Package hpbd implements the paper's contribution: the High Performance
+// Block Device. The client (Device) is a block device driver that serves
+// the VM's swap requests by shipping pages to remote memory servers over
+// InfiniBand verbs; the server (Server) is a RamDisk-backed daemon that
+// moves page data with server-initiated RDMA READ/WRITE and overlaps those
+// transfers with its local copies.
+//
+// Design elements reproduced from the paper (sections 4-5):
+//
+//   - pre-registered registration buffer pool with first-fit allocation,
+//     free-neighbor merging, and an allocation wait queue (§4.2.2);
+//   - server-initiated RDMA: READ pulls swap-out data from the client,
+//     WRITE pushes swap-in data to the client (§4.2.1);
+//   - event-based asynchronous communication: a sender thread and a
+//     receiver thread woken by solicited completion events that drains
+//     replies in bursts (§4.2.3, §5);
+//   - credit (water-mark) flow control against the pre-posted receive
+//     buffers (§4.2.4);
+//   - multiple servers with the swap area distributed in contiguous
+//     blocked (non-striped) ranges (§4.2.5).
+package hpbd
+
+import (
+	"errors"
+	"fmt"
+
+	"hpbd/internal/sim"
+)
+
+// ErrPoolExhausted is returned by TryAlloc when no fitting block exists.
+var ErrPoolExhausted = errors.New("hpbd: registration pool exhausted")
+
+// extent is a free region [off, off+len).
+type extent struct {
+	off, len int
+}
+
+// BufferPool is the pre-registered communication buffer pool (§4.2.2):
+// allocation is first-fit over an ordered free list; deallocation merges
+// with free neighbours to fight external fragmentation, keeping page-sized
+// requests satisfiable from contiguous space. Requests that cannot be
+// satisfied wait on an allocation queue and are retried on every free.
+type BufferPool struct {
+	size    int
+	free    []extent // sorted by offset, no two adjacent
+	allocs  map[int]int
+	waiters *sim.WaitQueue
+
+	// Stats
+	AllocWaits  int64 // allocations that had to block
+	PeakInUse   int
+	inUse       int
+	allocsTotal int64
+}
+
+// NewBufferPool creates a pool of size bytes.
+func NewBufferPool(env *sim.Env, size int) *BufferPool {
+	return &BufferPool{
+		size:    size,
+		free:    []extent{{0, size}},
+		allocs:  make(map[int]int),
+		waiters: sim.NewWaitQueue(env),
+	}
+}
+
+// Size returns the pool capacity in bytes.
+func (b *BufferPool) Size() int { return b.size }
+
+// InUse returns currently allocated bytes.
+func (b *BufferPool) InUse() int { return b.inUse }
+
+// FreeBytes returns the total free bytes (possibly fragmented).
+func (b *BufferPool) FreeBytes() int { return b.size - b.inUse }
+
+// LargestFree returns the largest contiguous free block.
+func (b *BufferPool) LargestFree() int {
+	max := 0
+	for _, e := range b.free {
+		if e.len > max {
+			max = e.len
+		}
+	}
+	return max
+}
+
+// Fragments returns the number of free extents.
+func (b *BufferPool) Fragments() int { return len(b.free) }
+
+// TryAlloc performs a non-blocking first-fit allocation.
+func (b *BufferPool) TryAlloc(n int) (int, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("hpbd: invalid allocation size %d", n)
+	}
+	for i := range b.free {
+		if b.free[i].len >= n {
+			off := b.free[i].off
+			b.free[i].off += n
+			b.free[i].len -= n
+			if b.free[i].len == 0 {
+				b.free = append(b.free[:i], b.free[i+1:]...)
+			}
+			b.allocs[off] = n
+			b.inUse += n
+			b.allocsTotal++
+			if b.inUse > b.PeakInUse {
+				b.PeakInUse = b.inUse
+			}
+			return off, nil
+		}
+	}
+	return 0, ErrPoolExhausted
+}
+
+// Alloc blocks on the allocation wait queue until a first-fit block of n
+// bytes is available (§4.2.2: "a memory allocation wait queue is used to
+// accommodate the allocation requests that can not be filled temporarily").
+func (b *BufferPool) Alloc(p *sim.Proc, n int) (int, error) {
+	if n > b.size {
+		return 0, fmt.Errorf("hpbd: allocation %d exceeds pool size %d", n, b.size)
+	}
+	waited := false
+	for {
+		off, err := b.TryAlloc(n)
+		if err == nil {
+			return off, nil
+		}
+		if !waited {
+			b.AllocWaits++
+			waited = true
+		}
+		b.waiters.Wait(p)
+	}
+}
+
+// Free releases the allocation at off, merging with free neighbours and
+// waking all blocked allocators to retry.
+func (b *BufferPool) Free(off int) {
+	n, ok := b.allocs[off]
+	if !ok {
+		panic(fmt.Sprintf("hpbd: free of unallocated offset %d", off))
+	}
+	delete(b.allocs, off)
+	b.inUse -= n
+
+	// Insert into the sorted free list.
+	i := 0
+	for i < len(b.free) && b.free[i].off < off {
+		i++
+	}
+	b.free = append(b.free, extent{})
+	copy(b.free[i+1:], b.free[i:])
+	b.free[i] = extent{off, n}
+
+	// Merge with the right neighbour.
+	if i+1 < len(b.free) && b.free[i].off+b.free[i].len == b.free[i+1].off {
+		b.free[i].len += b.free[i+1].len
+		b.free = append(b.free[:i+1], b.free[i+2:]...)
+	}
+	// Merge with the left neighbour.
+	if i > 0 && b.free[i-1].off+b.free[i-1].len == b.free[i].off {
+		b.free[i-1].len += b.free[i].len
+		b.free = append(b.free[:i], b.free[i+1:]...)
+	}
+	b.waiters.WakeAll()
+}

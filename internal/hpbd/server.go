@@ -1,0 +1,345 @@
+package hpbd
+
+import (
+	"fmt"
+
+	"hpbd/internal/ib"
+	"hpbd/internal/netmodel"
+	"hpbd/internal/ramdisk"
+	"hpbd/internal/sim"
+	"hpbd/internal/wire"
+)
+
+// ServerConfig parameterizes a memory server.
+type ServerConfig struct {
+	// StoreBytes is the total RamDisk capacity exported to clients.
+	StoreBytes int64
+	// Workers is the number of concurrent request processors; each owns
+	// one staging buffer, so it bounds outstanding RDMA operations and
+	// provides the paper's RDMA/memcpy overlap.
+	Workers int
+	// StagingBytes is the size of each staging buffer (>= the largest
+	// request, 128 KB).
+	StagingBytes int
+	// RecvDepth is the number of request receive buffers pre-posted per
+	// client connection; it must be >= the client's credit limit.
+	RecvDepth int
+	// IdleSpin is how long the server polls before yielding the CPU and
+	// sleeping on a completion event (the paper: 200 us).
+	IdleSpin sim.Duration
+	// StoreOpOverhead is the per-request cost of reaching the RamDisk
+	// store through its file-system interface (the paper's server
+	// manipulates RamDisk-based files).
+	StoreOpOverhead sim.Duration
+	// Host carries wakeup costs.
+	Host netmodel.HostModel
+}
+
+// DefaultServerConfig returns the paper's server configuration for a
+// store of the given size.
+func DefaultServerConfig(storeBytes int64) ServerConfig {
+	return ServerConfig{
+		StoreBytes:      storeBytes,
+		Workers:         4,
+		StagingBytes:    128 * 1024,
+		RecvDepth:       32,
+		IdleSpin:        200 * sim.Microsecond,
+		StoreOpOverhead: 80 * sim.Microsecond,
+		Host:            netmodel.DefaultHost(),
+	}
+}
+
+// ServerStats aggregates server activity.
+type ServerStats struct {
+	Requests    int64
+	Writes      int64
+	Reads       int64
+	BytesStored int64
+	BytesServed int64
+	BadRequests int64
+	IdleSleeps  int64
+	RDMAIssued  int64
+}
+
+// srvReq is one request in flight inside the server.
+type srvReq struct {
+	conn *clientConn
+	req  wire.Request
+}
+
+// clientConn is the server-side state for one attached client.
+type clientConn struct {
+	qp       *ib.QP
+	areaOff  int64
+	areaSize int64
+	recvMR   *ib.MR // RecvDepth request buffers
+}
+
+// Server is the user-space memory server daemon.
+type Server struct {
+	env    *sim.Env
+	name   string
+	cfg    ServerConfig
+	hca    *ib.HCA
+	reqCQ  *ib.CQ // receive completions (requests)
+	dataCQ *ib.CQ // RDMA + reply-send completions
+	store  *ramdisk.RamDisk
+
+	conns     map[*ib.QP]*clientConn
+	nextArea  int64
+	work      *sim.Chan[srvReq]
+	sleepQ    *sim.WaitQueue
+	rdmaWaits map[uint64]*sim.Event
+	nextWRID  uint64
+	stats     ServerStats
+}
+
+// NewServer creates a memory server on the fabric and starts its daemon
+// processes.
+func NewServer(f *ib.Fabric, name string, cfg ServerConfig) *Server {
+	env := f.Env()
+	hca := f.NewHCA(name)
+	s := &Server{
+		env:       env,
+		name:      name,
+		cfg:       cfg,
+		hca:       hca,
+		reqCQ:     hca.CreateCQ(name + "-req"),
+		dataCQ:    hca.CreateCQ(name + "-data"),
+		store:     ramdisk.New(cfg.StoreBytes, f.Config().Mem),
+		conns:     make(map[*ib.QP]*clientConn),
+		work:      sim.NewChan[srvReq](env, 0),
+		sleepQ:    sim.NewWaitQueue(env),
+		rdmaWaits: make(map[uint64]*sim.Event),
+	}
+	s.store.SetOpOverhead(cfg.StoreOpOverhead)
+	s.reqCQ.SetEventHandler(func() { s.sleepQ.WakeAll() })
+	env.Go(name+"-recv", s.recvLoop)
+	env.Go(name+"-datacq", s.dataCQLoop)
+	for i := 0; i < cfg.Workers; i++ {
+		i := i
+		env.Go(fmt.Sprintf("%s-worker%d", name, i), s.worker)
+	}
+	return s
+}
+
+// Name returns the server's name.
+func (s *Server) Name() string { return s.name }
+
+// Stats returns a copy of the server statistics.
+func (s *Server) Stats() ServerStats { return s.stats }
+
+// Store exposes the backing RamDisk (tests verify stored bytes through it).
+func (s *Server) Store() *ramdisk.RamDisk { return s.store }
+
+// FreeBytes returns unallocated store space.
+func (s *Server) FreeBytes() int64 { return s.cfg.StoreBytes - s.nextArea }
+
+// DropClients closes every client connection (server shutdown or crash):
+// clients observe flushed completions and fail their devices.
+func (s *Server) DropClients() {
+	for qp := range s.conns {
+		qp.Close()
+	}
+}
+
+// attach allocates an area of size bytes for a client and wires a QP; it
+// is called by the client's ConnectServer during device setup (standing in
+// for the paper's socket-based QP information exchange).
+func (s *Server) attach(clientQP *ib.QP, size int64) (*ib.QP, int64, error) {
+	if s.nextArea+size > s.cfg.StoreBytes {
+		return nil, 0, fmt.Errorf("hpbd: server %s cannot export %d bytes (%d free)", s.name, size, s.FreeBytes())
+	}
+	qp := s.hca.CreateQP(s.dataCQ, s.reqCQ)
+	ib.Connect(clientQP, qp)
+	conn := &clientConn{
+		qp:       qp,
+		areaOff:  s.nextArea,
+		areaSize: size,
+		recvMR:   s.hca.RegisterMRAtSetup(make([]byte, s.cfg.RecvDepth*wire.RequestSize)),
+	}
+	s.nextArea += size
+	s.conns[qp] = conn
+	for i := 0; i < s.cfg.RecvDepth; i++ {
+		if err := qp.PostRecv(ib.RecvWR{
+			ID:    uint64(i),
+			Local: ib.Segment{MR: conn.recvMR, Off: i * wire.RequestSize, Len: wire.RequestSize},
+		}); err != nil {
+			return nil, 0, err
+		}
+	}
+	return qp, conn.areaOff, nil
+}
+
+// recvLoop is the daemon's main thread: it drains request completions,
+// reposts receive buffers, and feeds the worker pool. After IdleSpin with
+// no work it yields the CPU and sleeps until a completion event (§5).
+func (s *Server) recvLoop(p *sim.Proc) {
+	for {
+		e, ok := s.reqCQ.WaitPollTimeout(p, s.cfg.IdleSpin)
+		if !ok {
+			// Yield: arm the completion event and sleep.
+			s.stats.IdleSleeps++
+			s.reqCQ.ReqNotify(false)
+			if e2, ok2 := s.reqCQ.Poll(); ok2 {
+				e = e2
+			} else {
+				s.sleepQ.Wait(p)
+				p.Sleep(s.cfg.Host.Wakeup)
+				continue
+			}
+		}
+		s.handleRecvCQE(p, e)
+	}
+}
+
+func (s *Server) handleRecvCQE(p *sim.Proc, e ib.CQE) {
+	if e.Op != ib.OpRecv {
+		return
+	}
+	conn := s.conns[e.QP]
+	if conn == nil || e.Status != ib.StatusSuccess {
+		return
+	}
+	slot := int(e.WRID)
+	buf := conn.recvMR.Buf[slot*wire.RequestSize : (slot+1)*wire.RequestSize]
+	req, err := wire.UnmarshalRequest(buf)
+	// Repost the receive buffer immediately; the request is decoded out.
+	if perr := conn.qp.PostRecv(ib.RecvWR{
+		ID:    e.WRID,
+		Local: ib.Segment{MR: conn.recvMR, Off: slot * wire.RequestSize, Len: wire.RequestSize},
+	}); perr != nil {
+		return // connection torn down
+	}
+	if err != nil {
+		s.stats.BadRequests++
+		s.env.Go(s.name+"-nak", func(wp *sim.Proc) {
+			nakMR := s.hca.RegisterMRAtSetup(make([]byte, wire.ReplySize))
+			s.sendReply(wp, conn, nakMR, req.Handle, wire.StatusBadRequest)
+		})
+		return
+	}
+	s.stats.Requests++
+	s.work.Send(p, srvReq{conn: conn, req: req})
+}
+
+// dataCQLoop demultiplexes RDMA and reply-send completions to the waiting
+// workers by work-request ID.
+func (s *Server) dataCQLoop(p *sim.Proc) {
+	for {
+		e := s.dataCQ.WaitPoll(p)
+		if ev, ok := s.rdmaWaits[e.WRID]; ok {
+			delete(s.rdmaWaits, e.WRID)
+			if e.Status != ib.StatusSuccess {
+				// Surface the failure to the waiting worker via a
+				// triggered event; the worker re-checks QP state.
+				ev.Trigger()
+				continue
+			}
+			ev.Trigger()
+		}
+		// Reply-send completions carry no registered waiter: drained here.
+	}
+}
+
+// postRDMA issues one RDMA op on conn's QP and returns an event that
+// triggers on completion.
+func (s *Server) postRDMA(p *sim.Proc, conn *clientConn, op ib.Opcode, local ib.Segment, remoteKey uint32, remoteOff int) (*sim.Event, error) {
+	s.nextWRID++
+	id := s.nextWRID
+	ev := sim.NewEvent(s.env)
+	s.rdmaWaits[id] = ev
+	err := conn.qp.PostSend(p, ib.SendWR{
+		ID:        id,
+		Op:        op,
+		Local:     local,
+		RemoteKey: remoteKey,
+		RemoteOff: remoteOff,
+	})
+	if err != nil {
+		delete(s.rdmaWaits, id)
+		return nil, err
+	}
+	s.stats.RDMAIssued++
+	return ev, nil
+}
+
+// sendReply posts the completion control message through the caller's
+// pre-registered reply buffer (solicited, so the client's armed event
+// handler fires and wakes its receiver thread).
+func (s *Server) sendReply(p *sim.Proc, conn *clientConn, replyMR *ib.MR, handle uint64, st wire.Status) {
+	wire.MarshalReply(replyMR.Buf, &wire.Reply{Handle: handle, Status: st})
+	_ = conn.qp.PostSend(p, ib.SendWR{
+		ID:        0,
+		Op:        ib.OpSend,
+		Local:     ib.Segment{MR: replyMR, Off: 0, Len: wire.ReplySize},
+		Solicited: true,
+	})
+}
+
+// worker processes requests with its own staging buffer, providing the
+// multiple-outstanding-RDMA + memcpy overlap of §4.2.1.
+func (s *Server) worker(p *sim.Proc) {
+	staging := s.hca.RegisterMRAtSetup(make([]byte, s.cfg.StagingBytes))
+	replyMR := s.hca.RegisterMRAtSetup(make([]byte, wire.ReplySize))
+	for {
+		item, ok := s.work.Recv(p)
+		if !ok {
+			return
+		}
+		conn, req := item.conn, item.req
+		n := int(req.Length)
+		if n <= 0 || n > s.cfg.StagingBytes ||
+			req.Offset+uint64(n) > uint64(conn.areaSize) {
+			s.stats.BadRequests++
+			s.sendReply(p, conn, replyMR, req.Handle, wire.StatusOutOfRange)
+			continue
+		}
+		storeOff := conn.areaOff + int64(req.Offset)
+		switch req.Type {
+		case wire.ReqWrite:
+			// Swap-out: pull the page data out of the client's pool.
+			ev, err := s.postRDMA(p, conn, ib.OpRDMARead,
+				ib.Segment{MR: staging, Off: 0, Len: n}, req.RKey, int(req.Addr))
+			if err != nil {
+				s.sendReply(p, conn, replyMR, req.Handle, wire.StatusServerError)
+				continue
+			}
+			ev.Wait(p)
+			if conn.qp.Closed() {
+				continue
+			}
+			if err := s.store.WriteAt(p, staging.Buf[:n], storeOff); err != nil {
+				s.sendReply(p, conn, replyMR, req.Handle, wire.StatusServerError)
+				continue
+			}
+			s.stats.Writes++
+			s.stats.BytesStored += int64(n)
+			s.sendReply(p, conn, replyMR, req.Handle, wire.StatusOK)
+
+		case wire.ReqRead:
+			// Swap-in: push stored data into the client's pool.
+			if err := s.store.ReadAt(p, staging.Buf[:n], storeOff); err != nil {
+				s.sendReply(p, conn, replyMR, req.Handle, wire.StatusServerError)
+				continue
+			}
+			ev, err := s.postRDMA(p, conn, ib.OpRDMAWrite,
+				ib.Segment{MR: staging, Off: 0, Len: n}, req.RKey, int(req.Addr))
+			if err != nil {
+				s.sendReply(p, conn, replyMR, req.Handle, wire.StatusServerError)
+				continue
+			}
+			ev.Wait(p)
+			if conn.qp.Closed() {
+				continue
+			}
+			s.stats.Reads++
+			s.stats.BytesServed += int64(n)
+			s.sendReply(p, conn, replyMR, req.Handle, wire.StatusOK)
+
+		default:
+			s.stats.BadRequests++
+			s.sendReply(p, conn, replyMR, req.Handle, wire.StatusBadRequest)
+		}
+	}
+}

@@ -1,0 +1,221 @@
+// Package ib models an InfiniBand fabric with a VAPI-style verbs interface:
+// host channel adapters (HCA), reliably connected queue pairs (QP), memory
+// regions (MR) with explicit registration, completion queues (CQ) with
+// solicited completion events, and SEND/RECV plus RDMA READ/WRITE work
+// requests.
+//
+// The timing model captures what matters to the paper's results:
+//
+//   - registration cost vs memcpy cost (netmodel.MemModel),
+//   - per-WQE host processing,
+//   - link serialization at both the sender's egress and the receiver's
+//     ingress port (so many-to-one traffic converges on the client link),
+//   - a QP-context cache on each HCA: working sets larger than the cache
+//     pay a context-fetch penalty per operation, which reproduces the
+//     paper's Figure 10 degradation at 16 servers.
+//
+// Data is carried for real: RDMA operations move actual bytes between
+// registered buffers, so the stack on top of this package is a functional
+// (if simulated) block store, not just a latency calculator.
+package ib
+
+import (
+	"errors"
+	"fmt"
+
+	"hpbd/internal/netmodel"
+	"hpbd/internal/sim"
+)
+
+// Opcode identifies the type of a work request or completion.
+type Opcode int
+
+const (
+	OpSend Opcode = iota
+	OpRecv
+	OpRDMAWrite
+	OpRDMARead
+)
+
+func (o Opcode) String() string {
+	switch o {
+	case OpSend:
+		return "SEND"
+	case OpRecv:
+		return "RECV"
+	case OpRDMAWrite:
+		return "RDMA_WRITE"
+	case OpRDMARead:
+		return "RDMA_READ"
+	}
+	return fmt.Sprintf("Opcode(%d)", int(o))
+}
+
+// Status is the completion status of a work request.
+type Status int
+
+const (
+	StatusSuccess Status = iota
+	StatusFlushErr
+	StatusRNR // receiver not ready: SEND arrived with no posted receive
+	StatusRemoteAccessErr
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusSuccess:
+		return "OK"
+	case StatusFlushErr:
+		return "FLUSH_ERR"
+	case StatusRNR:
+		return "RNR"
+	case StatusRemoteAccessErr:
+		return "REM_ACCESS_ERR"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Errors returned by verbs calls.
+var (
+	ErrQPClosed     = errors.New("ib: queue pair closed")
+	ErrNotConnected = errors.New("ib: queue pair not connected")
+	ErrBadSegment   = errors.New("ib: segment outside memory region")
+)
+
+// Config parameterizes a Fabric.
+type Config struct {
+	Mem  netmodel.MemModel
+	Link netmodel.LinkModel
+	// QPCacheSize is the number of QP contexts an HCA holds on-chip;
+	// operations on QPs outside this working set pay QPCacheMiss.
+	QPCacheSize int
+	// QPCacheMiss is the context fetch penalty.
+	QPCacheMiss sim.Duration
+	// PerWQE is host CPU charged to the posting process per work request.
+	PerWQE sim.Duration
+	// EventDelay is the latency from a completion to the completion event
+	// handler running (interrupt + handler dispatch).
+	EventDelay sim.Duration
+}
+
+// DefaultConfig returns the calibrated MT23108-era configuration.
+func DefaultConfig() Config {
+	return Config{
+		Mem:         netmodel.DefaultMem(),
+		Link:        netmodel.IB4X(),
+		QPCacheSize: 8,
+		QPCacheMiss: 35 * sim.Microsecond,
+		PerWQE:      800 * sim.Nanosecond,
+		EventDelay:  4 * sim.Microsecond,
+	}
+}
+
+// Fabric is a switched InfiniBand network.
+type Fabric struct {
+	env  *sim.Env
+	cfg  Config
+	hcas []*HCA
+}
+
+// NewFabric creates a fabric on env with the given configuration.
+func NewFabric(env *sim.Env, cfg Config) *Fabric {
+	return &Fabric{env: env, cfg: cfg}
+}
+
+// Env returns the fabric's simulation environment.
+func (f *Fabric) Env() *sim.Env { return f.env }
+
+// Config returns the fabric configuration.
+func (f *Fabric) Config() Config { return f.cfg }
+
+// NewHCA attaches a new host channel adapter to the fabric.
+func (f *Fabric) NewHCA(name string) *HCA {
+	h := &HCA{
+		fabric: f,
+		name:   name,
+		mrs:    make(map[uint32]*MR),
+	}
+	f.hcas = append(f.hcas, h)
+	return h
+}
+
+// HCA is a host channel adapter: the node's port onto the fabric.
+type HCA struct {
+	fabric *Fabric
+	name   string
+
+	nextKey uint32
+	mrs     map[uint32]*MR
+	nextQPN uint32
+	qps     []*QP
+
+	egressFree  sim.Time
+	ingressFree sim.Time
+}
+
+// Name returns the HCA's diagnostic name.
+func (h *HCA) Name() string { return h.name }
+
+// MR is a registered memory region. Buf is the real backing store; RDMA
+// operations move bytes in and out of it.
+type MR struct {
+	hca   *HCA
+	Buf   []byte
+	LKey  uint32
+	RKey  uint32
+	valid bool
+}
+
+// RegisterMR registers buf with the HCA, charging the calling process the
+// calibrated registration cost.
+func (h *HCA) RegisterMR(p *sim.Proc, buf []byte) *MR {
+	p.Sleep(h.fabric.cfg.Mem.Register(len(buf)))
+	return h.registerMRFree(buf)
+}
+
+// registerMRFree registers without charging time (for setup phases).
+func (h *HCA) registerMRFree(buf []byte) *MR {
+	h.nextKey++
+	mr := &MR{hca: h, Buf: buf, LKey: h.nextKey, RKey: h.nextKey, valid: true}
+	h.mrs[mr.RKey] = mr
+	return mr
+}
+
+// RegisterMRAtSetup registers buf without charging simulated time; use it
+// for initialization-time pools (the cost the paper's design avoids paying
+// on the critical path).
+func (h *HCA) RegisterMRAtSetup(buf []byte) *MR { return h.registerMRFree(buf) }
+
+// DeregisterMR invalidates the region, charging the deregistration cost.
+func (h *HCA) DeregisterMR(p *sim.Proc, mr *MR) {
+	p.Sleep(h.fabric.cfg.Mem.Deregister())
+	mr.valid = false
+	delete(h.mrs, mr.RKey)
+}
+
+// lookupMR resolves an RKey for a remote access.
+func (h *HCA) lookupMR(rkey uint32) *MR {
+	mr := h.mrs[rkey]
+	if mr == nil || !mr.valid {
+		return nil
+	}
+	return mr
+}
+
+// qpPenalty returns the QP-context-cache cost of an operation on qp. The
+// MT23108 holds a limited number of QP contexts on-chip; once the number
+// of live QPs exceeds that, context fetches interleave with every
+// operation regardless of request locality (send, receive, and RDMA
+// engines each touch the context). We charge the expected fetch cost
+// under that capacity pressure — the effect behind the paper's Figure 10
+// degradation at 16 servers.
+func (h *HCA) qpPenalty(qp *QP) sim.Duration {
+	size := h.fabric.cfg.QPCacheSize
+	n := len(h.qps)
+	if size <= 0 || n <= size {
+		return 0
+	}
+	_ = qp
+	missFrac := 1 - float64(size)/float64(n)
+	return sim.Duration(float64(h.fabric.cfg.QPCacheMiss) * missFrac)
+}

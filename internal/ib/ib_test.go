@@ -1,0 +1,398 @@
+package ib
+
+import (
+	"bytes"
+	"testing"
+
+	"hpbd/internal/sim"
+)
+
+// pair builds a connected two-node fabric and returns both QPs with their
+// CQs, plus the env.
+type node struct {
+	hca    *HCA
+	qp     *QP
+	sendCQ *CQ
+	recvCQ *CQ
+}
+
+func pair(cfg Config) (*sim.Env, *Fabric, *node, *node) {
+	env := sim.NewEnv()
+	f := NewFabric(env, cfg)
+	mk := func(name string) *node {
+		h := f.NewHCA(name)
+		s, r := h.CreateCQ(name+"-send"), h.CreateCQ(name+"-recv")
+		return &node{hca: h, sendCQ: s, recvCQ: r}
+	}
+	a, b := mk("a"), mk("b")
+	a.qp = a.hca.CreateQP(a.sendCQ, a.recvCQ)
+	b.qp = b.hca.CreateQP(b.sendCQ, b.recvCQ)
+	Connect(a.qp, b.qp)
+	return env, f, a, b
+}
+
+func (n *node) mr(size int) *MR { return n.hca.RegisterMRAtSetup(make([]byte, size)) }
+
+func TestSendRecvDeliversBytes(t *testing.T) {
+	env, _, a, b := pair(DefaultConfig())
+	amr, bmr := a.mr(4096), b.mr(4096)
+	copy(amr.Buf, []byte("hello infiniband"))
+	var got []byte
+	env.Go("run", func(p *sim.Proc) {
+		if err := b.qp.PostRecv(RecvWR{ID: 1, Local: Segment{bmr, 0, 4096}}); err != nil {
+			t.Errorf("PostRecv: %v", err)
+		}
+		if err := a.qp.PostSend(p, SendWR{ID: 2, Op: OpSend, Local: Segment{amr, 0, 16}}); err != nil {
+			t.Errorf("PostSend: %v", err)
+		}
+		e := b.recvCQ.WaitPoll(p)
+		if e.Status != StatusSuccess || e.WRID != 1 || e.ByteLen != 16 {
+			t.Errorf("recv CQE = %+v", e)
+		}
+		got = append([]byte(nil), bmr.Buf[:16]...)
+		se := a.sendCQ.WaitPoll(p)
+		if se.Status != StatusSuccess || se.WRID != 2 {
+			t.Errorf("send CQE = %+v", se)
+		}
+	})
+	env.Run()
+	if string(got) != "hello infiniband" {
+		t.Errorf("payload = %q", got)
+	}
+}
+
+func TestSendLatencyMatchesModel(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.QPCacheMiss = 0 // isolate the wire model
+	env, f, a, b := pair(cfg)
+	amr, bmr := a.mr(128*1024), b.mr(128*1024)
+	n := 128 * 1024
+	var arrived sim.Time
+	env.Go("recv", func(p *sim.Proc) {
+		b.qp.PostRecv(RecvWR{ID: 1, Local: Segment{bmr, 0, n}})
+		b.recvCQ.WaitPoll(p)
+		arrived = p.Now()
+	})
+	env.Go("send", func(p *sim.Proc) {
+		a.qp.PostSend(p, SendWR{ID: 2, Op: OpSend, Local: Segment{amr, 0, n}})
+	})
+	env.Run()
+	link := f.Config().Link
+	wire := sim.Duration(link.Prop) + link.BW.Over(n)
+	// Arrival = perWQE + prop + serialization (pipelined through switch).
+	min, max := wire, wire+10*sim.Microsecond
+	if got := sim.Duration(arrived); got < min || got > max {
+		t.Errorf("128K arrival at %v, want within [%v, %v]", got, min, max)
+	}
+}
+
+func TestRDMAWriteMovesBytesWithoutPeerCQE(t *testing.T) {
+	env, _, a, b := pair(DefaultConfig())
+	amr, bmr := a.mr(8192), b.mr(8192)
+	for i := range amr.Buf {
+		amr.Buf[i] = byte(i * 7)
+	}
+	env.Go("run", func(p *sim.Proc) {
+		err := a.qp.PostSend(p, SendWR{
+			ID: 9, Op: OpRDMAWrite,
+			Local:     Segment{amr, 1024, 4096},
+			RemoteKey: bmr.RKey, RemoteOff: 2048,
+		})
+		if err != nil {
+			t.Errorf("PostSend: %v", err)
+		}
+		e := a.sendCQ.WaitPoll(p)
+		if e.Status != StatusSuccess {
+			t.Errorf("CQE status = %v", e.Status)
+		}
+	})
+	env.Run()
+	if !bytes.Equal(bmr.Buf[2048:2048+4096], amr.Buf[1024:1024+4096]) {
+		t.Error("RDMA WRITE did not move the bytes")
+	}
+	if b.recvCQ.Len() != 0 {
+		t.Error("RDMA WRITE must not generate a receive completion")
+	}
+}
+
+func TestRDMAReadPullsBytes(t *testing.T) {
+	env, _, a, b := pair(DefaultConfig())
+	amr, bmr := a.mr(8192), b.mr(8192)
+	for i := range bmr.Buf {
+		bmr.Buf[i] = byte(255 - i%251)
+	}
+	env.Go("run", func(p *sim.Proc) {
+		err := a.qp.PostSend(p, SendWR{
+			ID: 11, Op: OpRDMARead,
+			Local:     Segment{amr, 0, 4096},
+			RemoteKey: bmr.RKey, RemoteOff: 512,
+		})
+		if err != nil {
+			t.Errorf("PostSend: %v", err)
+		}
+		e := a.sendCQ.WaitPoll(p)
+		if e.Status != StatusSuccess || e.ByteLen != 4096 {
+			t.Errorf("CQE = %+v", e)
+		}
+	})
+	env.Run()
+	if !bytes.Equal(amr.Buf[:4096], bmr.Buf[512:512+4096]) {
+		t.Error("RDMA READ did not pull the bytes")
+	}
+}
+
+func TestSendWithoutPostedRecvIsRNR(t *testing.T) {
+	env, _, a, b := pair(DefaultConfig())
+	amr := a.mr(4096)
+	_ = b
+	env.Go("run", func(p *sim.Proc) {
+		a.qp.PostSend(p, SendWR{ID: 1, Op: OpSend, Local: Segment{amr, 0, 64}})
+		e := a.sendCQ.WaitPoll(p)
+		if e.Status != StatusRNR {
+			t.Errorf("status = %v, want RNR", e.Status)
+		}
+	})
+	env.Run()
+}
+
+func TestRDMAWriteOutOfBoundsFails(t *testing.T) {
+	env, _, a, b := pair(DefaultConfig())
+	amr, bmr := a.mr(8192), b.mr(1024)
+	env.Go("run", func(p *sim.Proc) {
+		a.qp.PostSend(p, SendWR{
+			ID: 1, Op: OpRDMAWrite,
+			Local:     Segment{amr, 0, 4096},
+			RemoteKey: bmr.RKey, RemoteOff: 0,
+		})
+		e := a.sendCQ.WaitPoll(p)
+		if e.Status != StatusRemoteAccessErr {
+			t.Errorf("status = %v, want REM_ACCESS_ERR", e.Status)
+		}
+	})
+	env.Run()
+}
+
+func TestRDMAReadBadKeyFails(t *testing.T) {
+	env, _, a, _ := pair(DefaultConfig())
+	amr := a.mr(4096)
+	env.Go("run", func(p *sim.Proc) {
+		a.qp.PostSend(p, SendWR{
+			ID: 1, Op: OpRDMARead,
+			Local:     Segment{amr, 0, 1024},
+			RemoteKey: 0xdead, RemoteOff: 0,
+		})
+		e := a.sendCQ.WaitPoll(p)
+		if e.Status != StatusRemoteAccessErr {
+			t.Errorf("status = %v, want REM_ACCESS_ERR", e.Status)
+		}
+	})
+	env.Run()
+}
+
+func TestCloseFlushesPostedRecvs(t *testing.T) {
+	env, _, _, b := pair(DefaultConfig())
+	bmr := b.mr(4096)
+	env.Go("run", func(p *sim.Proc) {
+		b.qp.PostRecv(RecvWR{ID: 5, Local: Segment{bmr, 0, 4096}})
+		b.qp.Close()
+		e, ok := b.recvCQ.Poll()
+		if !ok || e.Status != StatusFlushErr || e.WRID != 5 {
+			t.Errorf("flush CQE = %+v ok=%v", e, ok)
+		}
+		if err := b.qp.PostRecv(RecvWR{ID: 6, Local: Segment{bmr, 0, 4096}}); err != ErrQPClosed {
+			t.Errorf("PostRecv on closed QP: err = %v", err)
+		}
+	})
+	env.Run()
+}
+
+func TestSendToClosedPeerFlushes(t *testing.T) {
+	env, _, a, b := pair(DefaultConfig())
+	amr := a.mr(4096)
+	env.Go("run", func(p *sim.Proc) {
+		b.qp.Close()
+		a.qp.PostSend(p, SendWR{ID: 1, Op: OpSend, Local: Segment{amr, 0, 64}})
+		e := a.sendCQ.WaitPoll(p)
+		if e.Status != StatusFlushErr {
+			t.Errorf("status = %v, want FLUSH_ERR", e.Status)
+		}
+	})
+	env.Run()
+}
+
+func TestPostSendInvalidSegment(t *testing.T) {
+	env, _, a, _ := pair(DefaultConfig())
+	amr := a.mr(1024)
+	env.Go("run", func(p *sim.Proc) {
+		err := a.qp.PostSend(p, SendWR{ID: 1, Op: OpSend, Local: Segment{amr, 512, 1024}})
+		if err != ErrBadSegment {
+			t.Errorf("err = %v, want ErrBadSegment", err)
+		}
+	})
+	env.Run()
+}
+
+func TestDeregisteredMRRejected(t *testing.T) {
+	env, _, a, _ := pair(DefaultConfig())
+	amr := a.mr(4096)
+	env.Go("run", func(p *sim.Proc) {
+		a.hca.DeregisterMR(p, amr)
+		err := a.qp.PostSend(p, SendWR{ID: 1, Op: OpSend, Local: Segment{amr, 0, 64}})
+		if err != ErrBadSegment {
+			t.Errorf("err = %v, want ErrBadSegment", err)
+		}
+	})
+	env.Run()
+}
+
+func TestSolicitedEventHandler(t *testing.T) {
+	env, _, a, b := pair(DefaultConfig())
+	amr, bmr := a.mr(4096), b.mr(16384)
+	fired := 0
+	b.recvCQ.SetEventHandler(func() { fired++ })
+	b.recvCQ.ReqNotify(true) // solicited only
+	env.Go("run", func(p *sim.Proc) {
+		for i := 0; i < 4; i++ {
+			b.qp.PostRecv(RecvWR{ID: uint64(i), Local: Segment{bmr, i * 4096, 4096}})
+		}
+		// Unsolicited send: no event.
+		a.qp.PostSend(p, SendWR{ID: 1, Op: OpSend, Local: Segment{amr, 0, 64}})
+		p.Sleep(sim.Millisecond)
+		if fired != 0 {
+			t.Errorf("unsolicited send fired handler %d times", fired)
+		}
+		// Solicited send: one event, then disarm.
+		a.qp.PostSend(p, SendWR{ID: 2, Op: OpSend, Local: Segment{amr, 0, 64}, Solicited: true})
+		a.qp.PostSend(p, SendWR{ID: 3, Op: OpSend, Local: Segment{amr, 0, 64}, Solicited: true})
+		p.Sleep(sim.Millisecond)
+		if fired != 1 {
+			t.Errorf("handler fired %d times, want 1 (must re-arm)", fired)
+		}
+		// Re-arm: next solicited completion fires again.
+		b.recvCQ.ReqNotify(true)
+		a.qp.PostSend(p, SendWR{ID: 4, Op: OpSend, Local: Segment{amr, 0, 64}, Solicited: true})
+		p.Sleep(sim.Millisecond)
+		if fired != 2 {
+			t.Errorf("handler fired %d times after re-arm, want 2", fired)
+		}
+	})
+	env.Run()
+}
+
+func TestRegistrationChargesTime(t *testing.T) {
+	env, f, a, _ := pair(DefaultConfig())
+	var took sim.Duration
+	env.Go("run", func(p *sim.Proc) {
+		t0 := p.Now()
+		a.hca.RegisterMR(p, make([]byte, 64*1024))
+		took = p.Now().Sub(t0)
+	})
+	env.Run()
+	want := f.Config().Mem.Register(64 * 1024)
+	if took != want {
+		t.Errorf("RegisterMR took %v, want %v", took, want)
+	}
+}
+
+// Many-to-one: four servers RDMA-WRITE 128K to one client concurrently; the
+// client ingress link must serialize them, so total time approaches 4x the
+// single-transfer serialization.
+func TestManyToOneIngressSerializes(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.QPCacheMiss = 0
+	env := sim.NewEnv()
+	f := NewFabric(env, cfg)
+	client := f.NewHCA("client")
+	ccq := client.CreateCQ("c")
+	cmr := client.RegisterMRAtSetup(make([]byte, 1<<20))
+	n := 128 * 1024
+	const servers = 4
+	var clientQPs []*QP
+	var serverQPs []*QP
+	for i := 0; i < servers; i++ {
+		sh := f.NewHCA("server")
+		scq := sh.CreateCQ("s")
+		cqp := client.CreateQP(ccq, ccq)
+		sqp := sh.CreateQP(scq, scq)
+		Connect(cqp, sqp)
+		clientQPs = append(clientQPs, cqp)
+		serverQPs = append(serverQPs, sqp)
+	}
+	var done sim.Time
+	completions := 0
+	env.Go("drive", func(p *sim.Proc) {
+		for i, sqp := range serverQPs {
+			smr := sqp.hca.RegisterMRAtSetup(make([]byte, n))
+			sqp.PostSend(p, SendWR{
+				ID: uint64(i), Op: OpRDMAWrite,
+				Local:     Segment{smr, 0, n},
+				RemoteKey: cmr.RKey, RemoteOff: i * n,
+			})
+		}
+		for _, sqp := range serverQPs {
+			e := sqp.sendCQ.WaitPoll(p)
+			if e.Status != StatusSuccess {
+				t.Errorf("CQE = %+v", e)
+			}
+			completions++
+		}
+		done = p.Now()
+	})
+	env.Run()
+	if completions != servers {
+		t.Fatalf("completions = %d", completions)
+	}
+	ser := f.Config().Link.BW.Over(n)
+	min := sim.Duration(servers) * ser
+	if sim.Duration(done) < min {
+		t.Errorf("4 concurrent 128K writes finished in %v; ingress should serialize to >= %v", done, min)
+	}
+	_ = clientQPs
+}
+
+// With more active QPs than the HCA context cache holds, round-robin
+// traffic must run measurably slower than with few QPs (paper Fig. 10).
+func TestQPCacheThrashingSlowsTraffic(t *testing.T) {
+	run := func(nqp int) sim.Duration {
+		env := sim.NewEnv()
+		f := NewFabric(env, DefaultConfig())
+		client := f.NewHCA("client")
+		ccq := client.CreateCQ("c")
+		cmr := client.RegisterMRAtSetup(make([]byte, 4096))
+		var qps []*QP
+		for i := 0; i < nqp; i++ {
+			sh := f.NewHCA("server")
+			scq := sh.CreateCQ("s")
+			cqp := client.CreateQP(ccq, ccq)
+			sqp := sh.CreateQP(scq, scq)
+			Connect(cqp, sqp)
+			smr := sh.RegisterMRAtSetup(make([]byte, 4096))
+			sqp.PostRecv(RecvWR{ID: 1, Local: Segment{smr, 0, 4096}})
+			for j := 0; j < 64; j++ {
+				sqp.PostRecv(RecvWR{ID: uint64(j), Local: Segment{smr, 0, 4096}})
+			}
+			qps = append(qps, cqp)
+		}
+		var elapsed sim.Duration
+		env.Go("drive", func(p *sim.Proc) {
+			t0 := p.Now()
+			for r := 0; r < 16; r++ {
+				for _, qp := range qps {
+					qp.PostSend(p, SendWR{ID: 1, Op: OpSend, Local: Segment{cmr, 0, 256}})
+					e := ccq.WaitPoll(p)
+					if e.Status != StatusSuccess {
+						t.Errorf("CQE = %+v", e)
+					}
+				}
+			}
+			elapsed = p.Now().Sub(t0)
+		})
+		env.Run()
+		return elapsed / sim.Duration(nqp) // per-QP round cost
+	}
+	few := run(2)
+	many := run(16)
+	if float64(many) < float64(few)*1.2 {
+		t.Errorf("per-QP cost with 16 QPs (%v) not >1.2x cost with 2 QPs (%v)", many, few)
+	}
+}

@@ -1,0 +1,237 @@
+package mirror
+
+import (
+	"bytes"
+	"testing"
+
+	"hpbd/internal/blockdev"
+	"hpbd/internal/hpbd"
+	"hpbd/internal/ib"
+	"hpbd/internal/netmodel"
+	"hpbd/internal/sim"
+	"hpbd/internal/vm"
+)
+
+// rig builds a mirror over two single-server HPBD devices.
+type rig struct {
+	env     *sim.Env
+	mirror  *Device
+	queue   *blockdev.Queue
+	servers [2]*hpbd.Server
+	devs    [2]*hpbd.Device
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	env := sim.NewEnv()
+	f := ib.NewFabric(env, ib.DefaultConfig())
+	r := &rig{env: env}
+	for i := 0; i < 2; i++ {
+		srv := hpbd.NewServer(f, "mem", hpbd.DefaultServerConfig(4<<20))
+		dev := hpbd.NewDevice(f, "hpbd", hpbd.DefaultClientConfig())
+		if err := dev.ConnectServer(srv, 4<<20); err != nil {
+			t.Fatalf("ConnectServer: %v", err)
+		}
+		r.servers[i] = srv
+		r.devs[i] = dev
+	}
+	m, err := New(env, "md0", r.devs[0], r.devs[1])
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	r.mirror = m
+	r.queue = blockdev.NewQueue(env, netmodel.DefaultHost(), m)
+	return r
+}
+
+func (r *rig) run(fn func(p *sim.Proc)) {
+	r.env.Go("test", fn)
+	r.env.Run()
+	r.env.Close()
+}
+
+func pattern(n int, seed byte) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i*13) + seed
+	}
+	return b
+}
+
+// killServer closes the server-side QPs of one replica.
+func (r *rig) killServer(i int) {
+	r.servers[i].DropClients()
+}
+
+// newVMOver builds a small VM system swapping to the given queue.
+func newVMOver(env *sim.Env, q *blockdev.Queue) *vm.System {
+	cfg := vm.DefaultConfig(1 << 20)
+	sys := vm.NewSystem(env, cfg)
+	sys.AddSwap(q, 0)
+	return sys
+}
+
+func TestMirrorWritesBothReplicas(t *testing.T) {
+	r := newRig(t)
+	want := pattern(4096, 1)
+	r.run(func(p *sim.Proc) {
+		w, err := r.queue.Submit(true, 0, append([]byte(nil), want...))
+		if err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+		r.queue.Unplug()
+		if err := w.Wait(p); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+	})
+	for i, srv := range r.servers {
+		if !bytes.Equal(srv.Store().Peek(0, 4096), want) {
+			t.Errorf("replica %d missing the data", i)
+		}
+	}
+	if r.mirror.Stats().Writes != 1 {
+		t.Errorf("writes = %d", r.mirror.Stats().Writes)
+	}
+}
+
+func TestMirrorReadRoundTrip(t *testing.T) {
+	r := newRig(t)
+	want := pattern(64*1024, 2)
+	var got []byte
+	r.run(func(p *sim.Proc) {
+		w, _ := r.queue.Submit(true, 0, append([]byte(nil), want...))
+		r.queue.Unplug()
+		if err := w.Wait(p); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		buf := make([]byte, len(want))
+		rd, _ := r.queue.Submit(false, 0, buf)
+		r.queue.Unplug()
+		if err := rd.Wait(p); err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		got = buf
+	})
+	if !bytes.Equal(got, want) {
+		t.Error("mirror read corrupted data")
+	}
+}
+
+func TestReadFailoverAfterPrimaryLoss(t *testing.T) {
+	r := newRig(t)
+	want := pattern(4096, 3)
+	var got []byte
+	r.run(func(p *sim.Proc) {
+		w, _ := r.queue.Submit(true, 0, append([]byte(nil), want...))
+		r.queue.Unplug()
+		if err := w.Wait(p); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		r.killServer(0)
+		buf := make([]byte, 4096)
+		rd, _ := r.queue.Submit(false, 0, buf)
+		r.queue.Unplug()
+		if err := rd.Wait(p); err != nil {
+			t.Fatalf("read after primary loss: %v", err)
+		}
+		got = buf
+	})
+	if !bytes.Equal(got, want) {
+		t.Error("failover read returned wrong data")
+	}
+	if r.mirror.Stats().ReadFailovers != 1 {
+		t.Errorf("failovers = %d, want 1", r.mirror.Stats().ReadFailovers)
+	}
+	if !r.mirror.Degraded() {
+		t.Error("mirror should be degraded")
+	}
+}
+
+func TestDegradedWritesContinue(t *testing.T) {
+	r := newRig(t)
+	want := pattern(4096, 4)
+	r.run(func(p *sim.Proc) {
+		r.killServer(1)
+		w, _ := r.queue.Submit(true, 0, append([]byte(nil), want...))
+		r.queue.Unplug()
+		if err := w.Wait(p); err != nil {
+			t.Fatalf("degraded write: %v", err)
+		}
+		buf := make([]byte, 4096)
+		rd, _ := r.queue.Submit(false, 0, buf)
+		r.queue.Unplug()
+		if err := rd.Wait(p); err != nil {
+			t.Fatalf("degraded read: %v", err)
+		}
+		if !bytes.Equal(buf, want) {
+			t.Error("degraded round trip wrong data")
+		}
+	})
+	if r.mirror.Stats().DegradedWrites == 0 {
+		t.Error("degraded writes not counted")
+	}
+}
+
+func TestBothReplicasLostFails(t *testing.T) {
+	r := newRig(t)
+	r.run(func(p *sim.Proc) {
+		r.killServer(0)
+		r.killServer(1)
+		w, _ := r.queue.Submit(true, 0, pattern(4096, 5))
+		r.queue.Unplug()
+		if err := w.Wait(p); err == nil {
+			t.Error("write with both replicas lost should fail")
+		}
+		rd, _ := r.queue.Submit(false, 0, make([]byte, 4096))
+		r.queue.Unplug()
+		if err := rd.Wait(p); err == nil {
+			t.Error("read with both replicas lost should fail")
+		}
+	})
+}
+
+func TestSizeMismatchRejected(t *testing.T) {
+	env := sim.NewEnv()
+	f := ib.NewFabric(env, ib.DefaultConfig())
+	a := hpbd.NewDevice(f, "a", hpbd.DefaultClientConfig())
+	sa := hpbd.NewServer(f, "sa", hpbd.DefaultServerConfig(1<<20))
+	a.ConnectServer(sa, 1<<20)
+	b := hpbd.NewDevice(f, "b", hpbd.DefaultClientConfig())
+	sb := hpbd.NewServer(f, "sb", hpbd.DefaultServerConfig(2<<20))
+	b.ConnectServer(sb, 2<<20)
+	if _, err := New(env, "md0", a, b); err == nil {
+		t.Error("mismatched sizes accepted")
+	}
+	env.Close()
+}
+
+// Mirroring under a paging workload: the VM swaps through the mirror, one
+// replica dies mid-run, and the workload still completes correctly.
+func TestMirrorSurvivesServerLossUnderPaging(t *testing.T) {
+	r := newRig(t)
+	// Build a VM over the mirror.
+	env := r.env
+	vmSys := newVMOver(env, r.queue)
+	as := vmSys.NewAddressSpace("w", 512) // 2 MB over ~1 MB memory
+	r.env.Go("w", func(p *sim.Proc) {
+		for i := 0; i < 512; i++ {
+			if err := as.Touch(p, i, true); err != nil {
+				t.Fatalf("Touch(%d): %v", i, err)
+			}
+			if i == 300 {
+				r.killServer(0) // lose the primary mid-run
+			}
+		}
+		// Re-touch the early pages: they must come back from replica 2.
+		for i := 0; i < 128; i++ {
+			if err := as.Touch(p, i, false); err != nil {
+				t.Fatalf("refault Touch(%d): %v", i, err)
+			}
+		}
+	})
+	env.Run()
+	env.Close()
+	if !r.mirror.Degraded() {
+		t.Error("mirror should be degraded after server loss")
+	}
+}

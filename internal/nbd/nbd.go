@@ -1,0 +1,224 @@
+// Package nbd implements the paper's baseline: a Linux-2.4-style Network
+// Block Device over TCP (run over the GigE or IPoIB link models). As the
+// paper notes, NBD uses blocking-mode transfer for each request and
+// response, a single remote server per device, and pays the full TCP/IP
+// stack cost on both sides — the properties that put it behind HPBD in
+// Figures 5 and 7-9.
+package nbd
+
+import (
+	"errors"
+
+	"hpbd/internal/blockdev"
+	"hpbd/internal/netmodel"
+	"hpbd/internal/ramdisk"
+	"hpbd/internal/sim"
+	"hpbd/internal/tcpip"
+	"hpbd/internal/wire"
+)
+
+// ErrDisconnected reports a lost server connection.
+var ErrDisconnected = errors.New("nbd: server disconnected")
+
+// Port is the NBD server's listening port.
+const Port = 10809
+
+// ServerStats counts server activity.
+type ServerStats struct {
+	Requests int64
+	Writes   int64
+	Reads    int64
+}
+
+// Server is a user-space NBD server backed by a RamDisk.
+type Server struct {
+	env   *sim.Env
+	host  *tcpip.Host
+	store *ramdisk.RamDisk
+	stats ServerStats
+}
+
+// StoreOpOverhead is the per-request cost of the server's file-backed
+// RAM store (same VFS path as the HPBD server's RamDisk).
+const StoreOpOverhead = 80 * sim.Microsecond
+
+// NewServer starts an NBD server on host exporting size bytes of RAM.
+func NewServer(env *sim.Env, host *tcpip.Host, size int64, mem netmodel.MemModel) (*Server, error) {
+	s := &Server{env: env, host: host, store: ramdisk.New(size, mem)}
+	s.store.SetOpOverhead(StoreOpOverhead)
+	l, err := host.Listen(Port)
+	if err != nil {
+		return nil, err
+	}
+	env.Go(host.Name()+"-nbd-accept", func(p *sim.Proc) {
+		for {
+			c, err := l.Accept(p)
+			if err != nil {
+				return
+			}
+			env.Go(host.Name()+"-nbd-serve", func(sp *sim.Proc) { s.serve(sp, c) })
+		}
+	})
+	return s, nil
+}
+
+// Stats returns a copy of server counters.
+func (s *Server) Stats() ServerStats { return s.stats }
+
+// Store exposes the backing RamDisk for test verification.
+func (s *Server) Store() *ramdisk.RamDisk { return s.store }
+
+// serve handles one client connection with blocking request/response.
+func (s *Server) serve(p *sim.Proc, c *tcpip.Conn) {
+	hdr := make([]byte, wire.RequestSize)
+	rep := make([]byte, wire.ReplySize)
+	for {
+		if err := c.ReadFull(p, hdr); err != nil {
+			c.Close()
+			return
+		}
+		req, err := wire.UnmarshalRequest(hdr)
+		if err != nil {
+			c.Close()
+			return
+		}
+		s.stats.Requests++
+		n := int(req.Length)
+		st := wire.StatusOK
+		switch req.Type {
+		case wire.ReqWrite:
+			data := make([]byte, n)
+			if err := c.ReadFull(p, data); err != nil {
+				c.Close()
+				return
+			}
+			if werr := s.store.WriteAt(p, data, int64(req.Offset)); werr != nil {
+				st = wire.StatusOutOfRange
+			}
+			s.stats.Writes++
+			wire.MarshalReply(rep, &wire.Reply{Handle: req.Handle, Status: st})
+			if err := c.Write(p, rep); err != nil {
+				return
+			}
+		case wire.ReqRead:
+			data := make([]byte, n)
+			if rerr := s.store.ReadAt(p, data, int64(req.Offset)); rerr != nil {
+				st = wire.StatusOutOfRange
+			}
+			s.stats.Reads++
+			wire.MarshalReply(rep, &wire.Reply{Handle: req.Handle, Status: st})
+			if err := c.Write(p, rep); err != nil {
+				return
+			}
+			if st == wire.StatusOK {
+				if err := c.Write(p, data); err != nil {
+					return
+				}
+			}
+		default:
+			wire.MarshalReply(rep, &wire.Reply{Handle: req.Handle, Status: wire.StatusBadRequest})
+			if err := c.Write(p, rep); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// Device is the NBD client block driver: one TCP connection to one server
+// (as of Linux 2.4, a single NBD device is served by a single remote
+// server), with strictly serialized blocking transfers.
+type Device struct {
+	env    *sim.Env
+	name   string
+	size   int64
+	conn   *tcpip.Conn
+	lock   *sim.Mutex
+	nextH  uint64
+	failed bool
+	Reqs   int64
+}
+
+// NewDevice dials the server on serverHost and returns the client driver
+// exporting size bytes.
+func NewDevice(p *sim.Proc, name string, client *tcpip.Host, serverHost *tcpip.Host, size int64) (*Device, error) {
+	c, err := client.Dial(p, serverHost, Port)
+	if err != nil {
+		return nil, err
+	}
+	return &Device{
+		env:  p.Env(),
+		name: name,
+		size: size,
+		conn: c,
+		lock: sim.NewMutex(p.Env()),
+	}, nil
+}
+
+// Name implements blockdev.Driver.
+func (d *Device) Name() string { return d.name }
+
+// Sectors implements blockdev.Driver.
+func (d *Device) Sectors() int64 { return d.size / blockdev.SectorSize }
+
+// Submit implements blockdev.Driver with the blocking transfer mode the
+// paper describes: the request is sent and its response fully received
+// before the next request proceeds.
+func (d *Device) Submit(p *sim.Proc, r *blockdev.Request) {
+	d.lock.Lock(p)
+	defer d.lock.Unlock()
+	if d.failed {
+		r.Complete(ErrDisconnected)
+		return
+	}
+	d.Reqs++
+	d.nextH++
+	typ := wire.ReqRead
+	if r.Write {
+		typ = wire.ReqWrite
+	}
+	hdr := make([]byte, wire.RequestSize)
+	wire.MarshalRequest(hdr, &wire.Request{
+		Type:   typ,
+		Handle: d.nextH,
+		Offset: uint64(r.Sector * blockdev.SectorSize),
+		Length: uint32(r.Bytes()),
+	})
+	if err := d.conn.Write(p, hdr); err != nil {
+		d.failed = true
+		r.Complete(ErrDisconnected)
+		return
+	}
+	if r.Write {
+		if err := d.conn.Write(p, r.Data()); err != nil {
+			d.failed = true
+			r.Complete(ErrDisconnected)
+			return
+		}
+	}
+	rep := make([]byte, wire.ReplySize)
+	if err := d.conn.ReadFull(p, rep); err != nil {
+		d.failed = true
+		r.Complete(ErrDisconnected)
+		return
+	}
+	reply, err := wire.UnmarshalReply(rep)
+	if err != nil || reply.Handle != d.nextH {
+		d.failed = true
+		r.Complete(ErrDisconnected)
+		return
+	}
+	if reply.Status != wire.StatusOK {
+		r.Complete(errors.New("nbd: " + reply.Status.String()))
+		return
+	}
+	if !r.Write {
+		data := make([]byte, r.Bytes())
+		if err := d.conn.ReadFull(p, data); err != nil {
+			d.failed = true
+			r.Complete(ErrDisconnected)
+			return
+		}
+		r.Scatter(data)
+	}
+	r.Complete(nil)
+}

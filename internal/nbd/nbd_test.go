@@ -1,0 +1,167 @@
+package nbd
+
+import (
+	"bytes"
+	"testing"
+
+	"hpbd/internal/blockdev"
+	"hpbd/internal/netmodel"
+	"hpbd/internal/sim"
+	"hpbd/internal/tcpip"
+)
+
+type bed struct {
+	env   *sim.Env
+	srv   *Server
+	queue *blockdev.Queue
+	dev   *Device
+}
+
+func newBed(t *testing.T, link netmodel.LinkModel, size int64) *bed {
+	t.Helper()
+	env := sim.NewEnv()
+	mem := netmodel.DefaultMem()
+	net := tcpip.NewNetwork(env, link, mem)
+	ch, sh := net.NewHost("client"), net.NewHost("server")
+	srv, err := NewServer(env, sh, size, mem)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	b := &bed{env: env, srv: srv}
+	ready := sim.NewEvent(env)
+	env.Go("dial", func(p *sim.Proc) {
+		dev, err := NewDevice(p, "nbd0", ch, sh, size)
+		if err != nil {
+			t.Errorf("NewDevice: %v", err)
+			return
+		}
+		b.dev = dev
+		b.queue = blockdev.NewQueue(env, netmodel.DefaultHost(), dev)
+		ready.Trigger()
+	})
+	env.Go("wait-ready", func(p *sim.Proc) { ready.Wait(p) })
+	env.RunUntil(env.Now().Add(sim.Second))
+	if b.dev == nil {
+		t.Fatal("device did not come up")
+	}
+	return b
+}
+
+func pattern(n int, seed byte) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i)*3 + seed
+	}
+	return b
+}
+
+func TestRoundTripGigE(t *testing.T) {
+	b := newBed(t, netmodel.GigE(), 1<<20)
+	want := pattern(128*1024, 5)
+	var got []byte
+	b.env.Go("io", func(p *sim.Proc) {
+		w, err := b.queue.Submit(true, 0, append([]byte(nil), want...))
+		if err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+		b.queue.Unplug()
+		if err := w.Wait(p); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		buf := make([]byte, len(want))
+		r, _ := b.queue.Submit(false, 0, buf)
+		b.queue.Unplug()
+		if err := r.Wait(p); err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		got = buf
+	})
+	b.env.Run()
+	b.env.Close()
+	if !bytes.Equal(got, want) {
+		t.Error("NBD round trip corrupted data")
+	}
+	if !bytes.Equal(b.srv.Store().Peek(0, len(want)), want) {
+		t.Error("server store missing written data")
+	}
+}
+
+func TestBlockingSerializesRequests(t *testing.T) {
+	b := newBed(t, netmodel.GigE(), 8<<20)
+	var oneAt, allAt sim.Duration
+	b.env.Go("io", func(p *sim.Proc) {
+		t0 := p.Now()
+		w, _ := b.queue.Submit(true, 0, pattern(128*1024, 0))
+		b.queue.Unplug()
+		w.Wait(p)
+		oneAt = p.Now().Sub(t0)
+
+		t1 := p.Now()
+		var ios []*blockdev.IO
+		for i := 0; i < 4; i++ {
+			// Discontiguous: four separate requests.
+			io, _ := b.queue.Submit(true, int64(i*600), pattern(128*1024, byte(i)))
+			b.queue.Unplug()
+			ios = append(ios, io)
+		}
+		for _, io := range ios {
+			io.Wait(p)
+		}
+		allAt = p.Now().Sub(t1)
+	})
+	b.env.Run()
+	b.env.Close()
+	if float64(allAt) < 3.3*float64(oneAt) {
+		t.Errorf("4 concurrent NBD requests took %v vs %v for one; blocking mode should serialize (~4x)", allAt, oneAt)
+	}
+}
+
+func TestIPoIBFasterThanGigE(t *testing.T) {
+	run := func(link netmodel.LinkModel) sim.Duration {
+		b := newBed(t, link, 8<<20)
+		var elapsed sim.Duration
+		b.env.Go("io", func(p *sim.Proc) {
+			t0 := p.Now()
+			for i := 0; i < 8; i++ {
+				w, _ := b.queue.Submit(true, int64(i*600), pattern(128*1024, byte(i)))
+				b.queue.Unplug()
+				w.Wait(p)
+			}
+			elapsed = p.Now().Sub(t0)
+		})
+		b.env.Run()
+		b.env.Close()
+		return elapsed
+	}
+	gige, ipoib := run(netmodel.GigE()), run(netmodel.IPoIB())
+	if ipoib >= gige {
+		t.Errorf("NBD-IPoIB (%v) should beat NBD-GigE (%v)", ipoib, gige)
+	}
+}
+
+func TestDialFailsWithoutServer(t *testing.T) {
+	env := sim.NewEnv()
+	net := tcpip.NewNetwork(env, netmodel.GigE(), netmodel.DefaultMem())
+	ch, sh := net.NewHost("c"), net.NewHost("s")
+	env.Go("dial", func(p *sim.Proc) {
+		if _, err := NewDevice(p, "nbd0", ch, sh, 1<<20); err == nil {
+			t.Error("dial without a server should fail")
+		}
+	})
+	env.Run()
+	env.Close()
+}
+
+func TestOutOfRangeReported(t *testing.T) {
+	b := newBed(t, netmodel.GigE(), 64*1024)
+	b.env.Go("io", func(p *sim.Proc) {
+		// In range for the device header but beyond the store: craft via
+		// full-size write at last sector (store matches size, so use the
+		// queue bound instead).
+		if _, err := b.queue.Submit(true, b.dev.Sectors(), make([]byte, 4096)); err != blockdev.ErrOutOfRange {
+			t.Errorf("err = %v, want ErrOutOfRange", err)
+		}
+	})
+	b.env.Run()
+	b.env.Close()
+}

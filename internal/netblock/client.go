@@ -1,0 +1,350 @@
+package netblock
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"hpbd/internal/wire"
+)
+
+// Client errors.
+var (
+	ErrClosed     = errors.New("netblock: client closed")
+	ErrRejected   = errors.New("netblock: server rejected attach")
+	ErrRemote     = errors.New("netblock: remote error")
+	ErrOutOfRange = errors.New("netblock: I/O out of range")
+	ErrBadSize    = errors.New("netblock: invalid I/O size")
+	ErrLostConn   = errors.New("netblock: connection lost")
+)
+
+// Client is a remote-memory block device over TCP. ReadAt/WriteAt are
+// safe for concurrent use; up to `credits` requests are pipelined on the
+// wire (the paper's water-mark flow control).
+type Client struct {
+	conn    net.Conn
+	size    int64
+	credits chan struct{}
+
+	wmu sync.Mutex // serializes writes to the socket
+
+	pmu     sync.Mutex
+	pending map[uint64]*waiter
+	nextH   uint64
+	closed  bool
+	lostErr error
+
+	wg sync.WaitGroup
+}
+
+// waiter tracks one outstanding request.
+type waiter struct {
+	ch      chan result
+	readLen int // payload length expected with the reply (0 for writes)
+}
+
+type result struct {
+	status wire.Status
+	data   []byte
+	err    error
+}
+
+// Dial attaches to the memory server at addr, reserving size bytes, with
+// the given number of flow-control credits (<= 0 means 16).
+func Dial(addr string, size int64, credits int) (*Client, error) {
+	if size <= 0 {
+		return nil, errors.New("netblock: size must be positive")
+	}
+	if credits <= 0 {
+		credits = 16
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	hbuf := make([]byte, wire.HelloSize)
+	wire.MarshalHello(hbuf, &wire.Hello{AreaBytes: uint64(size)})
+	if _, err := conn.Write(hbuf); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	hrbuf := make([]byte, wire.HelloReplySize)
+	if _, err := io.ReadFull(conn, hrbuf); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	hrep, err := wire.UnmarshalHelloReply(hrbuf)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if hrep.Status != wire.StatusOK {
+		conn.Close()
+		return nil, fmt.Errorf("%w: %v", ErrRejected, hrep.Status)
+	}
+	c := &Client{
+		conn:    conn,
+		size:    size,
+		credits: make(chan struct{}, credits),
+		pending: make(map[uint64]*waiter),
+	}
+	for i := 0; i < credits; i++ {
+		c.credits <- struct{}{}
+	}
+	c.wg.Add(1)
+	go c.recvLoop()
+	return c, nil
+}
+
+// Size returns the attached area size in bytes.
+func (c *Client) Size() int64 { return c.size }
+
+// Close tears the connection down; outstanding requests fail.
+func (c *Client) Close() error {
+	c.pmu.Lock()
+	if c.closed {
+		c.pmu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.pmu.Unlock()
+	err := c.conn.Close()
+	c.wg.Wait()
+	c.fail(ErrClosed)
+	return err
+}
+
+// recvLoop is the reply demultiplexer (the event-driven receiver thread
+// of the paper's client design).
+func (c *Client) recvLoop() {
+	defer c.wg.Done()
+	rbuf := make([]byte, wire.ReplySize)
+	for {
+		if _, err := io.ReadFull(c.conn, rbuf); err != nil {
+			c.fail(ErrLostConn)
+			return
+		}
+		rep, err := wire.UnmarshalReply(rbuf)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		c.pmu.Lock()
+		w := c.pending[rep.Handle]
+		delete(c.pending, rep.Handle)
+		c.pmu.Unlock()
+		if w == nil {
+			c.fail(fmt.Errorf("netblock: reply for unknown handle %d", rep.Handle))
+			return
+		}
+		var data []byte
+		if w.readLen > 0 && rep.Status == wire.StatusOK {
+			data = make([]byte, w.readLen)
+			if _, err := io.ReadFull(c.conn, data); err != nil {
+				w.ch <- result{err: ErrLostConn}
+				c.credits <- struct{}{}
+				c.fail(ErrLostConn)
+				return
+			}
+		}
+		w.ch <- result{status: rep.Status, data: data}
+		// The reply releases the flow-control credit (the paper's
+		// receiver thread replenishes the water-mark).
+		c.credits <- struct{}{}
+	}
+}
+
+// fail errors out every waiter and records the loss.
+func (c *Client) fail(err error) {
+	c.pmu.Lock()
+	defer c.pmu.Unlock()
+	if c.lostErr == nil {
+		c.lostErr = err
+	}
+	for h, w := range c.pending {
+		delete(c.pending, h)
+		select {
+		case w.ch <- result{err: ErrLostConn}:
+		default:
+		}
+		select {
+		case c.credits <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// checkRange validates an I/O against the attached area.
+func (c *Client) checkRange(off int64, n int) error {
+	if n <= 0 || n > MaxRequestBytes {
+		return ErrBadSize
+	}
+	if off < 0 || off+int64(n) > c.size {
+		return ErrOutOfRange
+	}
+	return nil
+}
+
+// issue sends one request (plus optional payload) and returns the waiter.
+func (c *Client) issue(typ wire.ReqType, off int64, n int, payload []byte) (*waiter, error) {
+	<-c.credits // water-mark flow control
+	c.pmu.Lock()
+	if c.closed || c.lostErr != nil {
+		err := c.lostErr
+		c.pmu.Unlock()
+		c.credits <- struct{}{}
+		if err == nil {
+			err = ErrClosed
+		}
+		return nil, err
+	}
+	c.nextH++
+	h := c.nextH
+	w := &waiter{ch: make(chan result, 1)}
+	if typ == wire.ReqRead {
+		w.readLen = n
+	}
+	c.pending[h] = w
+	c.pmu.Unlock()
+
+	hdr := make([]byte, wire.RequestSize)
+	wire.MarshalRequest(hdr, &wire.Request{
+		Type: typ, Handle: h, Offset: uint64(off), Length: uint32(n),
+	})
+	c.wmu.Lock()
+	_, err := c.conn.Write(hdr)
+	if err == nil && payload != nil {
+		_, err = c.conn.Write(payload)
+	}
+	c.wmu.Unlock()
+	if err != nil {
+		c.pmu.Lock()
+		delete(c.pending, h)
+		c.pmu.Unlock()
+		c.credits <- struct{}{}
+		c.fail(ErrLostConn)
+		return nil, ErrLostConn
+	}
+	return w, nil
+}
+
+// wait collects the result (the credit was already returned by the
+// receive loop when the reply arrived).
+func (c *Client) wait(w *waiter) (result, error) {
+	r := <-w.ch
+	if r.err != nil {
+		return r, r.err
+	}
+	switch r.status {
+	case wire.StatusOK:
+		return r, nil
+	case wire.StatusOutOfRange:
+		return r, ErrOutOfRange
+	default:
+		return r, fmt.Errorf("%w: %v", ErrRemote, r.status)
+	}
+}
+
+// WriteAt stores p at byte offset off (a swap-out). It blocks until the
+// server acknowledges.
+func (c *Client) WriteAt(p []byte, off int64) (int, error) {
+	if err := c.checkRange(off, len(p)); err != nil {
+		return 0, err
+	}
+	w, err := c.issue(wire.ReqWrite, off, len(p), p)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := c.wait(w); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// ReadAt fills p from byte offset off (a swap-in).
+func (c *Client) ReadAt(p []byte, off int64) (int, error) {
+	if err := c.checkRange(off, len(p)); err != nil {
+		return 0, err
+	}
+	w, err := c.issue(wire.ReqRead, off, len(p), nil)
+	if err != nil {
+		return 0, err
+	}
+	r, err := c.wait(w)
+	if err != nil {
+		return 0, err
+	}
+	return copy(p, r.data), nil
+}
+
+// Stat asks the server for its capacity and current allocation.
+func (c *Client) Stat() (capacity, allocated int64, err error) {
+	w, err := c.issueStat()
+	if err != nil {
+		return 0, 0, err
+	}
+	r, err := c.wait(w)
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(r.data) < wire.StatPayloadSize {
+		return 0, 0, ErrLostConn
+	}
+	capacity = int64(binary.BigEndian.Uint64(r.data))
+	allocated = int64(binary.BigEndian.Uint64(r.data[8:]))
+	return capacity, allocated, nil
+}
+
+// issueStat sends a stat request expecting the fixed stat payload.
+func (c *Client) issueStat() (*waiter, error) {
+	<-c.credits
+	c.pmu.Lock()
+	if c.closed || c.lostErr != nil {
+		err := c.lostErr
+		c.pmu.Unlock()
+		c.credits <- struct{}{}
+		if err == nil {
+			err = ErrClosed
+		}
+		return nil, err
+	}
+	c.nextH++
+	h := c.nextH
+	w := &waiter{ch: make(chan result, 1), readLen: wire.StatPayloadSize}
+	c.pending[h] = w
+	c.pmu.Unlock()
+
+	hdr := make([]byte, wire.RequestSize)
+	wire.MarshalRequest(hdr, &wire.Request{Type: wire.ReqStat, Handle: h})
+	c.wmu.Lock()
+	_, err := c.conn.Write(hdr)
+	c.wmu.Unlock()
+	if err != nil {
+		c.pmu.Lock()
+		delete(c.pending, h)
+		c.pmu.Unlock()
+		c.credits <- struct{}{}
+		c.fail(ErrLostConn)
+		return nil, ErrLostConn
+	}
+	return w, nil
+}
+
+// WriteAsync begins a pipelined write; the returned function blocks for
+// completion. Use it to keep several requests on the wire at once.
+func (c *Client) WriteAsync(p []byte, off int64) (func() error, error) {
+	if err := c.checkRange(off, len(p)); err != nil {
+		return nil, err
+	}
+	w, err := c.issue(wire.ReqWrite, off, len(p), p)
+	if err != nil {
+		return nil, err
+	}
+	return func() error {
+		_, werr := c.wait(w)
+		return werr
+	}, nil
+}

@@ -1,0 +1,142 @@
+package netmodel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hpbd/internal/sim"
+)
+
+func TestMemcpyMonotone(t *testing.T) {
+	m := DefaultMem()
+	prev := sim.Duration(-1)
+	for n := 0; n <= 1<<20; n += 4096 {
+		d := m.Memcpy(n)
+		if d <= prev {
+			t.Fatalf("Memcpy(%d) = %v not > Memcpy(prev) = %v", n, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestRegistrationDominatesCopyInSwapRange(t *testing.T) {
+	// The paper's Fig. 3 argument: for request sizes 4K..127K, registering
+	// on the fly costs more than copying into a pre-registered pool.
+	m := DefaultMem()
+	for n := 4096; n < 127*1024; n += 4096 {
+		if m.Register(n) <= m.Memcpy(n) {
+			t.Errorf("Register(%d)=%v <= Memcpy(%d)=%v; pool design unjustified",
+				n, m.Register(n), n, m.Memcpy(n))
+		}
+	}
+}
+
+func TestRegisterCountsPages(t *testing.T) {
+	m := DefaultMem()
+	onePage := m.Register(1)
+	if onePage != m.Register(PageSize) {
+		t.Error("sub-page and one-page registrations should cost the same")
+	}
+	if m.Register(PageSize+1) <= onePage {
+		t.Error("crossing a page boundary must add cost")
+	}
+}
+
+func TestFigure1Ordering(t *testing.T) {
+	// For every size in the paper's sweep, latency ordering must be
+	// memcpy < RDMA < IPoIB < GigE.
+	mem := DefaultMem()
+	ib, ipoib, gige := IB4X(), IPoIB(), GigE()
+	for n := 4; n <= 128*1024; n *= 2 {
+		mc := mem.Memcpy(n)
+		rd := ib.Latency(n, mem)
+		ip := ipoib.Latency(n, mem)
+		ge := gige.Latency(n, mem)
+		if !(mc < rd && rd < ip && ip < ge) {
+			t.Errorf("n=%d: memcpy=%v rdma=%v ipoib=%v gige=%v out of order",
+				n, mc, rd, ip, ge)
+		}
+	}
+}
+
+func TestFigure1RDMAComparableToMemcpyAt128K(t *testing.T) {
+	mem := DefaultMem()
+	n := 128 * 1024
+	ratio := float64(IB4X().Latency(n, mem)) / float64(mem.Memcpy(n))
+	if ratio > 2.5 {
+		t.Errorf("RDMA/memcpy at 128K = %.2f; paper shows them comparable (< ~2.5x)", ratio)
+	}
+}
+
+func TestSegments(t *testing.T) {
+	l := GigE()
+	cases := []struct{ n, want int }{
+		{0, 1}, {1, 1}, {1500, 1}, {1501, 2}, {3000, 2}, {128 * 1024, 88},
+	}
+	for _, c := range cases {
+		if got := l.Segments(c.n); got != c.want {
+			t.Errorf("Segments(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestBandwidthOver(t *testing.T) {
+	b := MBps(100)
+	if d := b.Over(100 * 1e6); d != sim.Second {
+		t.Errorf("100MB at 100MB/s = %v, want 1s", d)
+	}
+	if d := Bandwidth(0).Over(123); d != 0 {
+		t.Errorf("zero bandwidth should cost 0, got %v", d)
+	}
+}
+
+func TestQuickLatencyMonotoneInSize(t *testing.T) {
+	mem := DefaultMem()
+	links := []LinkModel{IB4X(), IPoIB(), GigE()}
+	f := func(a, b uint16) bool {
+		n1, n2 := int(a), int(b)
+		if n1 > n2 {
+			n1, n2 = n2, n1
+		}
+		for _, l := range links {
+			if l.Latency(n1, mem) > l.Latency(n2, mem) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEffectiveBWPipelines(t *testing.T) {
+	mem := DefaultMem()
+	// GigE is wire-limited: effective bandwidth equals the wire rate.
+	ge := GigE()
+	if eff := float64(ge.EffectiveBW(mem)); eff < float64(ge.BW)*0.95 {
+		t.Errorf("GigE effective %f < wire %f; per-seg CPU should pipeline under the wire", eff, float64(ge.BW))
+	}
+	// IPoIB is CPU-limited: effective bandwidth sits well under the wire.
+	ip := IPoIB()
+	if eff := float64(ip.EffectiveBW(mem)); eff >= float64(ip.BW) {
+		t.Errorf("IPoIB effective %f >= wire %f; should be host-limited", eff, float64(ip.BW))
+	}
+	// RDMA has no host copies: effective equals wire.
+	ib := IB4X()
+	if eff := float64(ib.EffectiveBW(mem)); eff < float64(ib.BW)*0.95 {
+		t.Errorf("IB effective %f < wire %f", eff, float64(ib.BW))
+	}
+}
+
+func TestLatencyIncludesPipelineFill(t *testing.T) {
+	mem := DefaultMem()
+	l := GigE()
+	// Zero-byte latency is still positive (prop + per-message costs).
+	if l.Latency(0, mem) <= 0 {
+		t.Error("zero-byte latency should be positive")
+	}
+	if l.Latency(0, mem) >= l.Latency(1500*4, mem) {
+		t.Error("latency must grow with size")
+	}
+}

@@ -1,0 +1,274 @@
+// Package oocsort is an out-of-core sort that uses remote memory as its
+// scratch space: the downstream application story for HPBD. A dataset
+// larger than the local memory budget is sorted by building sorted runs
+// in RAM, parking them in a remote-memory store (netblock.Client in real
+// deployments), and streaming a k-way merge back out.
+//
+// This is the same job the paper's quick sort does through the kernel
+// swap path, recast as an explicit library for environments where a
+// kernel block device is not available.
+package oocsort
+
+import (
+	"container/heap"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Store is the scratch space: netblock.Client satisfies it.
+type Store interface {
+	WriteAt(p []byte, off int64) (int, error)
+	ReadAt(p []byte, off int64) (int, error)
+	Size() int64
+}
+
+// Errors.
+var (
+	ErrBudget     = errors.New("oocsort: memory budget too small")
+	ErrStoreSmall = errors.New("oocsort: store smaller than the dataset")
+)
+
+// keyBytes is the record size (uint32 keys).
+const keyBytes = 4
+
+// chunkBytes is the I/O granularity against the store (the block layer's
+// 128 KB request bound).
+const chunkBytes = 128 * 1024
+
+// Stats describes one sort.
+type Stats struct {
+	Keys           int64
+	Runs           int
+	BytesToStore   int64
+	BytesFromStore int64
+}
+
+// Sort reads uint32 keys (little-endian) from src until EOF, sorts them
+// using at most memBudget bytes of local memory for key storage, with
+// store as the run scratch, and writes the sorted keys to dst.
+func Sort(dst io.Writer, src io.Reader, memBudget int64, store Store) (Stats, error) {
+	var st Stats
+	runKeys := memBudget / keyBytes
+	if runKeys < 1024 {
+		return st, fmt.Errorf("%w: %d bytes", ErrBudget, memBudget)
+	}
+
+	// Phase 1: build sorted runs in the store.
+	type run struct {
+		off  int64 // byte offset in the store
+		keys int64
+	}
+	var runs []run
+	var next int64
+	buf := make([]uint32, 0, runKeys)
+	rdbuf := make([]byte, chunkBytes)
+	var leftover []byte
+	for {
+		n, err := src.Read(rdbuf)
+		if n > 0 {
+			data := append(leftover, rdbuf[:n]...)
+			whole := len(data) / keyBytes * keyBytes
+			for i := 0; i < whole; i += keyBytes {
+				buf = append(buf, binary.LittleEndian.Uint32(data[i:]))
+				if int64(len(buf)) == runKeys {
+					r, werr := flushRun(store, next, buf)
+					if werr != nil {
+						return st, werr
+					}
+					runs = append(runs, run{off: next, keys: int64(len(buf))})
+					next += r
+					st.BytesToStore += r
+					buf = buf[:0]
+				}
+			}
+			leftover = append(leftover[:0], data[whole:]...)
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return st, err
+		}
+	}
+	if len(leftover) != 0 {
+		return st, errors.New("oocsort: input not a whole number of keys")
+	}
+	if len(buf) > 0 {
+		r, werr := flushRun(store, next, buf)
+		if werr != nil {
+			return st, werr
+		}
+		runs = append(runs, run{off: next, keys: int64(len(buf))})
+		next += r
+		st.BytesToStore += r
+	}
+	st.Runs = len(runs)
+	for _, r := range runs {
+		st.Keys += r.keys
+	}
+	if st.Keys == 0 {
+		return st, nil
+	}
+
+	// Phase 2: k-way merge. Each run gets an equal share of the budget
+	// as its read buffer, clamped to one chunk on both sides (chunkBytes
+	// is also the store's largest single request).
+	share := memBudget / int64(len(runs))
+	if share < chunkBytes {
+		share = chunkBytes
+	}
+	if share > chunkBytes {
+		share = chunkBytes
+	}
+	h := &runHeap{}
+	for _, r := range runs {
+		rr := &runReader{store: store, off: r.off, remaining: r.keys, bufCap: share / keyBytes * keyBytes, stats: &st}
+		if ok, err := rr.fill(); err != nil {
+			return st, err
+		} else if ok {
+			heap.Push(h, rr)
+		}
+	}
+	out := make([]byte, 0, chunkBytes)
+	for h.Len() > 0 {
+		rr := (*h)[0]
+		out = binary.LittleEndian.AppendUint32(out, rr.head)
+		ok, err := rr.advance()
+		if err != nil {
+			return st, err
+		}
+		if ok {
+			heap.Fix(h, 0)
+		} else {
+			heap.Pop(h)
+		}
+		if len(out) >= chunkBytes {
+			if _, err := dst.Write(out); err != nil {
+				return st, err
+			}
+			out = out[:0]
+		}
+	}
+	if len(out) > 0 {
+		if _, err := dst.Write(out); err != nil {
+			return st, err
+		}
+	}
+	return st, nil
+}
+
+// flushRun sorts buf and writes it at off, returning bytes written.
+func flushRun(store Store, off int64, buf []uint32) (int64, error) {
+	nbytes := int64(len(buf)) * keyBytes
+	if off+nbytes > store.Size() {
+		return 0, ErrStoreSmall
+	}
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	enc := make([]byte, 0, chunkBytes)
+	written := int64(0)
+	for i := 0; i < len(buf); {
+		enc = enc[:0]
+		for i < len(buf) && len(enc) < chunkBytes {
+			enc = binary.LittleEndian.AppendUint32(enc, buf[i])
+			i++
+		}
+		if _, err := store.WriteAt(enc, off+written); err != nil {
+			return 0, err
+		}
+		written += int64(len(enc))
+	}
+	return written, nil
+}
+
+// runReader streams one sorted run from the store.
+type runReader struct {
+	store     Store
+	off       int64
+	remaining int64 // keys left (including buffered)
+	bufCap    int64
+	buf       []byte
+	pos       int
+	head      uint32
+	stats     *Stats
+}
+
+// fill loads the next buffer and sets head; ok is false at run end.
+func (r *runReader) fill() (bool, error) {
+	if r.remaining == 0 {
+		return false, nil
+	}
+	n := r.bufCap
+	if n > r.remaining*keyBytes {
+		n = r.remaining * keyBytes
+	}
+	if cap(r.buf) < int(n) {
+		r.buf = make([]byte, n)
+	}
+	r.buf = r.buf[:n]
+	if _, err := r.store.ReadAt(r.buf, r.off); err != nil {
+		return false, err
+	}
+	r.stats.BytesFromStore += n
+	r.off += n
+	r.pos = 0
+	r.head = binary.LittleEndian.Uint32(r.buf)
+	return true, nil
+}
+
+// advance moves to the next key; ok is false at run end.
+func (r *runReader) advance() (bool, error) {
+	r.remaining--
+	r.pos += keyBytes
+	if r.remaining == 0 {
+		return false, nil
+	}
+	if r.pos >= len(r.buf) {
+		return r.fill()
+	}
+	r.head = binary.LittleEndian.Uint32(r.buf[r.pos:])
+	return true, nil
+}
+
+// runHeap orders runReaders by their head key.
+type runHeap []*runReader
+
+func (h runHeap) Len() int            { return len(h) }
+func (h runHeap) Less(i, j int) bool  { return h[i].head < h[j].head }
+func (h runHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *runHeap) Push(x interface{}) { *h = append(*h, x.(*runReader)) }
+func (h *runHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return x
+}
+
+// MemStore is an in-memory Store for tests and local demos.
+type MemStore struct{ Buf []byte }
+
+// NewMemStore allocates an n-byte store.
+func NewMemStore(n int64) *MemStore { return &MemStore{Buf: make([]byte, n)} }
+
+// Size implements Store.
+func (m *MemStore) Size() int64 { return int64(len(m.Buf)) }
+
+// WriteAt implements Store.
+func (m *MemStore) WriteAt(p []byte, off int64) (int, error) {
+	if off < 0 || off+int64(len(p)) > int64(len(m.Buf)) {
+		return 0, ErrStoreSmall
+	}
+	return copy(m.Buf[off:], p), nil
+}
+
+// ReadAt implements Store.
+func (m *MemStore) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 || off+int64(len(p)) > int64(len(m.Buf)) {
+		return 0, ErrStoreSmall
+	}
+	return copy(p, m.Buf[off:]), nil
+}

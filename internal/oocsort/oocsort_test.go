@@ -1,0 +1,178 @@
+package oocsort
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"log"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"hpbd/internal/netblock"
+)
+
+// genKeys encodes n random keys and returns both the stream and the
+// sorted expectation.
+func genKeys(n int, seed int64) ([]byte, []uint32) {
+	rnd := rand.New(rand.NewSource(seed))
+	keys := make([]uint32, n)
+	raw := make([]byte, n*4)
+	for i := range keys {
+		keys[i] = rnd.Uint32()
+		binary.LittleEndian.PutUint32(raw[i*4:], keys[i])
+	}
+	expect := append([]uint32(nil), keys...)
+	sort.Slice(expect, func(i, j int) bool { return expect[i] < expect[j] })
+	return raw, expect
+}
+
+func decode(t *testing.T, b []byte) []uint32 {
+	t.Helper()
+	if len(b)%4 != 0 {
+		t.Fatalf("output not key-aligned: %d bytes", len(b))
+	}
+	out := make([]uint32, len(b)/4)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(b[i*4:])
+	}
+	return out
+}
+
+func TestSortSmallerThanBudgetSingleRun(t *testing.T) {
+	raw, expect := genKeys(10000, 1)
+	var out bytes.Buffer
+	st, err := Sort(&out, bytes.NewReader(raw), 1<<20, NewMemStore(1<<20))
+	if err != nil {
+		t.Fatalf("Sort: %v", err)
+	}
+	if st.Runs != 1 || st.Keys != 10000 {
+		t.Errorf("stats = %+v", st)
+	}
+	got := decode(t, out.Bytes())
+	for i := range expect {
+		if got[i] != expect[i] {
+			t.Fatalf("key %d = %d, want %d", i, got[i], expect[i])
+		}
+	}
+}
+
+func TestSortManyRuns(t *testing.T) {
+	const n = 500_000 // 2 MB of keys
+	raw, expect := genKeys(n, 2)
+	var out bytes.Buffer
+	st, err := Sort(&out, bytes.NewReader(raw), 128*1024, NewMemStore(4<<20))
+	if err != nil {
+		t.Fatalf("Sort: %v", err)
+	}
+	if st.Runs < 10 {
+		t.Errorf("runs = %d, want many (budget forces runs)", st.Runs)
+	}
+	got := decode(t, out.Bytes())
+	if len(got) != n {
+		t.Fatalf("got %d keys, want %d", len(got), n)
+	}
+	for i := range expect {
+		if got[i] != expect[i] {
+			t.Fatalf("key %d mismatch", i)
+		}
+	}
+}
+
+func TestStoreTooSmall(t *testing.T) {
+	raw, _ := genKeys(100_000, 3)
+	var out bytes.Buffer
+	if _, err := Sort(&out, bytes.NewReader(raw), 64*1024, NewMemStore(64*1024)); err == nil {
+		t.Error("undersized store accepted")
+	}
+}
+
+func TestBudgetTooSmall(t *testing.T) {
+	raw, _ := genKeys(100, 4)
+	var out bytes.Buffer
+	if _, err := Sort(&out, bytes.NewReader(raw), 128, NewMemStore(1<<20)); err == nil {
+		t.Error("tiny budget accepted")
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	var out bytes.Buffer
+	st, err := Sort(&out, bytes.NewReader(nil), 1<<20, NewMemStore(1<<20))
+	if err != nil {
+		t.Fatalf("Sort: %v", err)
+	}
+	if st.Keys != 0 || out.Len() != 0 {
+		t.Errorf("empty input produced %d keys", st.Keys)
+	}
+}
+
+func TestRaggedInputRejected(t *testing.T) {
+	var out bytes.Buffer
+	if _, err := Sort(&out, bytes.NewReader(make([]byte, 7)), 1<<20, NewMemStore(1<<20)); err == nil {
+		t.Error("ragged input accepted")
+	}
+}
+
+// The real thing: sort through an actual netblock server over loopback.
+func TestSortOverNetblock(t *testing.T) {
+	srv, err := netblock.Serve("127.0.0.1:0", netblock.ServerConfig{
+		CapacityBytes: 16 << 20,
+		Logger:        log.New(io.Discard, "", 0),
+	})
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	defer srv.Close()
+	c, err := netblock.Dial(srv.Addr(), 8<<20, 16)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+
+	const n = 1 << 20 // 4 MB of keys through a 256 KB budget
+	raw, expect := genKeys(n, 5)
+	var out bytes.Buffer
+	st, err := Sort(&out, bytes.NewReader(raw), 256*1024, c)
+	if err != nil {
+		t.Fatalf("Sort over netblock: %v", err)
+	}
+	if st.Runs < 8 {
+		t.Errorf("runs = %d", st.Runs)
+	}
+	got := decode(t, out.Bytes())
+	for i := range expect {
+		if got[i] != expect[i] {
+			t.Fatalf("key %d mismatch", i)
+		}
+	}
+}
+
+// Property: any key multiset round-trips sorted.
+func TestQuickSortedProperty(t *testing.T) {
+	f := func(keys []uint32) bool {
+		raw := make([]byte, len(keys)*4)
+		for i, k := range keys {
+			binary.LittleEndian.PutUint32(raw[i*4:], k)
+		}
+		var out bytes.Buffer
+		if _, err := Sort(&out, bytes.NewReader(raw), 8*1024, NewMemStore(1<<20)); err != nil {
+			return false
+		}
+		got := out.Bytes()
+		if len(got) != len(raw) {
+			return false
+		}
+		expect := append([]uint32(nil), keys...)
+		sort.Slice(expect, func(i, j int) bool { return expect[i] < expect[j] })
+		for i, k := range expect {
+			if binary.LittleEndian.Uint32(got[i*4:]) != k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

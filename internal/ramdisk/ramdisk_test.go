@@ -1,0 +1,64 @@
+package ramdisk
+
+import (
+	"bytes"
+	"testing"
+
+	"hpbd/internal/netmodel"
+	"hpbd/internal/sim"
+)
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	env := sim.NewEnv()
+	r := New(1<<20, netmodel.DefaultMem())
+	pattern := []byte("page contents here")
+	env.Go("io", func(p *sim.Proc) {
+		if err := r.WriteAt(p, pattern, 4096); err != nil {
+			t.Errorf("WriteAt: %v", err)
+		}
+		got := make([]byte, len(pattern))
+		if err := r.ReadAt(p, got, 4096); err != nil {
+			t.Errorf("ReadAt: %v", err)
+		}
+		if !bytes.Equal(got, pattern) {
+			t.Errorf("got %q", got)
+		}
+	})
+	env.Run()
+}
+
+func TestChargesMemcpyCost(t *testing.T) {
+	env := sim.NewEnv()
+	mem := netmodel.DefaultMem()
+	r := New(1<<20, mem)
+	var took sim.Duration
+	env.Go("io", func(p *sim.Proc) {
+		t0 := p.Now()
+		r.WriteAt(p, make([]byte, 128*1024), 0)
+		took = p.Now().Sub(t0)
+	})
+	env.Run()
+	if want := mem.Memcpy(128 * 1024); took != want {
+		t.Errorf("WriteAt took %v, want %v", took, want)
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	env := sim.NewEnv()
+	r := New(4096, netmodel.DefaultMem())
+	env.Go("io", func(p *sim.Proc) {
+		if err := r.WriteAt(p, make([]byte, 8192), 0); err != ErrOutOfRange {
+			t.Errorf("oversize write err = %v", err)
+		}
+		if err := r.ReadAt(p, make([]byte, 16), -1); err != ErrOutOfRange {
+			t.Errorf("negative offset err = %v", err)
+		}
+		if err := r.ReadAt(p, make([]byte, 16), 4090); err != ErrOutOfRange {
+			t.Errorf("tail overrun err = %v", err)
+		}
+	})
+	env.Run()
+	if r.Size() != 4096 {
+		t.Errorf("Size = %d", r.Size())
+	}
+}

@@ -1,0 +1,166 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// event is a scheduled occurrence: either the resumption of a parked process
+// or a bare callback executed in scheduler context.
+type event struct {
+	at  Time
+	seq uint64 // tie-breaker: FIFO among events at the same instant
+	p   *Proc  // non-nil: resume this process
+	fn  func() // non-nil: run this callback inline
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Env is a simulation environment: a virtual clock, an event queue, and the
+// set of live processes. An Env is not safe for concurrent use from real
+// goroutines other than its own scheduled processes.
+type Env struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	yield  chan struct{} // handshake: running proc -> scheduler
+	procs  map[*Proc]struct{}
+	closed bool
+
+	// Rand is a deterministic source for simulations that need randomness.
+	Rand *rand.Rand
+}
+
+// NewEnv returns an empty environment with a deterministic random source.
+func NewEnv() *Env {
+	return &Env{
+		yield: make(chan struct{}),
+		procs: make(map[*Proc]struct{}),
+		Rand:  rand.New(rand.NewSource(1)),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() Time { return e.now }
+
+func (e *Env) schedule(at Time, p *Proc, fn func()) *event {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	ev := &event{at: at, seq: e.seq, p: p, fn: fn}
+	if p != nil {
+		p.wake = ev
+	}
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// After schedules fn to run in scheduler context after delay d.
+// fn must not block; use Go for blocking work.
+func (e *Env) After(d Duration, fn func()) {
+	e.schedule(e.now.Add(d), nil, fn)
+}
+
+// Go starts a new simulated process running fn. The process begins at the
+// current virtual time, after the caller next yields to the scheduler.
+// The name appears in diagnostics.
+func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{env: e, name: name, resume: make(chan struct{})}
+	e.procs[p] = struct{}{}
+	e.schedule(e.now, p, nil)
+	go p.run(fn)
+	return p
+}
+
+// run is the scheduler inner loop body: dispatch one event.
+func (e *Env) dispatch(ev *event) {
+	e.now = ev.at
+	if ev.p != nil {
+		if ev.p.done || ev.cancelled() {
+			return
+		}
+		ev.p.wake = nil
+		ev.p.resume <- struct{}{}
+		<-e.yield
+		return
+	}
+	ev.fn()
+}
+
+func (ev *event) cancelled() bool { return ev.p != nil && ev.p.wake != ev }
+
+// Run executes events until the queue drains or until limit (if > 0) is
+// reached. It returns the final virtual time. Processes still parked on
+// queues when Run returns remain parked; use Close to release them.
+func (e *Env) Run() Time { return e.RunUntil(-1) }
+
+// RunUntil executes events with timestamps <= limit (limit < 0 means no
+// bound) and returns the virtual time of the last dispatched event.
+func (e *Env) RunUntil(limit Time) Time {
+	for len(e.events) > 0 {
+		if limit >= 0 && e.events[0].at > limit {
+			e.now = limit
+			break
+		}
+		ev := heap.Pop(&e.events).(*event)
+		e.dispatch(ev)
+	}
+	return e.now
+}
+
+// Idle reports whether no events remain.
+func (e *Env) Idle() bool { return len(e.events) == 0 }
+
+// Parked returns the number of live processes currently blocked.
+func (e *Env) Parked() int {
+	n := 0
+	for p := range e.procs {
+		if !p.done {
+			n++
+		}
+	}
+	return n
+}
+
+// Close terminates every parked process by unwinding it with a kill panic
+// that the process wrapper recovers. After Close the environment must not
+// be used further. It is safe to call Close on an already-closed Env.
+func (e *Env) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	for p := range e.procs {
+		if p.done {
+			continue
+		}
+		p.killed = true
+		p.resume <- struct{}{}
+		<-e.yield
+	}
+}
+
+// String describes the environment state for diagnostics.
+func (e *Env) String() string {
+	return fmt.Sprintf("sim.Env{now=%v events=%d procs=%d}", e.now, len(e.events), len(e.procs))
+}

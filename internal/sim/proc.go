@@ -1,0 +1,77 @@
+package sim
+
+import "fmt"
+
+// killedError is the panic value used to unwind processes on Env.Close.
+type killedError struct{ name string }
+
+func (k killedError) Error() string { return "sim: process " + k.name + " killed" }
+
+// Proc is a simulated process. A Proc's function runs on its own goroutine,
+// but the kernel guarantees that at most one process executes at a time and
+// that all blocking primitives return at deterministic virtual times.
+type Proc struct {
+	env    *Env
+	name   string
+	resume chan struct{}
+	wake   *event // pending scheduled resume, if any (for cancellation)
+	done   bool
+	killed bool
+}
+
+// Env returns the environment the process belongs to.
+func (p *Proc) Env() *Env { return p.env }
+
+// Name returns the diagnostic name given at creation.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.env.now }
+
+func (p *Proc) run(fn func(*Proc)) {
+	// Wait for the scheduler to start us.
+	<-p.resume
+	defer func() {
+		p.done = true
+		delete(p.env.procs, p)
+		if r := recover(); r != nil {
+			if _, ok := r.(killedError); ok {
+				p.env.yield <- struct{}{}
+				return
+			}
+			// Re-panicking here would crash the whole program from a
+			// detached goroutine with a confusing stack; annotate instead.
+			panic(fmt.Sprintf("sim: process %q panicked: %v", p.name, r))
+		}
+		p.env.yield <- struct{}{}
+	}()
+	fn(p)
+}
+
+// park blocks the process until some other party schedules its resumption.
+// The caller must have arranged a wake-up (a scheduled event or membership
+// in a wait queue) before calling park.
+func (p *Proc) park() {
+	p.env.yield <- struct{}{}
+	<-p.resume
+	if p.killed {
+		panic(killedError{p.name})
+	}
+}
+
+// Sleep suspends the process for d of virtual time.
+func (p *Proc) Sleep(d Duration) {
+	if d <= 0 {
+		// Yield: reschedule at the current instant, after already-queued
+		// events at this time.
+		p.env.schedule(p.env.now, p, nil)
+		p.park()
+		return
+	}
+	p.env.schedule(p.env.now.Add(d), p, nil)
+	p.park()
+}
+
+// Yield lets any other runnable process scheduled for the current instant
+// run before continuing.
+func (p *Proc) Yield() { p.Sleep(0) }

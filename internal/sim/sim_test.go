@@ -1,0 +1,472 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestSleepAdvancesClock(t *testing.T) {
+	env := NewEnv()
+	var woke Time
+	env.Go("sleeper", func(p *Proc) {
+		p.Sleep(5 * Microsecond)
+		woke = p.Now()
+	})
+	end := env.Run()
+	if woke != Time(5*Microsecond) {
+		t.Errorf("woke at %v, want 5us", woke)
+	}
+	if end != woke {
+		t.Errorf("Run returned %v, want %v", end, woke)
+	}
+}
+
+func TestEventOrderingFIFOAtSameInstant(t *testing.T) {
+	env := NewEnv()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		env.Go(fmt.Sprintf("p%d", i), func(p *Proc) {
+			p.Sleep(Microsecond)
+			order = append(order, i)
+		})
+	}
+	env.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v, want ascending", order)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []string {
+		env := NewEnv()
+		var log []string
+		ch := NewChan[int](env, 0)
+		for i := 0; i < 4; i++ {
+			i := i
+			env.Go(fmt.Sprintf("prod%d", i), func(p *Proc) {
+				for j := 0; j < 5; j++ {
+					p.Sleep(Duration(env.Rand.Intn(100)) * Microsecond)
+					ch.Send(p, i*10+j)
+				}
+			})
+		}
+		env.Go("cons", func(p *Proc) {
+			for k := 0; k < 20; k++ {
+				v, _ := ch.Recv(p)
+				log = append(log, fmt.Sprintf("%v:%d", p.Now(), v))
+			}
+		})
+		env.Run()
+		return log
+	}
+	a, b := run(), run()
+	if len(a) != 20 || len(b) != 20 {
+		t.Fatalf("got %d and %d events, want 20", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+func TestAfterCallback(t *testing.T) {
+	env := NewEnv()
+	var at Time
+	env.After(3*Millisecond, func() { at = env.Now() })
+	env.Run()
+	if at != Time(3*Millisecond) {
+		t.Errorf("callback at %v, want 3ms", at)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	env := NewEnv()
+	count := 0
+	env.Go("ticker", func(p *Proc) {
+		for i := 0; i < 100; i++ {
+			p.Sleep(Millisecond)
+			count++
+		}
+	})
+	env.RunUntil(Time(10*Millisecond) + 1)
+	if count != 10 {
+		t.Errorf("count = %d, want 10", count)
+	}
+	env.Close()
+}
+
+func TestWaitQueueFIFO(t *testing.T) {
+	env := NewEnv()
+	q := NewWaitQueue(env)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		env.Go(fmt.Sprintf("w%d", i), func(p *Proc) {
+			p.Sleep(Duration(i) * Microsecond) // enforce arrival order
+			q.Wait(p)
+			order = append(order, i)
+		})
+	}
+	env.Go("waker", func(p *Proc) {
+		p.Sleep(10 * Microsecond)
+		for i := 0; i < 5; i++ {
+			q.WakeOne()
+			p.Yield()
+		}
+	})
+	env.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("wake order %v, want FIFO", order)
+		}
+	}
+}
+
+func TestWaitTimeoutFires(t *testing.T) {
+	env := NewEnv()
+	q := NewWaitQueue(env)
+	var woken bool
+	var at Time
+	env.Go("w", func(p *Proc) {
+		woken = q.WaitTimeout(p, 50*Microsecond)
+		at = p.Now()
+	})
+	env.Run()
+	if woken {
+		t.Error("WaitTimeout reported woken, want timeout")
+	}
+	if at != Time(50*Microsecond) {
+		t.Errorf("timed out at %v, want 50us", at)
+	}
+	if q.Len() != 0 {
+		t.Errorf("queue still holds %d waiters after timeout", q.Len())
+	}
+}
+
+func TestWaitTimeoutWoken(t *testing.T) {
+	env := NewEnv()
+	q := NewWaitQueue(env)
+	var woken bool
+	var at Time
+	env.Go("w", func(p *Proc) {
+		woken = q.WaitTimeout(p, 50*Microsecond)
+		at = p.Now()
+	})
+	env.Go("waker", func(p *Proc) {
+		p.Sleep(10 * Microsecond)
+		q.WakeOne()
+	})
+	env.Run()
+	if !woken {
+		t.Error("WaitTimeout reported timeout, want woken")
+	}
+	if at != Time(10*Microsecond) {
+		t.Errorf("woke at %v, want 10us", at)
+	}
+}
+
+func TestStaleTimerDoesNotRewake(t *testing.T) {
+	// After an early wake-up, the abandoned timeout event must not disturb
+	// the process's next park.
+	env := NewEnv()
+	q := NewWaitQueue(env)
+	var secondWake Time
+	env.Go("w", func(p *Proc) {
+		q.WaitTimeout(p, 100*Microsecond) // woken at 10us below
+		p.Sleep(Second)                   // stale timer at 100us must not cut this short
+		secondWake = p.Now()
+	})
+	env.Go("waker", func(p *Proc) {
+		p.Sleep(10 * Microsecond)
+		q.WakeOne()
+	})
+	env.Run()
+	want := Time(10*Microsecond + Second)
+	if secondWake != want {
+		t.Errorf("second wake at %v, want %v", secondWake, want)
+	}
+}
+
+func TestChanBlockingAndOrder(t *testing.T) {
+	env := NewEnv()
+	ch := NewChan[int](env, 2)
+	var got []int
+	var sendDone Time
+	env.Go("sender", func(p *Proc) {
+		for i := 0; i < 4; i++ {
+			ch.Send(p, i) // third send blocks until receiver drains
+		}
+		sendDone = p.Now()
+	})
+	env.Go("recv", func(p *Proc) {
+		p.Sleep(7 * Microsecond)
+		for i := 0; i < 4; i++ {
+			v, ok := ch.Recv(p)
+			if !ok {
+				t.Error("unexpected closed chan")
+			}
+			got = append(got, v)
+		}
+	})
+	env.Run()
+	if sendDone != Time(7*Microsecond) {
+		t.Errorf("sender finished at %v, want 7us (blocked on full buffer)", sendDone)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("recv order %v, want ascending", got)
+		}
+	}
+}
+
+func TestChanRecvTimeout(t *testing.T) {
+	env := NewEnv()
+	ch := NewChan[int](env, 0)
+	var ok1, ok2 bool
+	env.Go("r", func(p *Proc) {
+		_, ok1 = ch.RecvTimeout(p, 10*Microsecond) // nothing arrives: timeout
+		v, ok := ch.RecvTimeout(p, 100*Microsecond)
+		ok2 = ok && v == 42
+	})
+	env.Go("s", func(p *Proc) {
+		p.Sleep(30 * Microsecond)
+		ch.Send(p, 42)
+	})
+	env.Run()
+	if ok1 {
+		t.Error("first RecvTimeout should have timed out")
+	}
+	if !ok2 {
+		t.Error("second RecvTimeout should have received 42")
+	}
+}
+
+func TestChanClose(t *testing.T) {
+	env := NewEnv()
+	ch := NewChan[int](env, 0)
+	var vals []int
+	var closedOK bool
+	env.Go("r", func(p *Proc) {
+		for {
+			v, ok := ch.Recv(p)
+			if !ok {
+				closedOK = true
+				return
+			}
+			vals = append(vals, v)
+		}
+	})
+	env.Go("s", func(p *Proc) {
+		ch.Send(p, 1)
+		ch.Send(p, 2)
+		p.Sleep(Microsecond)
+		ch.Close()
+	})
+	env.Run()
+	if !closedOK || len(vals) != 2 {
+		t.Errorf("vals=%v closedOK=%v", vals, closedOK)
+	}
+}
+
+func TestSemaphore(t *testing.T) {
+	env := NewEnv()
+	s := NewSemaphore(env, 2)
+	var maxInFlight, inFlight int
+	for i := 0; i < 6; i++ {
+		env.Go(fmt.Sprintf("u%d", i), func(p *Proc) {
+			s.Acquire(p, 1)
+			inFlight++
+			if inFlight > maxInFlight {
+				maxInFlight = inFlight
+			}
+			p.Sleep(10 * Microsecond)
+			inFlight--
+			s.Release(1)
+		})
+	}
+	env.Run()
+	if maxInFlight != 2 {
+		t.Errorf("max in flight = %d, want 2", maxInFlight)
+	}
+	if s.Available() != 2 {
+		t.Errorf("final permits = %d, want 2", s.Available())
+	}
+}
+
+func TestMutexExcludes(t *testing.T) {
+	env := NewEnv()
+	m := NewMutex(env)
+	var inside bool
+	var violations int
+	for i := 0; i < 4; i++ {
+		env.Go(fmt.Sprintf("m%d", i), func(p *Proc) {
+			m.Lock(p)
+			if inside {
+				violations++
+			}
+			inside = true
+			p.Sleep(5 * Microsecond)
+			inside = false
+			m.Unlock()
+		})
+	}
+	env.Run()
+	if violations != 0 {
+		t.Errorf("%d mutual exclusion violations", violations)
+	}
+}
+
+func TestEventBroadcast(t *testing.T) {
+	env := NewEnv()
+	ev := NewEvent(env)
+	woke := 0
+	for i := 0; i < 3; i++ {
+		env.Go(fmt.Sprintf("w%d", i), func(p *Proc) {
+			ev.Wait(p)
+			woke++
+		})
+	}
+	env.Go("late", func(p *Proc) {
+		p.Sleep(20 * Microsecond)
+		ev.Wait(p) // already triggered: returns immediately
+		woke++
+	})
+	env.After(10*Microsecond, ev.Trigger)
+	env.Run()
+	if woke != 4 {
+		t.Errorf("woke = %d, want 4", woke)
+	}
+}
+
+func TestCloseKillsParked(t *testing.T) {
+	env := NewEnv()
+	q := NewWaitQueue(env)
+	started := 0
+	env.Go("stuck", func(p *Proc) {
+		started++
+		q.Wait(p) // never woken
+		t.Error("stuck process resumed unexpectedly")
+	})
+	env.Run()
+	if env.Parked() != 1 {
+		t.Fatalf("parked = %d, want 1", env.Parked())
+	}
+	env.Close()
+	if env.Parked() != 0 {
+		t.Errorf("parked after Close = %d, want 0", env.Parked())
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{500 * Nanosecond, "500ns"},
+		{25 * Microsecond, "25.00us"},
+		{3 * Millisecond, "3.000ms"},
+		{12 * Second, "12.000s"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}
+
+// Property: for any set of sleep durations, processes complete in
+// non-decreasing time order equal to their duration, and the clock ends at
+// the max.
+func TestQuickSleepOrdering(t *testing.T) {
+	f := func(ds []uint16) bool {
+		if len(ds) == 0 {
+			return true
+		}
+		env := NewEnv()
+		type rec struct {
+			idx int
+			at  Time
+		}
+		var recs []rec
+		var max Duration
+		for i, d16 := range ds {
+			d := Duration(d16) * Nanosecond
+			if d > max {
+				max = d
+			}
+			i := i
+			env.Go(fmt.Sprintf("p%d", i), func(p *Proc) {
+				p.Sleep(d)
+				recs = append(recs, rec{i, p.Now()})
+			})
+		}
+		end := env.Run()
+		if end != Time(max) {
+			return false
+		}
+		for _, r := range recs {
+			if r.at != Time(Duration(ds[r.idx])*Nanosecond) {
+				return false
+			}
+		}
+		for i := 1; i < len(recs); i++ {
+			if recs[i].at < recs[i-1].at {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a bounded channel never holds more than its capacity and
+// preserves FIFO order for any interleaving of producer sleeps.
+func TestQuickChanInvariants(t *testing.T) {
+	f := func(delays []uint8, capacity uint8) bool {
+		capy := int(capacity%8) + 1
+		env := NewEnv()
+		ch := NewChan[int](env, capy)
+		n := len(delays)
+		var got []int
+		violated := false
+		env.Go("prod", func(p *Proc) {
+			for i, d := range delays {
+				p.Sleep(Duration(d) * Nanosecond)
+				ch.Send(p, i)
+				if ch.Len() > capy {
+					violated = true
+				}
+			}
+		})
+		env.Go("cons", func(p *Proc) {
+			for i := 0; i < n; i++ {
+				v, ok := ch.Recv(p)
+				if !ok {
+					violated = true
+					return
+				}
+				got = append(got, v)
+			}
+		})
+		env.Run()
+		if violated || len(got) != n {
+			return false
+		}
+		for i, v := range got {
+			if v != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

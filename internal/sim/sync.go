@@ -1,0 +1,149 @@
+package sim
+
+// WaitQueue is a FIFO queue of parked processes, the building block for all
+// higher-level blocking primitives. Wakers schedule the resumed process at
+// the current virtual instant; as with condition variables, woken waiters
+// must re-check their predicate.
+type WaitQueue struct {
+	env     *Env
+	waiters []*Proc
+}
+
+// NewWaitQueue returns an empty wait queue bound to env.
+func NewWaitQueue(env *Env) *WaitQueue { return &WaitQueue{env: env} }
+
+// Len returns the number of parked processes.
+func (q *WaitQueue) Len() int { return len(q.waiters) }
+
+// Wait parks p until a waker releases it.
+func (q *WaitQueue) Wait(p *Proc) {
+	q.waiters = append(q.waiters, p)
+	p.park()
+}
+
+// WaitTimeout parks p until woken or until d elapses. It reports whether
+// the process was woken (false means the timeout fired).
+func (q *WaitQueue) WaitTimeout(p *Proc, d Duration) (woken bool) {
+	q.waiters = append(q.waiters, p)
+	q.env.schedule(q.env.now.Add(d), p, nil)
+	p.park()
+	// If we are still queued, the timer fired; withdraw.
+	for i, w := range q.waiters {
+		if w == p {
+			q.waiters = append(q.waiters[:i], q.waiters[i+1:]...)
+			return false
+		}
+	}
+	return true
+}
+
+// WakeOne resumes the longest-waiting process, if any, and reports whether
+// one was woken.
+func (q *WaitQueue) WakeOne() bool {
+	if len(q.waiters) == 0 {
+		return false
+	}
+	p := q.waiters[0]
+	q.waiters = q.waiters[1:]
+	q.env.schedule(q.env.now, p, nil)
+	return true
+}
+
+// WakeAll resumes every parked process.
+func (q *WaitQueue) WakeAll() {
+	for _, p := range q.waiters {
+		q.env.schedule(q.env.now, p, nil)
+	}
+	q.waiters = q.waiters[:0]
+}
+
+// Event is a one-shot broadcast: processes wait until it is triggered;
+// waiting on an already-triggered event returns immediately.
+type Event struct {
+	q         *WaitQueue
+	triggered bool
+}
+
+// NewEvent returns an untriggered event.
+func NewEvent(env *Env) *Event { return &Event{q: NewWaitQueue(env)} }
+
+// Triggered reports whether Trigger has been called.
+func (ev *Event) Triggered() bool { return ev.triggered }
+
+// Wait parks p until the event triggers.
+func (ev *Event) Wait(p *Proc) {
+	for !ev.triggered {
+		ev.q.Wait(p)
+	}
+}
+
+// Trigger fires the event, waking all waiters. Triggering twice is a no-op.
+func (ev *Event) Trigger() {
+	if ev.triggered {
+		return
+	}
+	ev.triggered = true
+	ev.q.WakeAll()
+}
+
+// Semaphore is a counting semaphore in virtual time.
+type Semaphore struct {
+	count int
+	q     *WaitQueue
+}
+
+// NewSemaphore returns a semaphore holding n permits.
+func NewSemaphore(env *Env, n int) *Semaphore {
+	return &Semaphore{count: n, q: NewWaitQueue(env)}
+}
+
+// Available returns the number of free permits.
+func (s *Semaphore) Available() int { return s.count }
+
+// Acquire takes n permits, parking until they are available.
+func (s *Semaphore) Acquire(p *Proc, n int) {
+	for s.count < n {
+		s.q.Wait(p)
+	}
+	s.count -= n
+}
+
+// TryAcquire takes n permits without blocking and reports success.
+func (s *Semaphore) TryAcquire(n int) bool {
+	if s.count < n {
+		return false
+	}
+	s.count -= n
+	return true
+}
+
+// Release returns n permits and wakes all waiters to re-check.
+func (s *Semaphore) Release(n int) {
+	s.count += n
+	s.q.WakeAll()
+}
+
+// Mutex is a simple blocking lock in virtual time. The simulation kernel is
+// cooperative, so a Mutex is only needed when a process may block while a
+// critical section must stay closed to others.
+type Mutex struct {
+	locked bool
+	q      *WaitQueue
+}
+
+// NewMutex returns an unlocked mutex.
+func NewMutex(env *Env) *Mutex { return &Mutex{q: NewWaitQueue(env)} }
+
+// Lock acquires the mutex, parking while it is held elsewhere.
+func (m *Mutex) Lock(p *Proc) {
+	for m.locked {
+		m.q.Wait(p)
+	}
+	m.locked = true
+}
+
+// Unlock releases the mutex.
+func (m *Mutex) Unlock() {
+	m.locked = false
+	m.q.WakeOne()
+}

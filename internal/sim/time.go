@@ -1,0 +1,55 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel runs simulated processes (Proc) under a cooperative scheduler:
+// exactly one process executes at any instant, and control returns to the
+// scheduler whenever a process blocks (Sleep, Wait, channel operations).
+// Events scheduled for the same virtual time fire in scheduling order, so a
+// simulation is exactly reproducible run-to-run.
+//
+// All other substrates in this repository — the InfiniBand fabric model, the
+// TCP/IP stack model, the virtual memory system, block devices, and the HPBD
+// client/server — are built as processes on this kernel.
+package sim
+
+import "fmt"
+
+// Time is an absolute virtual time in nanoseconds since simulation start.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration int64
+
+// Common durations, mirroring time.Duration's constants.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Add returns the time d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between t and u (t - u).
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds returns the duration as a floating-point number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Micros returns the duration as a floating-point number of microseconds.
+func (d Duration) Micros() float64 { return float64(d) / float64(Microsecond) }
+
+func (d Duration) String() string {
+	switch {
+	case d < 2*Microsecond:
+		return fmt.Sprintf("%dns", int64(d))
+	case d < 2*Millisecond:
+		return fmt.Sprintf("%.2fus", d.Micros())
+	case d < 10*Second:
+		return fmt.Sprintf("%.3fms", float64(d)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	}
+}
+
+func (t Time) String() string { return Duration(t).String() }

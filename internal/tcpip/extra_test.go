@@ -1,0 +1,125 @@
+package tcpip
+
+import (
+	"testing"
+
+	"hpbd/internal/netmodel"
+	"hpbd/internal/sim"
+)
+
+func TestThroughputMatchesEffectiveBandwidth(t *testing.T) {
+	// Streaming many chunks must approach the model's effective bandwidth
+	// (wire-limited for GigE).
+	env, n, a, b := newPair(t, netmodel.GigE())
+	const chunk = 64 * 1024
+	const chunks = 64
+	var elapsed sim.Duration
+	env.Go("server", func(p *sim.Proc) {
+		l, _ := b.Listen(1)
+		c, _ := l.Accept(p)
+		buf := make([]byte, chunk)
+		for i := 0; i < chunks; i++ {
+			if err := c.ReadFull(p, buf); err != nil {
+				t.Errorf("ReadFull: %v", err)
+				return
+			}
+		}
+		c.Write(p, []byte{1})
+	})
+	env.Go("client", func(p *sim.Proc) {
+		c, err := a.Dial(p, b, 1)
+		for err != nil {
+			p.Sleep(sim.Microsecond)
+			c, err = a.Dial(p, b, 1)
+		}
+		t0 := p.Now()
+		data := make([]byte, chunk)
+		for i := 0; i < chunks; i++ {
+			c.Write(p, data)
+		}
+		one := make([]byte, 1)
+		c.ReadFull(p, one)
+		elapsed = p.Now().Sub(t0)
+	})
+	env.Run()
+	env.Close()
+	mbps := float64(chunk*chunks) / 1e6 / elapsed.Seconds()
+	eff := float64(n.Link().EffectiveBW(netmodel.DefaultMem())) / 1e6
+	if mbps < eff*0.6 || mbps > eff*1.05 {
+		t.Errorf("streaming throughput %.1f MB/s, want near effective %.1f MB/s", mbps, eff)
+	}
+}
+
+func TestListenerCloseUnblocksAccept(t *testing.T) {
+	env, _, _, b := newPair(t, netmodel.GigE())
+	var acceptErr error
+	env.Go("server", func(p *sim.Proc) {
+		l, _ := b.Listen(1)
+		env.After(10*sim.Microsecond, l.Close)
+		_, acceptErr = l.Accept(p)
+	})
+	env.Run()
+	env.Close()
+	if acceptErr == nil {
+		t.Error("Accept returned nil after listener close")
+	}
+}
+
+func TestDialAfterListenerClose(t *testing.T) {
+	env, _, a, b := newPair(t, netmodel.GigE())
+	env.Go("t", func(p *sim.Proc) {
+		l, _ := b.Listen(1)
+		l.Close()
+		if _, err := a.Dial(p, b, 1); err != ErrNoListener {
+			t.Errorf("err = %v, want ErrNoListener", err)
+		}
+	})
+	env.Run()
+	env.Close()
+}
+
+func TestTwoConnectionsShareHostLink(t *testing.T) {
+	// Two simultaneous streams through one host's egress must take about
+	// twice as long as one (link serialization).
+	run := func(conns int) sim.Duration {
+		env, _, a, b := newPair(t, netmodel.GigE())
+		const n = 256 * 1024
+		done := sim.NewEvent(env)
+		remaining := conns
+		l, _ := b.Listen(1)
+		for k := 0; k < conns; k++ {
+			env.Go("server", func(p *sim.Proc) {
+				c, err := l.Accept(p)
+				if err != nil {
+					return
+				}
+				buf := make([]byte, n)
+				c.ReadFull(p, buf)
+				remaining--
+				if remaining == 0 {
+					done.Trigger()
+				}
+			})
+			env.Go("client", func(p *sim.Proc) {
+				c, err := a.Dial(p, b, 1)
+				for err != nil {
+					p.Sleep(sim.Microsecond)
+					c, err = a.Dial(p, b, 1)
+				}
+				c.Write(p, make([]byte, n))
+			})
+		}
+		var end sim.Time
+		env.Go("waiter", func(p *sim.Proc) {
+			done.Wait(p)
+			end = p.Now()
+		})
+		env.Run()
+		env.Close()
+		return sim.Duration(end)
+	}
+	one, two := run(1), run(2)
+	if float64(two) < 1.6*float64(one) {
+		t.Errorf("2 streams (%v) should take ~2x one stream (%v)", two, one)
+	}
+}

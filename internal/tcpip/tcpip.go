@@ -1,0 +1,246 @@
+// Package tcpip models kernel TCP/IP stream sockets in virtual time, for
+// the paper's NBD baselines over Gigabit Ethernet and IPoIB.
+//
+// The model charges each side the TCP/IP stack costs that distinguish the
+// IP paths from native verbs: per-message and per-segment protocol
+// processing plus a kernel/user data copy, on top of wire serialization at
+// the sender's egress and receiver's ingress ports. Stream semantics
+// (byte-oriented, no message boundaries) are preserved, since the paper
+// contrasts them with InfiniBand's pre-posted-receive message model.
+package tcpip
+
+import (
+	"errors"
+
+	"hpbd/internal/netmodel"
+	"hpbd/internal/sim"
+)
+
+// Errors returned by socket operations.
+var (
+	ErrClosed     = errors.New("tcpip: connection closed")
+	ErrNoListener = errors.New("tcpip: connection refused")
+)
+
+// Network is one IP network (e.g. the GigE segment or the IPoIB fabric).
+type Network struct {
+	env  *sim.Env
+	link netmodel.LinkModel
+	mem  netmodel.MemModel
+}
+
+// NewNetwork creates a network from a link model.
+func NewNetwork(env *sim.Env, link netmodel.LinkModel, mem netmodel.MemModel) *Network {
+	return &Network{env: env, link: link, mem: mem}
+}
+
+// Env returns the simulation environment.
+func (n *Network) Env() *sim.Env { return n.env }
+
+// Link returns the underlying link model.
+func (n *Network) Link() netmodel.LinkModel { return n.link }
+
+// Host is a node's presence on one network.
+type Host struct {
+	net       *Network
+	name      string
+	listeners map[int]*Listener
+
+	egressFree  sim.Time
+	ingressFree sim.Time
+}
+
+// NewHost attaches a host to the network.
+func (n *Network) NewHost(name string) *Host {
+	return &Host{net: n, name: name, listeners: make(map[int]*Listener)}
+}
+
+// Name returns the host name.
+func (h *Host) Name() string { return h.name }
+
+// Listener accepts incoming connections on a port.
+type Listener struct {
+	host    *Host
+	port    int
+	backlog *sim.Chan[*Conn]
+	closed  bool
+}
+
+// Listen starts accepting connections on port.
+func (h *Host) Listen(port int) (*Listener, error) {
+	if _, busy := h.listeners[port]; busy {
+		return nil, errors.New("tcpip: port in use")
+	}
+	l := &Listener{host: h, port: port, backlog: sim.NewChan[*Conn](h.net.env, 128)}
+	h.listeners[port] = l
+	return l, nil
+}
+
+// Accept blocks until a connection arrives.
+func (l *Listener) Accept(p *sim.Proc) (*Conn, error) {
+	c, ok := l.backlog.Recv(p)
+	if !ok {
+		return nil, ErrClosed
+	}
+	return c, nil
+}
+
+// Close stops the listener.
+func (l *Listener) Close() {
+	if l.closed {
+		return
+	}
+	l.closed = true
+	delete(l.host.listeners, l.port)
+	l.backlog.Close()
+}
+
+// chunk is a delivered burst of bytes plus the receive-side CPU the reader
+// must pay to consume it.
+type chunk struct {
+	data []byte
+	cpu  sim.Duration
+}
+
+// Conn is one direction-pair of a TCP connection.
+type Conn struct {
+	net    *Network
+	local  *Host
+	remote *Host
+	peer   *Conn
+	rx     []chunk
+	rxWait *sim.WaitQueue
+	closed bool
+}
+
+// Dial connects to (remote, port), charging the handshake round trips.
+func (h *Host) Dial(p *sim.Proc, remote *Host, port int) (*Conn, error) {
+	l := remote.listeners[port]
+	if l == nil || l.closed {
+		return nil, ErrNoListener
+	}
+	// Three-way handshake: one and a half RTTs of small packets.
+	p.Sleep(3 * h.net.link.Prop)
+	env := h.net.env
+	c := &Conn{net: h.net, local: h, remote: remote, rxWait: sim.NewWaitQueue(env)}
+	s := &Conn{net: h.net, local: remote, remote: h, rxWait: sim.NewWaitQueue(env)}
+	c.peer, s.peer = s, c
+	l.backlog.Send(p, s)
+	return c, nil
+}
+
+// Write sends len(data) bytes, charging the caller the send-side stack
+// cost and modeling wire occupancy. It returns after the local stack has
+// accepted the data (as with a socket send into the send buffer); delivery
+// happens asynchronously.
+func (c *Conn) Write(p *sim.Proc, data []byte) error {
+	if c.closed || c.peer == nil {
+		return ErrClosed
+	}
+	if c.peer.closed {
+		return ErrClosed
+	}
+	n := len(data)
+	link := c.net.link
+	// Send-side entry cost: syscall and first-segment processing. The
+	// remaining per-segment work pipelines with transmission and is
+	// captured by the effective bandwidth below.
+	p.Sleep(link.PerMsgCPU + link.SegTime(c.net.mem))
+
+	env := c.net.env
+	now := env.Now()
+	effBW := link.EffectiveBW(c.net.mem)
+	egStart := maxTime(now, c.local.egressFree)
+	egDone := egStart.Add(effBW.Over(n))
+	c.local.egressFree = egDone
+	inStart := maxTime(egStart.Add(link.Prop), c.remote.ingressFree)
+	inDone := inStart.Add(effBW.Over(n))
+	c.remote.ingressFree = inDone
+
+	payload := append([]byte(nil), data...)
+	// Receive-side cost paid by the reader: per-message processing plus
+	// one segment's worth of work (the rest overlapped with arrival).
+	rxCPU := link.PerMsgCPU + link.SegTime(c.net.mem)
+	peer := c.peer
+	env.After(inDone.Sub(now), func() {
+		if peer.closed {
+			return
+		}
+		peer.rx = append(peer.rx, chunk{data: payload, cpu: rxCPU})
+		peer.rxWait.WakeAll()
+	})
+	return nil
+}
+
+// Read consumes up to len(buf) available bytes, blocking until at least
+// one byte (or EOF) arrives. The reader pays the receive-side stack cost
+// proportional to the bytes consumed.
+func (c *Conn) Read(p *sim.Proc, buf []byte) (int, error) {
+	for len(c.rx) == 0 {
+		if c.closed {
+			return 0, ErrClosed
+		}
+		c.rxWait.Wait(p)
+	}
+	total := 0
+	var cpu sim.Duration
+	for total < len(buf) && len(c.rx) > 0 {
+		ch := &c.rx[0]
+		n := copy(buf[total:], ch.data)
+		total += n
+		if n == len(ch.data) {
+			cpu += ch.cpu
+			c.rx = c.rx[1:]
+		} else {
+			// Partial consume: charge proportionally.
+			cpu += sim.Duration(float64(ch.cpu) * float64(n) / float64(len(ch.data)))
+			ch.cpu -= sim.Duration(float64(ch.cpu) * float64(n) / float64(len(ch.data)))
+			ch.data = ch.data[n:]
+			break
+		}
+	}
+	p.Sleep(cpu)
+	return total, nil
+}
+
+// ReadFull reads exactly len(buf) bytes or fails.
+func (c *Conn) ReadFull(p *sim.Proc, buf []byte) error {
+	got := 0
+	for got < len(buf) {
+		n, err := c.Read(p, buf[got:])
+		if err != nil {
+			return err
+		}
+		got += n
+	}
+	return nil
+}
+
+// Close shuts the connection down in both directions.
+func (c *Conn) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.rxWait.WakeAll()
+	if c.peer != nil && !c.peer.closed {
+		c.peer.closed = true
+		c.peer.rxWait.WakeAll()
+	}
+}
+
+// Buffered returns the number of received-but-unread bytes.
+func (c *Conn) Buffered() int {
+	n := 0
+	for _, ch := range c.rx {
+		n += len(ch.data)
+	}
+	return n
+}
+
+func maxTime(a, b sim.Time) sim.Time {
+	if a > b {
+		return a
+	}
+	return b
+}

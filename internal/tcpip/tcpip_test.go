@@ -1,0 +1,213 @@
+package tcpip
+
+import (
+	"bytes"
+	"testing"
+
+	"hpbd/internal/netmodel"
+	"hpbd/internal/sim"
+)
+
+func newPair(t *testing.T, link netmodel.LinkModel) (*sim.Env, *Network, *Host, *Host) {
+	t.Helper()
+	env := sim.NewEnv()
+	n := NewNetwork(env, link, netmodel.DefaultMem())
+	return env, n, n.NewHost("a"), n.NewHost("b")
+}
+
+func TestDialWriteReadRoundTrip(t *testing.T) {
+	env, _, a, b := newPair(t, netmodel.GigE())
+	msg := []byte("swap me out, scotty")
+	var got []byte
+	env.Go("server", func(p *sim.Proc) {
+		l, err := b.Listen(7)
+		if err != nil {
+			t.Errorf("Listen: %v", err)
+			return
+		}
+		c, err := l.Accept(p)
+		if err != nil {
+			t.Errorf("Accept: %v", err)
+			return
+		}
+		buf := make([]byte, len(msg))
+		if err := c.ReadFull(p, buf); err != nil {
+			t.Errorf("ReadFull: %v", err)
+			return
+		}
+		got = buf
+		c.Write(p, []byte("ack"))
+	})
+	env.Go("client", func(p *sim.Proc) {
+		p.Sleep(sim.Microsecond) // let the listener come up
+		c, err := a.Dial(p, b, 7)
+		if err != nil {
+			t.Errorf("Dial: %v", err)
+			return
+		}
+		if err := c.Write(p, msg); err != nil {
+			t.Errorf("Write: %v", err)
+		}
+		ack := make([]byte, 3)
+		if err := c.ReadFull(p, ack); err != nil {
+			t.Errorf("read ack: %v", err)
+		}
+		if string(ack) != "ack" {
+			t.Errorf("ack = %q", ack)
+		}
+	})
+	env.Run()
+	if !bytes.Equal(got, msg) {
+		t.Errorf("server got %q", got)
+	}
+}
+
+func TestDialNoListener(t *testing.T) {
+	env, _, a, b := newPair(t, netmodel.GigE())
+	env.Go("client", func(p *sim.Proc) {
+		if _, err := a.Dial(p, b, 99); err != ErrNoListener {
+			t.Errorf("err = %v, want ErrNoListener", err)
+		}
+	})
+	env.Run()
+}
+
+func TestStreamCoalescesAndSplits(t *testing.T) {
+	// TCP is a byte stream: two writes may be read in one or many reads.
+	env, _, a, b := newPair(t, netmodel.IPoIB())
+	var got []byte
+	env.Go("server", func(p *sim.Proc) {
+		l, _ := b.Listen(1)
+		c, _ := l.Accept(p)
+		buf := make([]byte, 6)
+		for len(got) < 12 {
+			n, err := c.Read(p, buf)
+			if err != nil {
+				t.Errorf("Read: %v", err)
+				return
+			}
+			got = append(got, buf[:n]...)
+		}
+	})
+	env.Go("client", func(p *sim.Proc) {
+		p.Sleep(sim.Microsecond)
+		c, _ := a.Dial(p, b, 1)
+		c.Write(p, []byte("hello "))
+		c.Write(p, []byte("world!"))
+	})
+	env.Run()
+	if string(got) != "hello world!" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestGigESlowerThanIPoIB(t *testing.T) {
+	run := func(link netmodel.LinkModel) sim.Duration {
+		env, _, a, b := newPair(t, link)
+		n := 128 * 1024
+		var elapsed sim.Duration
+		env.Go("server", func(p *sim.Proc) {
+			l, _ := b.Listen(1)
+			c, _ := l.Accept(p)
+			buf := make([]byte, n)
+			c.ReadFull(p, buf)
+			c.Write(p, []byte{1})
+		})
+		env.Go("client", func(p *sim.Proc) {
+			c, err := a.Dial(p, b, 1)
+			for err != nil {
+				p.Sleep(sim.Microsecond)
+				c, err = a.Dial(p, b, 1)
+			}
+			t0 := p.Now()
+			c.Write(p, make([]byte, n))
+			one := make([]byte, 1)
+			c.ReadFull(p, one)
+			elapsed = p.Now().Sub(t0)
+		})
+		env.Run()
+		return elapsed
+	}
+	gige, ipoib := run(netmodel.GigE()), run(netmodel.IPoIB())
+	if gige <= ipoib {
+		t.Errorf("gige 128K RTT %v should exceed ipoib %v", gige, ipoib)
+	}
+	if float64(gige) > 3.0*float64(ipoib) {
+		t.Errorf("gige/ipoib = %.2f; expected < 3x (paper Fig. 1 shows ~2x at 128K)", float64(gige)/float64(ipoib))
+	}
+}
+
+func TestCloseUnblocksReader(t *testing.T) {
+	env, _, a, b := newPair(t, netmodel.GigE())
+	var readErr error
+	env.Go("server", func(p *sim.Proc) {
+		l, _ := b.Listen(1)
+		c, _ := l.Accept(p)
+		buf := make([]byte, 10)
+		_, readErr = c.Read(p, buf)
+	})
+	env.Go("client", func(p *sim.Proc) {
+		p.Sleep(sim.Microsecond)
+		c, _ := a.Dial(p, b, 1)
+		p.Sleep(10 * sim.Microsecond)
+		c.Close()
+	})
+	env.Run()
+	if readErr != ErrClosed {
+		t.Errorf("reader got %v, want ErrClosed", readErr)
+	}
+}
+
+func TestWriteAfterCloseFails(t *testing.T) {
+	env, _, a, b := newPair(t, netmodel.GigE())
+	env.Go("server", func(p *sim.Proc) {
+		l, _ := b.Listen(1)
+		l.Accept(p)
+	})
+	env.Go("client", func(p *sim.Proc) {
+		p.Sleep(sim.Microsecond)
+		c, _ := a.Dial(p, b, 1)
+		c.Close()
+		if err := c.Write(p, []byte("x")); err != ErrClosed {
+			t.Errorf("Write after close: %v, want ErrClosed", err)
+		}
+	})
+	env.Run()
+}
+
+func TestPortInUse(t *testing.T) {
+	env, _, _, b := newPair(t, netmodel.GigE())
+	if _, err := b.Listen(5); err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	if _, err := b.Listen(5); err == nil {
+		t.Error("second Listen on same port should fail")
+	}
+	env.Close()
+}
+
+func TestBufferedAccounting(t *testing.T) {
+	env, _, a, b := newPair(t, netmodel.GigE())
+	env.Go("pair", func(p *sim.Proc) {
+		l, _ := b.Listen(1)
+		var srv *Conn
+		done := sim.NewEvent(p.Env())
+		p.Env().Go("acc", func(p2 *sim.Proc) {
+			srv, _ = l.Accept(p2)
+			done.Trigger()
+		})
+		c, _ := a.Dial(p, b, 1)
+		done.Wait(p)
+		c.Write(p, make([]byte, 1000))
+		p.Sleep(10 * sim.Millisecond)
+		if srv.Buffered() != 1000 {
+			t.Errorf("Buffered = %d, want 1000", srv.Buffered())
+		}
+		buf := make([]byte, 400)
+		srv.Read(p, buf)
+		if srv.Buffered() != 600 {
+			t.Errorf("Buffered after partial read = %d, want 600", srv.Buffered())
+		}
+	})
+	env.Run()
+}

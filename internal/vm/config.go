@@ -1,0 +1,117 @@
+// Package vm simulates the Linux 2.4 virtual memory system as the paper's
+// swap traffic generator: paged address spaces, demand faults, a kswapd
+// background reclaimer with free-page watermarks, a two-list (active /
+// inactive) LRU approximation, clustered swap-slot allocation, and
+// swap-in readahead over prioritized swap devices.
+//
+// The package tracks page *state*, not page contents: byte fidelity of the
+// swap path is the block devices' business and is tested there. What vm
+// reproduces is the I/O request stream the paper's Figure 6 profiles —
+// large merged sequential write-outs and page_cluster-sized read-ins — and
+// the stall behaviour that turns device latency into application slowdown.
+package vm
+
+import (
+	"hpbd/internal/netmodel"
+)
+
+// PageSize is the x86 page size used throughout.
+const PageSize = 4096
+
+// PageShift is log2(PageSize).
+const PageShift = 12
+
+// SectorsPerPage is the number of 512-byte sectors per page.
+const SectorsPerPage = PageSize / 512
+
+// Config parameterizes a System.
+type Config struct {
+	// PhysPages is the number of physical page frames available for
+	// application memory (total memory minus the kernel's share).
+	PhysPages int
+	// FreeMin is the hard floor: allocations stall below it.
+	FreeMin int
+	// FreeLow wakes kswapd.
+	FreeLow int
+	// FreeHigh is kswapd's reclaim target.
+	FreeHigh int
+	// SwapClusterMax is kswapd's per-batch reclaim size in pages
+	// (Linux 2.4: 32 pages = one full 128 KB request when slots are
+	// contiguous).
+	SwapClusterMax int
+	// ReadAheadPages is the swap-in readahead window (Linux page_cluster
+	// default 2^3 = 8 pages).
+	ReadAheadPages int
+	// SlotCluster is the swap-slot allocator's cluster length
+	// (SWAPFILE_CLUSTER = 256 slots).
+	SlotCluster int
+	// Host carries the CPU cost model.
+	Host netmodel.HostModel
+}
+
+// DefaultConfig sizes a 2.4-style configuration for memBytes of
+// application-usable memory.
+func DefaultConfig(memBytes int64) Config {
+	pages := int(memBytes / PageSize)
+	min := pages / 64
+	if min < 16 {
+		min = 16
+	}
+	return Config{
+		PhysPages:      pages,
+		FreeMin:        min,
+		FreeLow:        min * 2,
+		FreeHigh:       min * 3,
+		SwapClusterMax: 32,
+		ReadAheadPages: 8,
+		SlotCluster:    256,
+		Host:           netmodel.DefaultHost(),
+	}
+}
+
+// PageState is the lifecycle state of a virtual page.
+type PageState uint8
+
+const (
+	// PageNotPresent means never touched or discarded-clean: the next
+	// touch is a demand-zero (or refill) fault with no swap-in.
+	PageNotPresent PageState = iota
+	// PageResident means mapped in a physical frame.
+	PageResident
+	// PageWriting means unmapped with write-out I/O in flight.
+	PageWriting
+	// PageSwappedOut means the contents live in a swap slot.
+	PageSwappedOut
+	// PageReading means swap-in I/O is in flight.
+	PageReading
+)
+
+func (s PageState) String() string {
+	switch s {
+	case PageNotPresent:
+		return "not-present"
+	case PageResident:
+		return "resident"
+	case PageWriting:
+		return "writing"
+	case PageSwappedOut:
+		return "swapped"
+	case PageReading:
+		return "reading"
+	}
+	return "?"
+}
+
+// Stats aggregates VM activity.
+type Stats struct {
+	Faults          int64 // all page faults
+	DemandZero      int64 // faults satisfied without I/O
+	SwapIns         int64 // faults requiring a read
+	ReadAheadPages  int64 // extra pages read by readahead
+	ReadAheadUseful int64 // readahead pages later faulted while resident
+	SwapOuts        int64 // pages written out
+	FreedClean      int64 // pages reclaimed without I/O
+	AllocStalls     int64 // times an allocation had to wait for memory
+	DirectReclaims  int64 // synchronous reclaim passes by allocators
+	KswapdWakes     int64
+}

@@ -1,0 +1,263 @@
+package vm
+
+import (
+	"container/list"
+	"errors"
+	"sort"
+
+	"hpbd/internal/blockdev"
+	"hpbd/internal/sim"
+)
+
+// ErrOutOfMemory reports that an allocation could not be satisfied: memory
+// and swap are exhausted (or reclaim made no progress).
+var ErrOutOfMemory = errors.New("vm: out of memory")
+
+// Page is the per-virtual-page bookkeeping record.
+type Page struct {
+	as         *AddressSpace
+	idx        int
+	state      PageState
+	dirty      bool
+	referenced bool
+
+	// Swap binding (valid in PageWriting/PageSwappedOut/PageReading, and
+	// in PageResident for clean swap-cache pages).
+	dev  *SwapDevice
+	slot int
+
+	// LRU membership while resident.
+	elem   *list.Element
+	active bool
+
+	// ioDone is triggered when an in-flight transition (write-out or
+	// read-in) finishes; waiters re-inspect state afterwards.
+	ioDone *sim.Event
+
+	// readahead marks pages brought in speculatively, for stats.
+	readahead bool
+}
+
+// State returns the page's current lifecycle state.
+func (pg *Page) State() PageState { return pg.state }
+
+// System is one node's VM: physical frames, the LRU lists, kswapd, and the
+// registered swap devices.
+type System struct {
+	env *sim.Env
+	cfg Config
+
+	freePages int
+	active    *list.List // of *Page, front = most recent
+	inactive  *list.List
+	swapDevs  []*SwapDevice
+
+	freeWait   *sim.WaitQueue // allocators waiting for memory
+	kswapdWake *sim.WaitQueue
+	// lastScanFutile records that the previous reclaim pass made no
+	// progress, so kswapd parks instead of spinning below the watermark.
+	lastScanFutile bool
+	// reclaiming serializes direct reclaim so concurrent allocators do
+	// not all launder at once.
+	reclaiming bool
+	// lowSwapHook fires once when free swap slots fall below
+	// lowSwapPages; consumers re-arm it after acting (dynamic swap
+	// growth, see internal/dynswap).
+	lowSwapPages int
+	lowSwapHook  func()
+	// rrCount drives round-robin rotation among equal-priority devices.
+	rrCount int64
+	stats   Stats
+}
+
+// NewSystem creates a VM on env and starts kswapd.
+func NewSystem(env *sim.Env, cfg Config) *System {
+	s := &System{
+		env:        env,
+		cfg:        cfg,
+		freePages:  cfg.PhysPages,
+		active:     list.New(),
+		inactive:   list.New(),
+		freeWait:   sim.NewWaitQueue(env),
+		kswapdWake: sim.NewWaitQueue(env),
+	}
+	env.Go("kswapd", s.kswapd)
+	return s
+}
+
+// Env returns the simulation environment.
+func (s *System) Env() *sim.Env { return s.env }
+
+// Config returns the VM configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Stats returns a copy of the counters.
+func (s *System) Stats() Stats { return s.stats }
+
+// FreePages returns the current free frame count.
+func (s *System) FreePages() int { return s.freePages }
+
+// AddSwap registers a block device queue as a swap area with the given
+// priority (higher is used first, as with swapon -p) and returns the
+// device record.
+func (s *System) AddSwap(q *blockdev.Queue, prio int) *SwapDevice {
+	d := newSwapDevice(q, prio, s.cfg.SlotCluster)
+	s.swapDevs = append(s.swapDevs, d)
+	s.sortSwapDevs()
+	return d
+}
+
+// SwapDevices returns the registered devices in priority order.
+func (s *System) SwapDevices() []*SwapDevice { return s.swapDevs }
+
+// SwapFree returns total free slots across devices.
+func (s *System) SwapFree() int {
+	n := 0
+	for _, d := range s.swapDevs {
+		n += d.FreeSlots()
+	}
+	return n
+}
+
+// SetLowSwapHook arms fn to fire (once, in scheduler context) when free
+// swap slots drop below pages. Re-arm after handling.
+func (s *System) SetLowSwapHook(pages int, fn func()) {
+	s.lowSwapPages = pages
+	s.lowSwapHook = fn
+}
+
+// allocSwapSlot picks a device and allocates a slot: highest priority
+// first, round-robin among devices of equal priority (as swapon does, so
+// equal-priority devices share load instead of filling in order).
+func (s *System) allocSwapSlot(pg *Page) (*SwapDevice, int, error) {
+	for _, d := range s.rotatedDevs() {
+		if slot, ok := d.allocSlot(pg); ok {
+			if s.lowSwapHook != nil && s.SwapFree() < s.lowSwapPages {
+				fn := s.lowSwapHook
+				s.lowSwapHook = nil
+				s.env.After(0, fn)
+			}
+			return d, slot, nil
+		}
+	}
+	if s.lowSwapHook != nil {
+		// Swap is already exhausted: fire immediately so growth can
+		// rescue the allocation (the page is retried on the next scan).
+		fn := s.lowSwapHook
+		s.lowSwapHook = nil
+		s.env.After(0, fn)
+	}
+	return nil, 0, ErrSwapFull
+}
+
+// lruAdd puts a resident page on the front of the active list.
+func (s *System) lruAdd(pg *Page) {
+	pg.active = true
+	pg.elem = s.active.PushFront(pg)
+}
+
+// lruRemove detaches a page from whichever list holds it.
+func (s *System) lruRemove(pg *Page) {
+	if pg.elem == nil {
+		return
+	}
+	if pg.active {
+		s.active.Remove(pg.elem)
+	} else {
+		s.inactive.Remove(pg.elem)
+	}
+	pg.elem = nil
+}
+
+// wakeKswapd nudges the background reclaimer.
+func (s *System) wakeKswapd() {
+	if s.kswapdWake.WakeOne() {
+		s.stats.KswapdWakes++
+	}
+}
+
+// allocFrame obtains one free frame for p. Below the low watermark the
+// allocating process performs synchronous direct reclaim — the Linux 2.4
+// balance_classzone behaviour the paper's platform ran — so application
+// progress is coupled to the swap device's write-back latency.
+func (s *System) allocFrame(p *sim.Proc) error {
+	if s.freePages < s.cfg.FreeLow && !s.reclaiming {
+		// Launder a batch ourselves and wait for it (balance_classzone).
+		// Concurrent allocators (and recursive swap-in allocations) skip
+		// straight to the floor check below. kswapd is only woken as a
+		// safety net near the hard floor.
+		s.reclaiming = true
+		s.directReclaim(p)
+		s.reclaiming = false
+	}
+	if s.freePages <= 2 {
+		// Emergency only: under sustained pressure reclaim happens in
+		// process context above; kswapd is the last-resort trickle.
+		s.wakeKswapd()
+	}
+	attempts := 0
+	for s.freePages <= 0 {
+		s.stats.AllocStalls++
+		s.wakeKswapd()
+		if !s.freeWait.WaitTimeout(p, 10*sim.Millisecond) {
+			attempts++
+			if attempts > 200 {
+				return ErrOutOfMemory
+			}
+		}
+	}
+	s.freePages--
+	return nil
+}
+
+// tryAllocFrame is the non-blocking variant used by readahead: it fails
+// rather than stalls when memory is tight.
+func (s *System) tryAllocFrame() bool {
+	if s.freePages <= s.cfg.FreeMin {
+		return false
+	}
+	s.freePages--
+	return true
+}
+
+// releaseFrame returns a frame to the free pool and wakes waiters.
+func (s *System) releaseFrame() {
+	s.freePages++
+	s.freeWait.WakeAll()
+}
+
+// rotatedDevs returns the devices in allocation order: descending
+// priority, with a rotating start position within each equal-priority
+// group. The rotation advances once per SlotCluster allocations so whole
+// clusters stay on one device (merging still works) while load spreads.
+func (s *System) rotatedDevs() []*SwapDevice {
+	if len(s.swapDevs) <= 1 {
+		return s.swapDevs
+	}
+	s.rrCount++
+	out := make([]*SwapDevice, 0, len(s.swapDevs))
+	for i := 0; i < len(s.swapDevs); {
+		j := i
+		for j < len(s.swapDevs) && s.swapDevs[j].Prio == s.swapDevs[i].Prio {
+			j++
+		}
+		group := s.swapDevs[i:j]
+		if len(group) == 1 {
+			out = append(out, group[0])
+		} else {
+			start := int(s.rrCount/int64(s.cfg.SlotCluster)) % len(group)
+			for k := 0; k < len(group); k++ {
+				out = append(out, group[(start+k)%len(group)])
+			}
+		}
+		i = j
+	}
+	return out
+}
+
+// sortSwapDevs keeps devices in descending priority order.
+func (s *System) sortSwapDevs() {
+	sort.SliceStable(s.swapDevs, func(i, j int) bool {
+		return s.swapDevs[i].Prio > s.swapDevs[j].Prio
+	})
+}

@@ -1,0 +1,66 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshalRequest: arbitrary bytes must never panic, and anything
+// that decodes successfully must re-encode to the same bytes.
+func FuzzUnmarshalRequest(f *testing.F) {
+	seed := make([]byte, RequestSize)
+	MarshalRequest(seed, &Request{Type: ReqWrite, Handle: 7, Offset: 4096, Length: 131072, Addr: 12, RKey: 9})
+	f.Add(seed)
+	f.Add(make([]byte, RequestSize))
+	f.Add([]byte{0x48})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := UnmarshalRequest(data)
+		if err != nil {
+			return
+		}
+		out := make([]byte, RequestSize)
+		MarshalRequest(out, &r)
+		if !bytes.Equal(out, data[:RequestSize]) {
+			t.Errorf("re-encode mismatch: %x vs %x", out, data[:RequestSize])
+		}
+	})
+}
+
+// FuzzUnmarshalReply mirrors the request fuzzer.
+func FuzzUnmarshalReply(f *testing.F) {
+	seed := make([]byte, ReplySize)
+	MarshalReply(seed, &Reply{Handle: 3, Status: StatusOK})
+	f.Add(seed)
+	f.Add(make([]byte, ReplySize))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := UnmarshalReply(data)
+		if err != nil {
+			return
+		}
+		out := make([]byte, ReplySize)
+		MarshalReply(out, &r)
+		if !bytes.Equal(out, data[:ReplySize]) {
+			t.Errorf("re-encode mismatch: %x vs %x", out, data[:ReplySize])
+		}
+	})
+}
+
+// FuzzUnmarshalHello covers the handshake path the real server exposes to
+// the network.
+func FuzzUnmarshalHello(f *testing.F) {
+	seed := make([]byte, HelloSize)
+	MarshalHello(seed, &Hello{AreaBytes: 1 << 20})
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := UnmarshalHello(data)
+		if err != nil {
+			return
+		}
+		out := make([]byte, HelloSize)
+		MarshalHello(out, &h)
+		if !bytes.Equal(out, data[:HelloSize]) {
+			t.Errorf("re-encode mismatch")
+		}
+	})
+}

@@ -1,0 +1,76 @@
+package wire
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	f := func(typ bool, handle, offset, addr uint64, length, rkey uint32) bool {
+		r := Request{Type: ReqWrite, Handle: handle, Offset: offset, Length: length, Addr: addr, RKey: rkey}
+		if typ {
+			r.Type = ReqRead
+		}
+		buf := make([]byte, RequestSize)
+		MarshalRequest(buf, &r)
+		got, err := UnmarshalRequest(buf)
+		if err != nil {
+			return false
+		}
+		r.Magic = ReqMagic
+		return got == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReplyRoundTrip(t *testing.T) {
+	f := func(handle uint64, st uint8) bool {
+		rp := Reply{Handle: handle, Status: Status(st)}
+		buf := make([]byte, ReplySize)
+		MarshalReply(buf, &rp)
+		got, err := UnmarshalReply(buf)
+		if err != nil {
+			return false
+		}
+		rp.Magic = RepMagic
+		return got == rp
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBadMagicRejected(t *testing.T) {
+	buf := make([]byte, RequestSize)
+	MarshalRequest(buf, &Request{Type: ReqRead, Handle: 7})
+	buf[0] ^= 0xff
+	if _, err := UnmarshalRequest(buf); err != ErrBadMagic {
+		t.Errorf("request err = %v, want ErrBadMagic", err)
+	}
+	rb := make([]byte, ReplySize)
+	MarshalReply(rb, &Reply{Handle: 7})
+	rb[1] ^= 0xff
+	if _, err := UnmarshalReply(rb); err != ErrBadMagic {
+		t.Errorf("reply err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestShortMessages(t *testing.T) {
+	if _, err := UnmarshalRequest(make([]byte, RequestSize-1)); err != ErrShortMessage {
+		t.Errorf("short request err = %v", err)
+	}
+	if _, err := UnmarshalReply(make([]byte, ReplySize-1)); err != ErrShortMessage {
+		t.Errorf("short reply err = %v", err)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if ReqWrite.String() != "write" || ReqRead.String() != "read" {
+		t.Error("ReqType strings wrong")
+	}
+	if StatusOK.String() != "ok" || StatusOutOfRange.String() != "out-of-range" {
+		t.Error("Status strings wrong")
+	}
+}

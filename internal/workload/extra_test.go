@@ -1,0 +1,140 @@
+package workload
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"hpbd/internal/sim"
+)
+
+// Quicksort must produce exactly what the stdlib sort produces on the
+// same input (it is a real sort, not a model of one).
+func TestQuicksortMatchesReference(t *testing.T) {
+	env, sys := newVM(4096, 1024)
+	rnd := rand.New(rand.NewSource(21))
+	q := NewQuicksort(sys, "qs", 1<<15, rand.New(rand.NewSource(21)))
+	ref := make([]int32, 1<<15)
+	for i := range ref {
+		ref[i] = int32(rnd.Uint32())
+	}
+	sort.Slice(ref, func(i, j int) bool { return ref[i] < ref[j] })
+	env.Go("qs", func(p *sim.Proc) {
+		if err := q.Run(p); err != nil {
+			t.Errorf("Run: %v", err)
+		}
+	})
+	env.Run()
+	env.Close()
+	for i := range ref {
+		if q.data[i] != ref[i] {
+			t.Fatalf("element %d = %d, want %d", i, q.data[i], ref[i])
+		}
+	}
+}
+
+// Property: sortedness and length hold for arbitrary small inputs,
+// including duplicates and adversarial patterns.
+func TestQuickQuicksortProperty(t *testing.T) {
+	f := func(vals []int32) bool {
+		env, sys := newVM(2048, 1024)
+		n := len(vals)
+		if n == 0 {
+			n = 1
+			vals = []int32{42}
+		}
+		q := NewQuicksort(sys, "qs", n, rand.New(rand.NewSource(1)))
+		copy(q.data, vals)
+		ok := true
+		env.Go("qs", func(p *sim.Proc) {
+			if err := q.Run(p); err != nil {
+				ok = false
+			}
+		})
+		env.Run()
+		env.Close()
+		if !ok || !q.Sorted() {
+			return false
+		}
+		// Same multiset.
+		ref := append([]int32(nil), vals...)
+		sort.Slice(ref, func(i, j int) bool { return ref[i] < ref[j] })
+		for i := range ref {
+			if q.data[i] != ref[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuicksortSortedInputNoPathology(t *testing.T) {
+	// Already-sorted input is Lomuto's worst case; insertionCutoff plus
+	// the recursion strategy must keep it from blowing the stack or
+	// running forever at test sizes.
+	env, sys := newVM(4096, 1024)
+	q := NewQuicksort(sys, "qs", 1<<14, rand.New(rand.NewSource(1)))
+	for i := range q.data {
+		q.data[i] = int32(i)
+	}
+	env.Go("qs", func(p *sim.Proc) {
+		if err := q.Run(p); err != nil {
+			t.Errorf("Run: %v", err)
+		}
+	})
+	env.Run()
+	env.Close()
+	if !q.Sorted() {
+		t.Error("sorted input came out unsorted")
+	}
+}
+
+func TestTestswapDeterministic(t *testing.T) {
+	run := func() sim.Time {
+		env, sys := newVM(512, 4096)
+		ts := NewTestswap(sys, 4<<20)
+		env.Go("ts", func(p *sim.Proc) { ts.Run(p) })
+		end := env.Run()
+		env.Close()
+		return end
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("runs differ: %v vs %v", a, b)
+	}
+}
+
+func TestBarnesCellsBoundedAcrossSteps(t *testing.T) {
+	env, sys := newVM(8192, 1024)
+	b := NewBarnes(sys, "b", 3000, 3, rand.New(rand.NewSource(13)))
+	env.Go("b", func(p *sim.Proc) {
+		if err := b.Run(p); err != nil {
+			t.Errorf("Run: %v", err)
+		}
+	})
+	env.Run()
+	env.Close()
+	if b.CellsUsed() == 0 || b.CellsUsed() >= b.maxCells {
+		t.Errorf("cells used = %d of %d", b.CellsUsed(), b.maxCells)
+	}
+}
+
+func TestWorkloadRelease(t *testing.T) {
+	env, sys := newVM(1024, 4096)
+	ts := NewTestswap(sys, 8<<20)
+	env.Go("ts", func(p *sim.Proc) {
+		if err := ts.Run(p); err != nil {
+			t.Errorf("Run: %v", err)
+		}
+		p.Sleep(50 * sim.Millisecond)
+		ts.Release()
+		if got := sys.FreePages(); got != sys.Config().PhysPages {
+			t.Errorf("free pages after release = %d, want %d", got, sys.Config().PhysPages)
+		}
+	})
+	env.Run()
+	env.Close()
+}

@@ -1,0 +1,51 @@
+package workload
+
+import (
+	"hpbd/internal/sim"
+	"hpbd/internal/vm"
+)
+
+// TestswapCPUPerInt is calibrated so the paper's in-memory run (1 GB of
+// integers in 5.8 s) is reproduced: 5.8 s / 256 Mi writes ~ 21.6 ns each.
+const TestswapCPUPerInt = 22 * sim.Nanosecond
+
+// Testswap is the paper's microbenchmark: allocate a large integer array
+// and sequentially write into it, driving a pure swap-out stream once the
+// array exceeds local memory.
+type Testswap struct {
+	arr   *PagedArray
+	elems int
+}
+
+// NewTestswap builds a testswap over bytes of array (4-byte integers).
+func NewTestswap(sys *vm.System, bytes int64) *Testswap {
+	elems := int(bytes / 4)
+	return &Testswap{
+		arr:   NewPagedArray(sys, "testswap", elems, 4, TestswapCPUPerInt),
+		elems: elems,
+	}
+}
+
+// Array exposes the underlying paged array for stats.
+func (t *Testswap) Array() *PagedArray { return t.arr }
+
+// Run writes every element once, in order.
+func (t *Testswap) Run(p *sim.Proc) error {
+	perPage := vm.PageSize / 4
+	for i := 0; i < t.elems; i += perPage {
+		n := t.elems - i
+		if n > perPage {
+			n = perPage
+		}
+		// One page-granularity access covering perPage integer stores.
+		t.arr.accum += t.arr.cpu * sim.Duration(n-1)
+		if err := t.arr.Access(p, i, true); err != nil {
+			return err
+		}
+	}
+	t.arr.Flush(p)
+	return nil
+}
+
+// Release frees the workload's memory.
+func (t *Testswap) Release() { t.arr.Release() }

@@ -2,8 +2,13 @@ package hpbd_test
 
 import (
 	"testing"
+	"time"
 
+	"hpbd/internal/cluster"
 	"hpbd/internal/experiments"
+	"hpbd/internal/sim"
+	"hpbd/internal/telemetry"
+	"hpbd/internal/workload"
 )
 
 // The benchmarks regenerate the paper's tables and figures, one benchmark
@@ -210,5 +215,62 @@ func BenchmarkAblationPoolSize(b *testing.B) {
 		if i == b.N-1 {
 			reportRows(b, res)
 		}
+	}
+}
+
+// telemetryRun executes one HPBD testswap with metrics-only telemetry
+// (the always-on default) or with span tracing enabled, returning the
+// wall-clock cost of the simulation.
+func telemetryRun(b *testing.B, tracing bool) time.Duration {
+	b.Helper()
+	env := sim.NewEnv()
+	reg := telemetry.New(env)
+	if tracing {
+		reg.EnableTracing()
+	}
+	node, err := cluster.Build(env, cluster.Config{
+		MemBytes:  8 << 20,
+		Swap:      cluster.SwapHPBD,
+		SwapBytes: 16 << 20,
+		Servers:   2,
+		Telemetry: reg,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := workload.NewTestswap(node.VM, 16<<20)
+	env.Go("testswap", func(p *sim.Proc) {
+		node.Ready.Wait(p)
+		if err := ts.Run(p); err != nil {
+			b.Errorf("testswap: %v", err)
+		}
+	})
+	start := time.Now()
+	env.Run()
+	elapsed := time.Since(start)
+	env.Close()
+	if tracing && reg.Tracer().Len() == 0 {
+		b.Fatal("tracing run recorded no events")
+	}
+	return elapsed
+}
+
+// BenchmarkTelemetryOverhead measures what instrumentation costs the
+// simulator in wall-clock time: the always-on metrics registry against
+// the same run with full span tracing enabled. The tracing/metrics_ratio
+// metric is the overhead of tracing; metrics themselves are part of both
+// runs because they are never disabled (they are nil-safe counters with
+// no sim-time cost, so the hot path pays only pointer increments).
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	// Warm up once so first-run allocation noise is excluded.
+	telemetryRun(b, false)
+	telemetryRun(b, true)
+	var base, traced time.Duration
+	for i := 0; i < b.N; i++ {
+		base += telemetryRun(b, false)
+		traced += telemetryRun(b, true)
+	}
+	if base > 0 {
+		b.ReportMetric(float64(traced)/float64(base), "tracing/metrics_ratio")
 	}
 }

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	hpbd-bench [-exp fig5,fig7] [-scale 32] [-seed 1] [-list]
+//	hpbd-bench -trace trace.json [-scale 32] [-seed 1]
 package main
 
 import (
@@ -24,12 +25,21 @@ func main() {
 		seed  = flag.Int64("seed", 1, "workload RNG seed")
 		list  = flag.Bool("list", false, "list experiment IDs and exit")
 		csv   = flag.Bool("csv", false, "emit CSV rows instead of tables")
+		trace = flag.String("trace", "", "run a traced multi-server testswap and write Chrome trace JSON to this path")
 	)
 	flag.Parse()
 
 	if *list {
 		for _, name := range experiments.Names() {
 			fmt.Println(name)
+		}
+		return
+	}
+
+	if *trace != "" {
+		if err := tracedRun(*trace, *scale, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -65,4 +75,28 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// tracedRun executes the traced multi-server testswap workload, writes
+// the Chrome trace-event file, and prints the telemetry summary.
+func tracedRun(path string, scale int, seed int64) error {
+	reg, err := experiments.TraceRun(experiments.Config{Scale: scale, Seed: seed}, 4)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.Tracer().WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d events; open at chrome://tracing or ui.perfetto.dev)\n\n",
+		path, reg.Tracer().Len())
+	fmt.Print(reg.Summary())
+	return nil
 }

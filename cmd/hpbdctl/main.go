@@ -1,11 +1,14 @@
 // Command hpbdctl exercises a running hpbd-server: it attaches an area,
 // verifies data integrity with random pages, and measures sequential and
-// random throughput with pipelined requests.
+// random throughput with pipelined requests. The trace subcommand needs
+// no server: it runs the simulated multi-server swap workload with event
+// tracing on and writes a Chrome trace-event file plus a metrics summary.
 //
 // Usage:
 //
 //	hpbdctl -server host:10809 -size 64 verify
 //	hpbdctl -server host:10809 -size 64 -credits 16 bench
+//	hpbdctl -out trace.json -servers 4 trace
 package main
 
 import (
@@ -14,8 +17,10 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
 	"time"
 
+	"hpbd/internal/experiments"
 	"hpbd/internal/netblock"
 )
 
@@ -25,11 +30,22 @@ func main() {
 		sizeMB  = flag.Int64("size", 64, "area size to attach, MiB")
 		credits = flag.Int("credits", 16, "outstanding request credit")
 		seed    = flag.Int64("seed", 1, "verification RNG seed")
+		out     = flag.String("out", "trace.json", "trace: output path for Chrome trace-event JSON")
+		servers = flag.Int("servers", 4, "trace: number of simulated memory servers")
+		scale   = flag.Int("scale", experiments.PaperScale, "trace: scale divisor for paper sizes")
 	)
 	flag.Parse()
 	cmd := flag.Arg(0)
 	if cmd == "" {
 		cmd = "verify"
+	}
+
+	// trace runs entirely in the simulator; no server connection needed.
+	if cmd == "trace" {
+		if err := trace(*out, *servers, *scale, *seed); err != nil {
+			log.Fatalf("hpbdctl trace: %v", err)
+		}
+		return
 	}
 
 	c, err := netblock.Dial(*server, *sizeMB<<20, *credits)
@@ -54,8 +70,34 @@ func main() {
 	case "bench":
 		bench(c)
 	default:
-		log.Fatalf("hpbdctl: unknown command %q (status|verify|bench)", cmd)
+		log.Fatalf("hpbdctl: unknown command %q (status|verify|bench|trace)", cmd)
 	}
+}
+
+// trace runs the simulated multi-server testswap workload with tracing
+// enabled, writes the span timeline as Chrome trace-event JSON (load it
+// at chrome://tracing or https://ui.perfetto.dev) and prints the metrics
+// summary.
+func trace(out string, servers, scale int, seed int64) error {
+	reg, err := experiments.TraceRun(experiments.Config{Scale: scale, Seed: seed}, servers)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := reg.Tracer().WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d events; open at chrome://tracing or ui.perfetto.dev)\n\n",
+		out, reg.Tracer().Len())
+	fmt.Print(reg.Summary())
+	return nil
 }
 
 // verify writes random pages across the area and reads them back.

@@ -1,26 +1,34 @@
 // Quickstart: build a two-node simulated InfiniBand cluster — a compute
 // node with 16 MB of memory and one memory server — register HPBD as the
 // swap device, and run the paper's testswap microbenchmark against it,
-// then against the local disk for comparison.
+// then against the local disk for comparison. With -trace, the HPBD run
+// records a span timeline and writes it as Chrome trace-event JSON.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"hpbd/internal/cluster"
 	"hpbd/internal/sim"
+	"hpbd/internal/telemetry"
 	"hpbd/internal/workload"
 )
 
-func run(kind cluster.SwapKind) sim.Duration {
+func run(kind cluster.SwapKind, reg func(*sim.Env) *telemetry.Registry) sim.Duration {
 	env := sim.NewEnv()
-	node, err := cluster.Build(env, cluster.Config{
+	cfg := cluster.Config{
 		MemBytes:  16 << 20, // 16 MB of local memory
 		Swap:      kind,
 		SwapBytes: 32 << 20, // 32 MB swap area
 		Servers:   1,
-	})
+	}
+	if reg != nil {
+		cfg.Telemetry = reg(env)
+	}
+	node, err := cluster.Build(env, cfg)
 	if err != nil {
 		log.Fatalf("build node: %v", err)
 	}
@@ -42,10 +50,38 @@ func run(kind cluster.SwapKind) sim.Duration {
 }
 
 func main() {
+	tracePath := flag.String("trace", "", "write a Chrome trace of the HPBD run to this path")
+	flag.Parse()
+
+	var traced *telemetry.Registry
+	var mkReg func(*sim.Env) *telemetry.Registry
+	if *tracePath != "" {
+		mkReg = func(env *sim.Env) *telemetry.Registry {
+			traced = telemetry.New(env)
+			traced.EnableTracing()
+			return traced
+		}
+	}
+
 	fmt.Println("testswap: 32 MB sequential store, 16 MB local memory")
-	hpbd := run(cluster.SwapHPBD)
-	disk := run(cluster.SwapDisk)
+	hpbd := run(cluster.SwapHPBD, mkReg)
+	disk := run(cluster.SwapDisk, nil)
 	fmt.Printf("  swap to remote memory (HPBD/InfiniBand): %v\n", hpbd)
 	fmt.Printf("  swap to local disk:                      %v\n", disk)
 	fmt.Printf("  remote memory is %.1fx faster\n", float64(disk)/float64(hpbd))
+
+	if traced != nil {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		if err := traced.Tracer().WriteJSON(f); err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		fmt.Printf("  wrote %s (%d events; open at chrome://tracing)\n",
+			*tracePath, traced.Tracer().Len())
+	}
 }

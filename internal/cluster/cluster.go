@@ -14,6 +14,7 @@ import (
 	"hpbd/internal/netmodel"
 	"hpbd/internal/sim"
 	"hpbd/internal/tcpip"
+	"hpbd/internal/telemetry"
 	"hpbd/internal/vm"
 )
 
@@ -77,6 +78,12 @@ type Config struct {
 	Elevator bool
 	// LogRequests enables per-request logging on the swap queue (Fig. 6).
 	LogRequests bool
+	// Telemetry, if non-nil, is the node-wide metrics registry shared by
+	// the VM, the fabric, the HPBD client and every server. Nil creates
+	// one per node (metrics are always on; tracing stays opt-in via
+	// Registry.EnableTracing). Layer-specific overrides (Client.Telemetry,
+	// IB.Telemetry, ...) win over this when set.
+	Telemetry *telemetry.Registry
 }
 
 // Node is an assembled machine.
@@ -85,6 +92,8 @@ type Node struct {
 	VM    *vm.System
 	Queue *blockdev.Queue
 	Swap  SwapKind
+	// Tel is the node-wide telemetry registry (never nil after Build).
+	Tel *telemetry.Registry
 
 	HPBD        *hpbd.Device
 	HPBDServers []*hpbd.Server
@@ -101,14 +110,22 @@ func Build(env *sim.Env, cfg Config) (*Node, error) {
 	if cfg.Servers <= 0 {
 		cfg.Servers = 1
 	}
+	tel := cfg.Telemetry
+	if tel == nil {
+		tel = telemetry.New(env)
+	}
 	vmcfg := vm.DefaultConfig(cfg.MemBytes)
 	if cfg.VMConfig != nil {
 		cfg.VMConfig(&vmcfg)
+	}
+	if vmcfg.Telemetry == nil {
+		vmcfg.Telemetry = tel
 	}
 	n := &Node{
 		Env:   env,
 		VM:    vm.NewSystem(env, vmcfg),
 		Swap:  cfg.Swap,
+		Tel:   tel,
 		Ready: sim.NewEvent(env),
 	}
 	host := vmcfg.Host
@@ -131,10 +148,16 @@ func Build(env *sim.Env, cfg Config) (*Node, error) {
 		if cfg.IB != nil {
 			ibcfg = *cfg.IB
 		}
+		if ibcfg.Telemetry == nil {
+			ibcfg.Telemetry = tel
+		}
 		fabric := ib.NewFabric(env, ibcfg)
 		ccfg := hpbd.DefaultClientConfig()
 		if cfg.Client != nil {
 			ccfg = *cfg.Client
+		}
+		if ccfg.Telemetry == nil {
+			ccfg.Telemetry = tel
 		}
 		dev := hpbd.NewDevice(fabric, "hpbd0", ccfg)
 		area := cfg.SwapBytes / int64(cfg.Servers)
@@ -147,7 +170,11 @@ func Build(env *sim.Env, cfg Config) (*Node, error) {
 			scfg = cfg.ServerCfg
 		}
 		for i := 0; i < cfg.Servers; i++ {
-			srv := hpbd.NewServer(fabric, fmt.Sprintf("mem%d", i), scfg(area))
+			sc := scfg(area)
+			if sc.Telemetry == nil {
+				sc.Telemetry = tel
+			}
+			srv := hpbd.NewServer(fabric, fmt.Sprintf("mem%d", i), sc)
 			if err := dev.ConnectServer(srv, area); err != nil {
 				return nil, err
 			}

@@ -29,11 +29,16 @@ const (
 	paperQsortInt = 256 << 20
 )
 
-// Row is one reported measurement.
+// Row is one reported measurement. P50ms/P99ms, when non-zero, are
+// per-page swap latency quantiles in milliseconds pulled from the node's
+// telemetry registry (vm.swapin.latency, falling back to
+// vm.swapout.latency for write-only workloads).
 type Row struct {
 	Label string
 	Value float64 // seconds unless the result says otherwise
 	Stat  string  // optional annotation
+	P50ms float64 // swap-in latency p50, ms (0 = not measured)
+	P99ms float64 // swap-in latency p99, ms (0 = not measured)
 }
 
 // Result is one reproduced table/figure.
@@ -86,6 +91,22 @@ func measure(ccfg cluster.Config, seed int64, mk func(*vm.System, *rand.Rand) ru
 		return 0, node, fmt.Errorf("workload: %w", runErr)
 	}
 	return elapsed, node, nil
+}
+
+// swapLatency extracts the node's per-page swap latency quantiles (ms)
+// from the telemetry registry: swap-in when the run faulted pages back,
+// otherwise swap-out (write-only workloads like testswap never swap in).
+// Zeros when the run never swapped at all.
+func swapLatency(node *cluster.Node) (p50ms, p99ms float64) {
+	h := node.Tel.Histogram("vm.swapin.latency")
+	if h.Count() == 0 {
+		h = node.Tel.Histogram("vm.swapout.latency")
+	}
+	if h.Count() == 0 {
+		return 0, 0
+	}
+	const ms = float64(sim.Millisecond)
+	return float64(h.Quantile(0.50)) / ms, float64(h.Quantile(0.99)) / ms
 }
 
 // swapConfigs returns the paper's five configurations for single-server

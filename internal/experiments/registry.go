@@ -74,6 +74,9 @@ func Format(r *Result) string {
 			continue
 		}
 		fmt.Fprintf(&b, "   %-*s  %10.3f %s", width, row.Label, row.Value, r.Unit)
+		if row.P99ms > 0 {
+			fmt.Fprintf(&b, "   swap p50=%.3fms p99=%.3fms", row.P50ms, row.P99ms)
+		}
 		if row.Stat != "" {
 			fmt.Fprintf(&b, "   [%s]", row.Stat)
 		}
@@ -82,12 +85,14 @@ func Format(r *Result) string {
 	return b.String()
 }
 
-// CSV renders a result as comma-separated rows (id,label,value,unit,stat)
-// for downstream plotting.
+// CSV renders a result as comma-separated rows
+// (id,label,value,unit,p50ms,p99ms,stat) for downstream plotting. The
+// latency columns are zero when the run did not measure them.
 func CSV(r *Result) string {
 	var b strings.Builder
 	for _, row := range r.Rows {
-		fmt.Fprintf(&b, "%s,%s,%g,%s,%q\n", r.ID, row.Label, row.Value, r.Unit, row.Stat)
+		fmt.Fprintf(&b, "%s,%s,%g,%s,%g,%g,%q\n",
+			r.ID, row.Label, row.Value, r.Unit, row.P50ms, row.P99ms, row.Stat)
 	}
 	return b.String()
 }

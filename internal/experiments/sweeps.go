@@ -37,15 +37,17 @@ func SweepBandwidth(c Config) (*Result, error) {
 			Servers:   1,
 			IB:        &ibcfg,
 		}
-		elapsed, _, err := measure(cfg, c.Seed, func(sys *vm.System, _ *rand.Rand) runnable {
+		elapsed, node, err := measure(cfg, c.Seed, func(sys *vm.System, _ *rand.Rand) runnable {
 			return workload.NewTestswap(sys, data)
 		})
 		if err != nil {
 			return nil, fmt.Errorf("%s/%.0f: %w", res.ID, mbps, err)
 		}
+		p50, p99 := swapLatency(node)
 		res.Rows = append(res.Rows, Row{
 			Label: fmt.Sprintf("%.0fMBps", mbps),
 			Value: elapsed.Seconds(),
+			P50ms: p50, P99ms: p99,
 		})
 	}
 	return res, nil
@@ -108,10 +110,12 @@ func SweepCredits(c Config) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%s/%d: %w", res.ID, credits, err)
 		}
+		p50, p99 := swapLatency(node)
 		res.Rows = append(res.Rows, Row{
 			Label: fmt.Sprintf("credits-%d", credits),
 			Value: elapsed.Seconds(),
-			Stat:  fmt.Sprintf("stalls %d", node.HPBD.Stats().CreditStalls),
+			P50ms: p50, P99ms: p99,
+			Stat: fmt.Sprintf("stalls %d", node.HPBD.Stats().CreditStalls),
 		})
 	}
 	return res, nil
@@ -141,9 +145,11 @@ func SweepReadahead(c Config) (*Result, error) {
 			return nil, fmt.Errorf("%s/%d: %w", res.ID, ra, err)
 		}
 		st := node.VM.Stats()
+		p50, p99 := swapLatency(node)
 		res.Rows = append(res.Rows, Row{
 			Label: fmt.Sprintf("ra-%d", ra),
 			Value: elapsed.Seconds(),
+			P50ms: p50, P99ms: p99,
 			Stat: fmt.Sprintf("swapins %d, ra %d, useful %d",
 				st.SwapIns, st.ReadAheadPages, st.ReadAheadUseful),
 		})

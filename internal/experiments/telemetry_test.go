@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestTraceRunMetrics runs the traced quick sort and checks every metric
+// the acceptance criteria call out: swap latency quantiles, pool alloc
+// accounting, per-server RDMA counts and the QP-cache miss counter.
+func TestTraceRunMetrics(t *testing.T) {
+	reg, err := TraceRunQuicksort(smallCfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	in := reg.Histogram("vm.swapin.latency")
+	if in.Count() == 0 {
+		t.Fatal("quick sort never swapped in; scale too large?")
+	}
+	p50, p99 := in.Quantile(0.50), in.Quantile(0.99)
+	if !(p99 >= p50 && p50 > 0) {
+		t.Fatalf("swap-in quantiles implausible: p50=%v p99=%v", p50, p99)
+	}
+	if out := reg.Histogram("vm.swapout.latency"); out.Count() == 0 {
+		t.Fatal("no swap-out latencies recorded")
+	}
+
+	if reg.Histogram("pool.alloc.wait").Count() != reg.Counter("pool.alloc.waits").Value() {
+		t.Fatalf("pool wait histogram (%d) and counter (%d) disagree",
+			reg.Histogram("pool.alloc.wait").Count(), reg.Counter("pool.alloc.waits").Value())
+	}
+	if reg.Gauge("pool.in_use").Peak() == 0 {
+		t.Fatal("pool in-use gauge never rose")
+	}
+
+	for _, srv := range []string{"mem0", "mem1"} {
+		if reg.Counter(srv+".rdma_issued").Value() == 0 {
+			t.Fatalf("%s issued no RDMA operations", srv)
+		}
+	}
+	// Two QPs on one HCA with a single-entry context cache: misses must
+	// occur (the Fig. 10 mechanism); at minimum the counter must exist.
+	if reg.Counter("ib.qp_cache_miss").Value() < 0 {
+		t.Fatal("qp cache miss counter negative")
+	}
+
+	if reg.Tracer().Len() == 0 {
+		t.Fatal("tracing was enabled but no events recorded")
+	}
+	var buf bytes.Buffer
+	if err := reg.Tracer().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace export invalid JSON: %v", err)
+	}
+
+	sum := reg.Summary()
+	for _, want := range []string{"vm.swapin.latency", "vm.swapout.latency", "hpbd.phys_reqs", "pool.in_use"} {
+		if !strings.Contains(sum, want) {
+			t.Fatalf("summary missing %q:\n%s", want, sum)
+		}
+	}
+}
+
+// TestSweepLatencyColumns checks that sweep rows carry the swap latency
+// quantiles pulled from the node registry.
+func TestSweepLatencyColumns(t *testing.T) {
+	res, err := SweepCredits(smallCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		if !(row.P99ms >= row.P50ms && row.P50ms > 0) {
+			t.Fatalf("row %s: latency columns not populated: p50=%g p99=%g",
+				row.Label, row.P50ms, row.P99ms)
+		}
+	}
+	text := Format(res)
+	if !strings.Contains(text, "swap p50=") {
+		t.Fatalf("formatted table missing latency annotation:\n%s", text)
+	}
+	csv := CSV(res)
+	line := strings.SplitN(csv, "\n", 2)[0]
+	if got := strings.Count(line, ","); got != 6 {
+		t.Fatalf("CSV row should have 7 columns, got %d+1: %s", got, line)
+	}
+}

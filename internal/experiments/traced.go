@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hpbd/internal/cluster"
+	"hpbd/internal/sim"
+	"hpbd/internal/telemetry"
+	"hpbd/internal/vm"
+	"hpbd/internal/workload"
+)
+
+// traceMeasure is measure with event tracing enabled: it builds a
+// multi-server HPBD node around a tracing registry, runs the workload,
+// and returns the registry for trace/metrics export.
+func traceMeasure(c Config, servers int, mk func(*vm.System, *rand.Rand) runnable) (*telemetry.Registry, error) {
+	if servers <= 0 {
+		servers = 4
+	}
+	s := c.scale()
+	env := sim.NewEnv()
+	reg := telemetry.New(env)
+	reg.EnableTracing()
+	cfg := cluster.Config{
+		MemBytes:  paperMem / s,
+		Swap:      cluster.SwapHPBD,
+		SwapBytes: paperSwap / s,
+		Servers:   servers,
+		Telemetry: reg,
+	}
+	node, err := cluster.Build(env, cfg)
+	if err != nil {
+		return nil, err
+	}
+	w := mk(node.VM, rand.New(rand.NewSource(c.Seed)))
+	var runErr error
+	env.Go("workload", func(p *sim.Proc) {
+		node.Ready.Wait(p)
+		runErr = w.Run(p)
+	})
+	env.Run()
+	env.Close()
+	if runErr != nil {
+		return reg, fmt.Errorf("traced workload: %w", runErr)
+	}
+	return reg, nil
+}
+
+// TraceRun executes the stock testswap workload over a multi-server HPBD
+// node with event tracing enabled and returns the node's telemetry
+// registry. Callers render the registry's tracer as Chrome trace-event
+// JSON (Tracer.WriteJSON) and its metrics as a table (Registry.Summary).
+// Servers defaults to 4 when <= 0, matching the paper's striped setup.
+func TraceRun(c Config, servers int) (*telemetry.Registry, error) {
+	s := c.scale()
+	data := int64(paperData) / s
+	return traceMeasure(c, servers, func(sys *vm.System, _ *rand.Rand) runnable {
+		return workload.NewTestswap(sys, data)
+	})
+}
+
+// TraceRunQuicksort is TraceRun with the quick-sort workload, whose
+// random access pattern exercises readahead and swap-cache behaviour the
+// sequential testswap does not.
+func TraceRunQuicksort(c Config, servers int) (*telemetry.Registry, error) {
+	s := c.scale()
+	elems := int(int64(paperQsortInt) / s)
+	return traceMeasure(c, servers, func(sys *vm.System, rnd *rand.Rand) runnable {
+		return workload.NewQuicksort(sys, "qsort", elems, rnd)
+	})
+}

@@ -8,6 +8,7 @@ import (
 	"hpbd/internal/ib"
 	"hpbd/internal/netmodel"
 	"hpbd/internal/sim"
+	"hpbd/internal/telemetry"
 	"hpbd/internal/wire"
 )
 
@@ -29,6 +30,9 @@ type ClientConfig struct {
 	Credits int
 	// Host carries wakeup costs.
 	Host netmodel.HostModel
+	// Telemetry, if non-nil, is the registry the driver reports into; nil
+	// gives the device a private registry so Stats() always works.
+	Telemetry *telemetry.Registry
 
 	// The remaining fields flip the paper's design choices for ablation
 	// studies; all default to the paper's design (false/zero).
@@ -55,7 +59,9 @@ func DefaultClientConfig() ClientConfig {
 	}
 }
 
-// DeviceStats aggregates client driver activity.
+// DeviceStats aggregates client driver activity. It is a snapshot view
+// assembled from the telemetry registry ("hpbd." counters); Stats() is the
+// compatibility accessor.
 type DeviceStats struct {
 	PhysReqs     int64 // physical requests sent to servers
 	Replies      int64
@@ -64,6 +70,36 @@ type DeviceStats struct {
 	Splits       int64 // block requests split across servers
 	CreditStalls int64 // sends that waited on flow-control credits
 	RemoteErrors int64
+}
+
+// deviceMetrics are the driver's registry handles, resolved once at
+// device creation so the hot path never touches the name maps.
+type deviceMetrics struct {
+	physReqs     *telemetry.Counter
+	replies      *telemetry.Counter
+	bytesWritten *telemetry.Counter
+	bytesRead    *telemetry.Counter
+	splits       *telemetry.Counter
+	creditStalls *telemetry.Counter
+	remoteErrors *telemetry.Counter
+	queueWait    *telemetry.Histogram // Submit enqueue -> sender dequeue
+	opWrite      *telemetry.Histogram // send posted -> reply handled
+	opRead       *telemetry.Histogram
+}
+
+func newDeviceMetrics(reg *telemetry.Registry) deviceMetrics {
+	return deviceMetrics{
+		physReqs:     reg.Counter("hpbd.phys_reqs"),
+		replies:      reg.Counter("hpbd.replies"),
+		bytesWritten: reg.Counter("hpbd.bytes_written"),
+		bytesRead:    reg.Counter("hpbd.bytes_read"),
+		splits:       reg.Counter("hpbd.splits"),
+		creditStalls: reg.Counter("hpbd.credit_stalls"),
+		remoteErrors: reg.Counter("hpbd.remote_errors"),
+		queueWait:    reg.Histogram("hpbd.queue.wait"),
+		opWrite:      reg.Histogram("hpbd.op.write"),
+		opRead:       reg.Histogram("hpbd.op.read"),
+	}
 }
 
 // serverLink is the client-side state for one memory server connection.
@@ -96,6 +132,8 @@ type phys struct {
 	poolOff int
 	handle  uint64
 	sent    bool
+	enqAt   sim.Time // handed to the sender queue
+	sentAt  sim.Time // SEND posted to the fabric
 }
 
 // Device is the HPBD client: a block device driver (blockdev.Driver) that
@@ -119,7 +157,9 @@ type Device struct {
 	nextH   uint64
 	sleepQ  *sim.WaitQueue
 	failed  bool
-	stats   DeviceStats
+	tel     *telemetry.Registry
+	met     deviceMetrics
+	tracer  *telemetry.Tracer
 }
 
 // NewDevice creates an HPBD client on the fabric. Connect servers with
@@ -127,7 +167,14 @@ type Device struct {
 func NewDevice(f *ib.Fabric, name string, cfg ClientConfig) *Device {
 	env := f.Env()
 	hca := f.NewHCA(name)
+	tel := cfg.Telemetry
+	if tel == nil {
+		tel = telemetry.New(env)
+	}
 	d := &Device{
+		tel:     tel,
+		met:     newDeviceMetrics(tel),
+		tracer:  tel.Tracer(),
 		env:     env,
 		name:    name,
 		cfg:     cfg,
@@ -142,6 +189,7 @@ func NewDevice(f *ib.Fabric, name string, cfg ClientConfig) *Device {
 	}
 	// The pool is registered once at device load time — the design point
 	// the paper's Figure 3 motivates.
+	d.pool.SetTelemetry(tel)
 	d.poolMR = hca.RegisterMRAtSetup(make([]byte, cfg.PoolBytes))
 	d.cq.SetEventHandler(func() { d.sleepQ.WakeAll() })
 	env.Go(name+"-sender", d.sender)
@@ -156,8 +204,22 @@ func (d *Device) Name() string { return d.name }
 // areas exported by the connected servers.
 func (d *Device) Sectors() int64 { return d.total / blockdev.SectorSize }
 
-// Stats returns a copy of the driver statistics.
-func (d *Device) Stats() DeviceStats { return d.stats }
+// Stats returns a snapshot of the driver statistics, read back from the
+// telemetry registry.
+func (d *Device) Stats() DeviceStats {
+	return DeviceStats{
+		PhysReqs:     d.met.physReqs.Value(),
+		Replies:      d.met.replies.Value(),
+		BytesWritten: d.met.bytesWritten.Value(),
+		BytesRead:    d.met.bytesRead.Value(),
+		Splits:       d.met.splits.Value(),
+		CreditStalls: d.met.creditStalls.Value(),
+		RemoteErrors: d.met.remoteErrors.Value(),
+	}
+}
+
+// Telemetry returns the registry the device reports into.
+func (d *Device) Telemetry() *telemetry.Registry { return d.tel }
 
 // Pool exposes the registration buffer pool (for stats and tests).
 func (d *Device) Pool() *BufferPool { return d.pool }
@@ -286,7 +348,7 @@ func (d *Device) Submit(p *sim.Proc, r *blockdev.Request) {
 		return
 	}
 	if len(segs) > 1 {
-		d.stats.Splits++
+		d.met.splits.Inc()
 	}
 	parent := &parentReq{req: r, remain: len(segs)}
 	var wdata []byte
@@ -324,6 +386,7 @@ func (d *Device) Submit(p *sim.Proc, r *blockdev.Request) {
 			length:  sg.length,
 			poolOff: poolOff,
 			handle:  d.nextH,
+			enqAt:   p.Now(),
 		}
 		d.pending[ph.handle] = ph
 		d.sendQ.Send(p, ph)
@@ -346,9 +409,12 @@ func (d *Device) sender(p *sim.Proc) {
 			}
 			continue
 		}
+		d.met.queueWait.Observe(p.Now().Sub(ph.enqAt))
 		if !ph.link.credits.TryAcquire(1) {
-			d.stats.CreditStalls++
+			d.met.creditStalls.Inc()
+			stall := d.tracer.Begin(d.name, "credit-stall")
 			ph.link.credits.Acquire(p, 1)
+			stall.End()
 		}
 		typ := wire.ReqRead
 		if ph.write {
@@ -379,7 +445,8 @@ func (d *Device) sender(p *sim.Proc) {
 			ph.link.credits.Release(1)
 			continue
 		}
-		d.stats.PhysReqs++
+		ph.sentAt = p.Now()
+		d.met.physReqs.Inc()
 	}
 }
 
@@ -445,13 +512,14 @@ func (d *Device) handleReply(p *sim.Proc, e ib.CQE) {
 		return // duplicate or stale
 	}
 	delete(d.pending, rep.Handle)
-	d.stats.Replies++
+	d.met.replies.Inc()
 
 	var ferr error
 	if rep.Status != wire.StatusOK {
-		d.stats.RemoteErrors++
+		d.met.remoteErrors.Inc()
 		ferr = fmt.Errorf("%w: %v", ErrRemote, rep.Status)
 	} else if !ph.write {
+		d.met.opRead.Observe(p.Now().Sub(ph.sentAt))
 		if d.cfg.RegisterOnTheFly {
 			p.Sleep(d.mem.Deregister())
 		} else {
@@ -459,12 +527,22 @@ func (d *Device) handleReply(p *sim.Proc, e ib.CQE) {
 			p.Sleep(d.mem.Memcpy(ph.length))
 		}
 		copy(ph.parent.readBuf[ph.off:], d.poolMR.Buf[ph.poolOff:ph.poolOff+ph.length])
-		d.stats.BytesRead += int64(ph.length)
+		d.met.bytesRead.Add(int64(ph.length))
 	} else {
+		d.met.opWrite.Observe(p.Now().Sub(ph.sentAt))
 		if d.cfg.RegisterOnTheFly {
 			p.Sleep(d.mem.Deregister())
 		}
-		d.stats.BytesWritten += int64(ph.length)
+		d.met.bytesWritten.Add(int64(ph.length))
+	}
+	if d.tracer != nil {
+		name := "read"
+		if ph.write {
+			name = "write"
+		}
+		d.tracer.Complete(d.name, name, ph.enqAt, p.Now(), map[string]any{
+			"bytes": ph.length, "server": ph.link.srv.Name(),
+		})
 	}
 	d.pool.Free(ph.poolOff)
 	link.credits.Release(1)

@@ -25,6 +25,7 @@ import (
 	"fmt"
 
 	"hpbd/internal/sim"
+	"hpbd/internal/telemetry"
 )
 
 // ErrPoolExhausted is returned by TryAlloc when no fitting block exists.
@@ -46,11 +47,20 @@ type BufferPool struct {
 	allocs  map[int]int
 	waiters *sim.WaitQueue
 
-	// Stats
+	// Stats. AllocWaits and PeakInUse predate the telemetry registry and
+	// stay exported for compatibility; SetTelemetry mirrors them into the
+	// registry (pool.alloc.waits counter, pool.in_use gauge) alongside the
+	// blocked-time histogram.
 	AllocWaits  int64 // allocations that had to block
 	PeakInUse   int
 	inUse       int
 	allocsTotal int64
+
+	// Telemetry handles (nil-safe: all no-ops until SetTelemetry).
+	waitCount *telemetry.Counter   // = AllocWaits, registry view
+	waitHist  *telemetry.Histogram // time spent blocked per waiting Alloc
+	inUseG    *telemetry.Gauge     // bytes allocated (peak = PeakInUse)
+	tracer    *telemetry.Tracer
 }
 
 // NewBufferPool creates a pool of size bytes.
@@ -61,6 +71,16 @@ func NewBufferPool(env *sim.Env, size int) *BufferPool {
 		allocs:  make(map[int]int),
 		waiters: sim.NewWaitQueue(env),
 	}
+}
+
+// SetTelemetry backs the pool's counters with reg under the "pool."
+// prefix: pool.alloc.waits (counter), pool.alloc.wait (histogram of time
+// blocked), pool.in_use (gauge, bytes). Call before first I/O.
+func (b *BufferPool) SetTelemetry(reg *telemetry.Registry) {
+	b.waitCount = reg.Counter("pool.alloc.waits")
+	b.waitHist = reg.Histogram("pool.alloc.wait")
+	b.inUseG = reg.Gauge("pool.in_use")
+	b.tracer = reg.Tracer()
 }
 
 // Size returns the pool capacity in bytes.
@@ -105,6 +125,7 @@ func (b *BufferPool) TryAlloc(n int) (int, error) {
 			if b.inUse > b.PeakInUse {
 				b.PeakInUse = b.inUse
 			}
+			b.inUseG.Set(int64(b.inUse))
 			return off, nil
 		}
 	}
@@ -119,13 +140,22 @@ func (b *BufferPool) Alloc(p *sim.Proc, n int) (int, error) {
 		return 0, fmt.Errorf("hpbd: allocation %d exceeds pool size %d", n, b.size)
 	}
 	waited := false
+	var t0 sim.Time
+	var span telemetry.Span
 	for {
 		off, err := b.TryAlloc(n)
 		if err == nil {
+			if waited {
+				b.waitHist.Observe(p.Now().Sub(t0))
+				span.EndArgs(map[string]any{"bytes": n})
+			}
 			return off, nil
 		}
 		if !waited {
 			b.AllocWaits++
+			b.waitCount.Inc()
+			t0 = p.Now()
+			span = b.tracer.Begin("pool", "alloc-wait")
 			waited = true
 		}
 		b.waiters.Wait(p)
@@ -141,6 +171,7 @@ func (b *BufferPool) Free(off int) {
 	}
 	delete(b.allocs, off)
 	b.inUse -= n
+	b.inUseG.Set(int64(b.inUse))
 
 	// Insert into the sorted free list.
 	i := 0

@@ -7,6 +7,7 @@ import (
 	"hpbd/internal/netmodel"
 	"hpbd/internal/ramdisk"
 	"hpbd/internal/sim"
+	"hpbd/internal/telemetry"
 	"hpbd/internal/wire"
 )
 
@@ -33,6 +34,10 @@ type ServerConfig struct {
 	StoreOpOverhead sim.Duration
 	// Host carries wakeup costs.
 	Host netmodel.HostModel
+	// Telemetry, if non-nil, is the registry the server reports into
+	// (metric names are prefixed with the server name); nil gives the
+	// server a private registry so Stats() always works.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultServerConfig returns the paper's server configuration for a
@@ -49,7 +54,9 @@ func DefaultServerConfig(storeBytes int64) ServerConfig {
 	}
 }
 
-// ServerStats aggregates server activity.
+// ServerStats aggregates server activity. It is a snapshot assembled from
+// the telemetry registry ("<name>." counters); Stats() is the
+// compatibility accessor.
 type ServerStats struct {
 	Requests    int64
 	Writes      int64
@@ -59,6 +66,33 @@ type ServerStats struct {
 	BadRequests int64
 	IdleSleeps  int64
 	RDMAIssued  int64
+}
+
+// serverMetrics are the server's registry handles, resolved once at
+// creation under the server's name prefix (per-server RDMA op counts are
+// what the multiserver figures need).
+type serverMetrics struct {
+	requests    *telemetry.Counter
+	writes      *telemetry.Counter
+	reads       *telemetry.Counter
+	bytesStored *telemetry.Counter
+	bytesServed *telemetry.Counter
+	badRequests *telemetry.Counter
+	idleSleeps  *telemetry.Counter
+	rdmaIssued  *telemetry.Counter
+}
+
+func newServerMetrics(reg *telemetry.Registry, name string) serverMetrics {
+	return serverMetrics{
+		requests:    reg.Counter(name + ".requests"),
+		writes:      reg.Counter(name + ".writes"),
+		reads:       reg.Counter(name + ".reads"),
+		bytesStored: reg.Counter(name + ".bytes_stored"),
+		bytesServed: reg.Counter(name + ".bytes_served"),
+		badRequests: reg.Counter(name + ".bad_requests"),
+		idleSleeps:  reg.Counter(name + ".idle_sleeps"),
+		rdmaIssued:  reg.Counter(name + ".rdma_issued"),
+	}
 }
 
 // srvReq is one request in flight inside the server.
@@ -91,7 +125,9 @@ type Server struct {
 	sleepQ    *sim.WaitQueue
 	rdmaWaits map[uint64]*sim.Event
 	nextWRID  uint64
-	stats     ServerStats
+	tel       *telemetry.Registry
+	met       serverMetrics
+	tracer    *telemetry.Tracer
 }
 
 // NewServer creates a memory server on the fabric and starts its daemon
@@ -99,7 +135,14 @@ type Server struct {
 func NewServer(f *ib.Fabric, name string, cfg ServerConfig) *Server {
 	env := f.Env()
 	hca := f.NewHCA(name)
+	tel := cfg.Telemetry
+	if tel == nil {
+		tel = telemetry.New(env)
+	}
 	s := &Server{
+		tel:       tel,
+		met:       newServerMetrics(tel, name),
+		tracer:    tel.Tracer(),
 		env:       env,
 		name:      name,
 		cfg:       cfg,
@@ -117,8 +160,8 @@ func NewServer(f *ib.Fabric, name string, cfg ServerConfig) *Server {
 	env.Go(name+"-recv", s.recvLoop)
 	env.Go(name+"-datacq", s.dataCQLoop)
 	for i := 0; i < cfg.Workers; i++ {
-		i := i
-		env.Go(fmt.Sprintf("%s-worker%d", name, i), s.worker)
+		wname := fmt.Sprintf("%s-worker%d", name, i)
+		env.Go(wname, func(p *sim.Proc) { s.worker(p, wname) })
 	}
 	return s
 }
@@ -126,8 +169,23 @@ func NewServer(f *ib.Fabric, name string, cfg ServerConfig) *Server {
 // Name returns the server's name.
 func (s *Server) Name() string { return s.name }
 
-// Stats returns a copy of the server statistics.
-func (s *Server) Stats() ServerStats { return s.stats }
+// Stats returns a snapshot of the server statistics, read back from the
+// telemetry registry.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		Requests:    s.met.requests.Value(),
+		Writes:      s.met.writes.Value(),
+		Reads:       s.met.reads.Value(),
+		BytesStored: s.met.bytesStored.Value(),
+		BytesServed: s.met.bytesServed.Value(),
+		BadRequests: s.met.badRequests.Value(),
+		IdleSleeps:  s.met.idleSleeps.Value(),
+		RDMAIssued:  s.met.rdmaIssued.Value(),
+	}
+}
+
+// Telemetry returns the registry the server reports into.
+func (s *Server) Telemetry() *telemetry.Registry { return s.tel }
 
 // Store exposes the backing RamDisk (tests verify stored bytes through it).
 func (s *Server) Store() *ramdisk.RamDisk { return s.store }
@@ -179,13 +237,15 @@ func (s *Server) recvLoop(p *sim.Proc) {
 		e, ok := s.reqCQ.WaitPollTimeout(p, s.cfg.IdleSpin)
 		if !ok {
 			// Yield: arm the completion event and sleep.
-			s.stats.IdleSleeps++
+			s.met.idleSleeps.Inc()
+			s.tracer.Instant(s.name, "idle-sleep")
 			s.reqCQ.ReqNotify(false)
 			if e2, ok2 := s.reqCQ.Poll(); ok2 {
 				e = e2
 			} else {
 				s.sleepQ.Wait(p)
 				p.Sleep(s.cfg.Host.Wakeup)
+				s.tracer.Instant(s.name, "wakeup")
 				continue
 			}
 		}
@@ -212,14 +272,14 @@ func (s *Server) handleRecvCQE(p *sim.Proc, e ib.CQE) {
 		return // connection torn down
 	}
 	if err != nil {
-		s.stats.BadRequests++
+		s.met.badRequests.Inc()
 		s.env.Go(s.name+"-nak", func(wp *sim.Proc) {
 			nakMR := s.hca.RegisterMRAtSetup(make([]byte, wire.ReplySize))
 			s.sendReply(wp, conn, nakMR, req.Handle, wire.StatusBadRequest)
 		})
 		return
 	}
-	s.stats.Requests++
+	s.met.requests.Inc()
 	s.work.Send(p, srvReq{conn: conn, req: req})
 }
 
@@ -260,7 +320,7 @@ func (s *Server) postRDMA(p *sim.Proc, conn *clientConn, op ib.Opcode, local ib.
 		delete(s.rdmaWaits, id)
 		return nil, err
 	}
-	s.stats.RDMAIssued++
+	s.met.rdmaIssued.Inc()
 	return ev, nil
 }
 
@@ -278,8 +338,9 @@ func (s *Server) sendReply(p *sim.Proc, conn *clientConn, replyMR *ib.MR, handle
 }
 
 // worker processes requests with its own staging buffer, providing the
-// multiple-outstanding-RDMA + memcpy overlap of §4.2.1.
-func (s *Server) worker(p *sim.Proc) {
+// multiple-outstanding-RDMA + memcpy overlap of §4.2.1. wname labels this
+// worker's trace track so the overlap is visible across workers.
+func (s *Server) worker(p *sim.Proc, wname string) {
 	staging := s.hca.RegisterMRAtSetup(make([]byte, s.cfg.StagingBytes))
 	replyMR := s.hca.RegisterMRAtSetup(make([]byte, wire.ReplySize))
 	for {
@@ -291,7 +352,7 @@ func (s *Server) worker(p *sim.Proc) {
 		n := int(req.Length)
 		if n <= 0 || n > s.cfg.StagingBytes ||
 			req.Offset+uint64(n) > uint64(conn.areaSize) {
-			s.stats.BadRequests++
+			s.met.badRequests.Inc()
 			s.sendReply(p, conn, replyMR, req.Handle, wire.StatusOutOfRange)
 			continue
 		}
@@ -299,6 +360,7 @@ func (s *Server) worker(p *sim.Proc) {
 		switch req.Type {
 		case wire.ReqWrite:
 			// Swap-out: pull the page data out of the client's pool.
+			span := s.tracer.Begin(wname, "rdma-read")
 			ev, err := s.postRDMA(p, conn, ib.OpRDMARead,
 				ib.Segment{MR: staging, Off: 0, Len: n}, req.RKey, int(req.Addr))
 			if err != nil {
@@ -306,23 +368,29 @@ func (s *Server) worker(p *sim.Proc) {
 				continue
 			}
 			ev.Wait(p)
+			span.EndArgs(map[string]any{"bytes": n})
 			if conn.qp.Closed() {
 				continue
 			}
+			span = s.tracer.Begin(wname, "store-write")
 			if err := s.store.WriteAt(p, staging.Buf[:n], storeOff); err != nil {
 				s.sendReply(p, conn, replyMR, req.Handle, wire.StatusServerError)
 				continue
 			}
-			s.stats.Writes++
-			s.stats.BytesStored += int64(n)
+			span.EndArgs(map[string]any{"bytes": n})
+			s.met.writes.Inc()
+			s.met.bytesStored.Add(int64(n))
 			s.sendReply(p, conn, replyMR, req.Handle, wire.StatusOK)
 
 		case wire.ReqRead:
 			// Swap-in: push stored data into the client's pool.
+			span := s.tracer.Begin(wname, "store-read")
 			if err := s.store.ReadAt(p, staging.Buf[:n], storeOff); err != nil {
 				s.sendReply(p, conn, replyMR, req.Handle, wire.StatusServerError)
 				continue
 			}
+			span.EndArgs(map[string]any{"bytes": n})
+			span = s.tracer.Begin(wname, "rdma-write")
 			ev, err := s.postRDMA(p, conn, ib.OpRDMAWrite,
 				ib.Segment{MR: staging, Off: 0, Len: n}, req.RKey, int(req.Addr))
 			if err != nil {
@@ -330,15 +398,16 @@ func (s *Server) worker(p *sim.Proc) {
 				continue
 			}
 			ev.Wait(p)
+			span.EndArgs(map[string]any{"bytes": n})
 			if conn.qp.Closed() {
 				continue
 			}
-			s.stats.Reads++
-			s.stats.BytesServed += int64(n)
+			s.met.reads.Inc()
+			s.met.bytesServed.Add(int64(n))
 			s.sendReply(p, conn, replyMR, req.Handle, wire.StatusOK)
 
 		default:
-			s.stats.BadRequests++
+			s.met.badRequests.Inc()
 			s.sendReply(p, conn, replyMR, req.Handle, wire.StatusBadRequest)
 		}
 	}

@@ -25,6 +25,7 @@ import (
 
 	"hpbd/internal/netmodel"
 	"hpbd/internal/sim"
+	"hpbd/internal/telemetry"
 )
 
 // Opcode identifies the type of a work request or completion.
@@ -96,6 +97,10 @@ type Config struct {
 	// EventDelay is the latency from a completion to the completion event
 	// handler running (interrupt + handler dispatch).
 	EventDelay sim.Duration
+	// Telemetry, if non-nil, receives the fabric's metrics (the
+	// ib.qp_cache_miss counter) and, when its tracer is enabled,
+	// post-to-completion spans for every work request on each HCA's track.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultConfig returns the calibrated MT23108-era configuration.
@@ -131,13 +136,17 @@ func (f *Fabric) Config() Config { return f.cfg }
 // NewHCA attaches a new host channel adapter to the fabric.
 func (f *Fabric) NewHCA(name string) *HCA {
 	h := &HCA{
-		fabric: f,
-		name:   name,
-		mrs:    make(map[uint32]*MR),
+		fabric:    f,
+		name:      name,
+		mrs:       make(map[uint32]*MR),
+		missCount: f.cfg.Telemetry.Counter("ib.qp_cache_miss"),
 	}
 	f.hcas = append(f.hcas, h)
 	return h
 }
+
+// tracer returns the fabric's span tracer, nil when tracing is off.
+func (f *Fabric) tracer() *telemetry.Tracer { return f.cfg.Telemetry.Tracer() }
 
 // HCA is a host channel adapter: the node's port onto the fabric.
 type HCA struct {
@@ -151,6 +160,10 @@ type HCA struct {
 
 	egressFree  sim.Time
 	ingressFree sim.Time
+
+	// missCount tallies operations that paid a QP-context fetch penalty
+	// (nil-safe handle into Config.Telemetry, shared across HCAs).
+	missCount *telemetry.Counter
 }
 
 // Name returns the HCA's diagnostic name.
@@ -216,6 +229,7 @@ func (h *HCA) qpPenalty(qp *QP) sim.Duration {
 		return 0
 	}
 	_ = qp
+	h.missCount.Inc()
 	missFrac := 1 - float64(size)/float64(n)
 	return sim.Duration(float64(h.fabric.cfg.QPCacheMiss) * missFrac)
 }

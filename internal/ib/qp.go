@@ -177,6 +177,7 @@ func (q *QP) issue(wr SendWR) {
 				st = StatusFlushErr
 			}
 			q.sendCQ.push(CQE{WRID: wr.ID, Op: wr.Op, Status: st, QP: q, ByteLen: n})
+			q.traceComplete(wr.Op, now, n)
 		})
 
 	case OpRDMARead:
@@ -186,13 +187,25 @@ func (q *QP) issue(wr SendWR) {
 		reqArrive := maxTime(start, src.egressFree).Add(cfg.Link.BW.Over(32)).Add(cfg.Link.Prop)
 		peer := q.peer
 		env.After(reqArrive.Sub(now), func() {
-			q.completeRDMARead(wr, peer, n)
+			q.completeRDMARead(wr, peer, n, now)
 		})
 	}
 }
 
-// completeRDMARead runs at the responder when the read request arrives.
-func (q *QP) completeRDMARead(wr SendWR, peer *QP, n int) {
+// traceComplete records one post-to-completion span on the posting HCA's
+// track (no-op unless fabric tracing is enabled).
+func (q *QP) traceComplete(op Opcode, postAt sim.Time, n int) {
+	tr := q.hca.fabric.tracer()
+	if tr == nil {
+		return
+	}
+	tr.Complete(q.hca.name, op.String(), postAt, q.hca.fabric.env.Now(),
+		map[string]any{"bytes": n, "qpn": q.qpn})
+}
+
+// completeRDMARead runs at the responder when the read request arrives;
+// postAt is when the requester posted the WR (for the completion span).
+func (q *QP) completeRDMARead(wr SendWR, peer *QP, n int, postAt sim.Time) {
 	env := q.hca.fabric.env
 	cfg := q.hca.fabric.cfg
 	now := env.Now()
@@ -221,6 +234,7 @@ func (q *QP) completeRDMARead(wr SendWR, peer *QP, n int) {
 			copy(wr.Local.bytes(), payload)
 		}
 		q.sendCQ.push(CQE{WRID: wr.ID, Op: wr.Op, Status: st, QP: q, ByteLen: n})
+		q.traceComplete(wr.Op, postAt, n)
 	})
 }
 

@@ -1,0 +1,161 @@
+package telemetry
+
+import "hpbd/internal/sim"
+
+// bucketBounds are the shared upper bounds of every histogram's buckets:
+// log-spaced with four sub-buckets per octave (ratio 2^(1/4) ~ 1.19) from
+// 64 ns up past 100 virtual seconds. The geometry bounds the quantile
+// error: any extracted quantile lies within one bucket (< 19% relative)
+// of the exact order statistic.
+var bucketBounds = makeBounds()
+
+func makeBounds() []sim.Duration {
+	var bounds []sim.Duration
+	last := sim.Duration(0)
+	// 2^(1/4) steps without floating-point accumulation error: each octave
+	// is exact (64 << o) and the sub-buckets interpolate geometrically.
+	ratios := []float64{1, 1.189207, 1.414214, 1.681793}
+	for octave := 0; ; octave++ {
+		base := sim.Duration(64) << uint(octave)
+		for _, r := range ratios {
+			b := sim.Duration(float64(base) * r)
+			if b <= last {
+				b = last + 1
+			}
+			bounds = append(bounds, b)
+			last = b
+			if b > 200*sim.Second {
+				return bounds
+			}
+		}
+	}
+}
+
+// Histogram accumulates latency observations into fixed log-spaced
+// buckets. Quantiles are extracted to within one bucket of the exact
+// value; exact min, max, count and sum are kept alongside.
+type Histogram struct {
+	name   string
+	counts []int64 // one per bound, plus the final overflow bucket
+	count  int64
+	sum    sim.Duration
+	min    sim.Duration
+	max    sim.Duration
+}
+
+func newHistogram(name string) *Histogram {
+	return &Histogram{name: name, counts: make([]int64, len(bucketBounds)+1)}
+}
+
+// Observe records one latency sample. Negative samples clamp to zero.
+func (h *Histogram) Observe(d sim.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.counts[h.bucket(d)]++
+	h.count++
+	h.sum += d
+	if h.count == 1 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// bucket returns the index of the first bucket whose bound is >= d, by
+// binary search (the overflow bucket for samples beyond the last bound).
+func (h *Histogram) bucket(d sim.Duration) int {
+	lo, hi := 0, len(bucketBounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bucketBounds[mid] < d {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// Sum returns the total of all samples.
+func (h *Histogram) Sum() sim.Duration {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Min returns the smallest sample (0 when empty).
+func (h *Histogram) Min() sim.Duration {
+	if h == nil {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest sample (0 when empty).
+func (h *Histogram) Max() sim.Duration {
+	if h == nil {
+		return 0
+	}
+	return h.max
+}
+
+// Mean returns the arithmetic mean (0 when empty).
+func (h *Histogram) Mean() sim.Duration {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	return h.sum / sim.Duration(h.count)
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) as the upper bound of
+// the bucket holding the order statistic, clamped into [Min, Max] so that
+// degenerate distributions report exact values. Empty histograms return 0.
+func (h *Histogram) Quantile(q float64) sim.Duration {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q*float64(h.count) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	cum := int64(0)
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			var v sim.Duration
+			if i < len(bucketBounds) {
+				v = bucketBounds[i]
+			} else {
+				v = h.max
+			}
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}

@@ -1,0 +1,221 @@
+// Package telemetry is the observability layer for the HPBD stack: a
+// sim-time-aware metrics registry (counters, gauges, and latency
+// histograms with quantile extraction) plus a structured span tracer that
+// exports Chrome trace_event JSON for chrome://tracing / Perfetto.
+//
+// Every handle type (*Registry, *Counter, *Gauge, *Histogram, *Tracer and
+// Span) is nil-safe: methods on a nil receiver are no-ops that return zero
+// values, so instrumented code paths need no "is telemetry on?" branches.
+// A subsystem holds handles obtained once at setup; when telemetry is
+// disabled the handles are nil and the hot path pays only a nil check.
+//
+// Metrics are timestamp-free aggregates; the tracer timestamps events in
+// virtual time (sim.Time), so traces from the deterministic simulation are
+// exactly reproducible run-to-run.
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hpbd/internal/sim"
+)
+
+// Registry owns a namespace of named metrics and (optionally) a tracer.
+// Metric handles are created on first access and shared thereafter. Like
+// the rest of the simulation, a Registry is confined to one sim.Env's
+// cooperatively-scheduled processes and needs no locking.
+type Registry struct {
+	now      func() sim.Time
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	tracer   *Tracer
+}
+
+// New creates a registry whose tracer (if enabled) timestamps events with
+// env's virtual clock.
+func New(env *sim.Env) *Registry { return NewWithClock(env.Now) }
+
+// NewWithClock creates a registry on an arbitrary clock (tests).
+func NewWithClock(now func() sim.Time) *Registry {
+	return &Registry{
+		now:      now,
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{name: name}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{name: name}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named latency histogram, creating it if needed.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	h := r.hists[name]
+	if h == nil {
+		h = newHistogram(name)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// EnableTracing attaches a span tracer to the registry. Before this call
+// Tracer returns nil and all span operations are no-ops.
+func (r *Registry) EnableTracing() *Tracer {
+	if r == nil {
+		return nil
+	}
+	if r.tracer == nil {
+		r.tracer = newTracer(r.now)
+	}
+	return r.tracer
+}
+
+// Tracer returns the attached tracer, or nil when tracing is disabled.
+func (r *Registry) Tracer() *Tracer {
+	if r == nil {
+		return nil
+	}
+	return r.tracer
+}
+
+// Counter is a monotonically accumulating int64 metric.
+type Counter struct {
+	name string
+	v    int64
+}
+
+// Add increases the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v += n
+}
+
+// Inc increases the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the accumulated count (0 on a nil handle).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is an instantaneous level metric that also tracks its peak.
+type Gauge struct {
+	name string
+	v    int64
+	peak int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v = v
+	if v > g.peak {
+		g.peak = v
+	}
+}
+
+// Add moves the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.Set(g.v + delta)
+}
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Peak returns the highest level ever Set.
+func (g *Gauge) Peak() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.peak
+}
+
+// Summary renders every metric in the registry as an aligned text table:
+// counters and gauges sorted by name, then histograms with count, mean and
+// the p50/p90/p99 quantiles. An empty registry renders as an empty string.
+func (r *Registry) Summary() string {
+	if r == nil {
+		return ""
+	}
+	var b strings.Builder
+	if len(r.counters) > 0 {
+		fmt.Fprintf(&b, "counters:\n")
+		for _, name := range sortedKeys(r.counters) {
+			fmt.Fprintf(&b, "  %-34s %12d\n", name, r.counters[name].Value())
+		}
+	}
+	if len(r.gauges) > 0 {
+		fmt.Fprintf(&b, "gauges (current / peak):\n")
+		for _, name := range sortedKeys(r.gauges) {
+			g := r.gauges[name]
+			fmt.Fprintf(&b, "  %-34s %12d / %d\n", name, g.Value(), g.Peak())
+		}
+	}
+	if len(r.hists) > 0 {
+		fmt.Fprintf(&b, "histograms (count mean p50 p90 p99 max):\n")
+		for _, name := range sortedKeys(r.hists) {
+			h := r.hists[name]
+			if h.Count() == 0 {
+				fmt.Fprintf(&b, "  %-34s %8d\n", name, 0)
+				continue
+			}
+			fmt.Fprintf(&b, "  %-34s %8d %10v %10v %10v %10v %10v\n",
+				name, h.Count(), h.Mean(),
+				h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99), h.Max())
+		}
+	}
+	return b.String()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,192 @@
+package telemetry
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"hpbd/internal/sim"
+)
+
+func testRegistry() *Registry {
+	var now sim.Time
+	return NewWithClock(func() sim.Time { return now })
+}
+
+func TestCounter(t *testing.T) {
+	r := testRegistry()
+	c := r.Counter("a")
+	if c.Value() != 0 {
+		t.Fatalf("fresh counter = %d", c.Value())
+	}
+	c.Inc()
+	c.Add(41)
+	if c.Value() != 42 {
+		t.Fatalf("counter = %d, want 42", c.Value())
+	}
+	if r.Counter("a") != c {
+		t.Fatal("second access should return the same handle")
+	}
+}
+
+func TestGaugePeak(t *testing.T) {
+	r := testRegistry()
+	g := r.Gauge("level")
+	g.Set(5)
+	g.Add(10)
+	g.Add(-12)
+	if g.Value() != 3 {
+		t.Fatalf("gauge = %d, want 3", g.Value())
+	}
+	if g.Peak() != 15 {
+		t.Fatalf("peak = %d, want 15", g.Peak())
+	}
+}
+
+// TestNilSafety exercises every handle method on nil receivers: all must
+// be no-ops returning zero values, because instrumented code holds nil
+// handles when telemetry is off.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c, g, h := r.Counter("x"), r.Gauge("x"), r.Histogram("x")
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must hand out nil handles")
+	}
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(sim.Millisecond)
+	if c.Value() != 0 || g.Value() != 0 || g.Peak() != 0 {
+		t.Fatal("nil handles must read as zero")
+	}
+	if h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram must read as zero")
+	}
+	if r.EnableTracing() != nil || r.Tracer() != nil {
+		t.Fatal("nil registry cannot trace")
+	}
+	var tr *Tracer
+	sp := tr.Begin("c", "n")
+	sp.End()
+	sp.EndArgs(map[string]any{"k": 1})
+	tr.Complete("c", "n", 0, 1, nil)
+	tr.Instant("c", "n")
+	if tr.Len() != 0 || tr.Events() != nil {
+		t.Fatal("nil tracer must record nothing")
+	}
+	if r.Summary() != "" {
+		t.Fatal("nil registry summary must be empty")
+	}
+	var zero Span
+	zero.End() // must not panic
+}
+
+// quantileWithin asserts the histogram estimate brackets the exact order
+// statistic from below within one log bucket (< 19% relative error), the
+// package's documented guarantee.
+func quantileWithin(t *testing.T, h *Histogram, samples []sim.Duration, q float64) {
+	t.Helper()
+	sorted := append([]sim.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int64(q*float64(len(sorted)) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	exact := sorted[rank-1]
+	got := h.Quantile(q)
+	if got < exact {
+		t.Fatalf("q%.2f = %v below exact %v", q, got, exact)
+	}
+	limit := sim.Duration(math.Ceil(float64(exact)*1.19)) + 1
+	if got > limit {
+		t.Fatalf("q%.2f = %v exceeds one-bucket bound %v (exact %v)", q, got, limit, exact)
+	}
+}
+
+func TestHistogramQuantileUniform(t *testing.T) {
+	h := newHistogram("u")
+	var samples []sim.Duration
+	// Uniform over [100us, 10ms]: every 10th microsecond.
+	for d := 100 * sim.Microsecond; d <= 10*sim.Millisecond; d += 10 * sim.Microsecond {
+		h.Observe(d)
+		samples = append(samples, d)
+	}
+	for _, q := range []float64{0.01, 0.25, 0.50, 0.90, 0.99, 1.0} {
+		quantileWithin(t, h, samples, q)
+	}
+}
+
+func TestHistogramQuantileExponential(t *testing.T) {
+	rnd := rand.New(rand.NewSource(7))
+	h := newHistogram("e")
+	samples := make([]sim.Duration, 20000)
+	for i := range samples {
+		// Exponential with 1 ms mean: the long-tailed shape real swap
+		// latencies have.
+		d := sim.Duration(rnd.ExpFloat64() * float64(sim.Millisecond))
+		if d < 1 {
+			d = 1
+		}
+		h.Observe(d)
+		samples[i] = d
+	}
+	for _, q := range []float64{0.50, 0.90, 0.99, 0.999} {
+		quantileWithin(t, h, samples, q)
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	h := newHistogram("d")
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram must read as zero")
+	}
+	const v = 333 * sim.Microsecond
+	for i := 0; i < 100; i++ {
+		h.Observe(v)
+	}
+	// Min==Max clamping makes every quantile exact for a constant stream.
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != v {
+			t.Fatalf("constant stream q%.2f = %v, want %v", q, got, v)
+		}
+	}
+	if h.Mean() != v || h.Min() != v || h.Max() != v {
+		t.Fatalf("mean/min/max = %v/%v/%v, want %v", h.Mean(), h.Min(), h.Max(), v)
+	}
+	h.Observe(-5) // clamps to 0
+	if h.Min() != 0 {
+		t.Fatalf("negative sample should clamp to 0, min = %v", h.Min())
+	}
+}
+
+func TestHistogramBoundsMonotonic(t *testing.T) {
+	for i := 1; i < len(bucketBounds); i++ {
+		if bucketBounds[i] <= bucketBounds[i-1] {
+			t.Fatalf("bounds not strictly increasing at %d: %v then %v",
+				i, bucketBounds[i-1], bucketBounds[i])
+		}
+	}
+	if last := bucketBounds[len(bucketBounds)-1]; last < 200*sim.Second {
+		t.Fatalf("last bound %v does not cover 200s", last)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	r := testRegistry()
+	if r.Summary() != "" {
+		t.Fatal("empty registry summary must be empty")
+	}
+	r.Counter("reqs").Add(7)
+	r.Gauge("in_use").Set(3)
+	h := r.Histogram("lat")
+	h.Observe(2 * sim.Millisecond)
+	s := r.Summary()
+	for _, want := range []string{"counters:", "reqs", "7", "gauges", "in_use", "histograms", "lat"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hpbd/internal/sim"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestSpanConcurrentProcs runs two cooperatively-scheduled sim processes
+// that open and close spans at known virtual times: record order, virtual
+// timestamps and nesting must all come out deterministic.
+func TestSpanConcurrentProcs(t *testing.T) {
+	env := sim.NewEnv()
+	tr := New(env).EnableTracing()
+
+	env.Go("procA", func(p *sim.Proc) {
+		outer := tr.Begin("procA", "outer")
+		p.Sleep(10 * sim.Microsecond)
+		inner := tr.Begin("procA", "inner")
+		p.Sleep(5 * sim.Microsecond)
+		inner.End()
+		p.Sleep(10 * sim.Microsecond)
+		outer.EndArgs(map[string]any{"pages": 2})
+	})
+	env.Go("procB", func(p *sim.Proc) {
+		p.Sleep(2 * sim.Microsecond)
+		span := tr.Begin("procB", "work")
+		p.Sleep(16 * sim.Microsecond)
+		span.End()
+	})
+	env.Run()
+	env.Close()
+
+	ev := tr.Events()
+	if len(ev) != 3 {
+		t.Fatalf("got %d events, want 3: %+v", len(ev), ev)
+	}
+	// Spans are recorded when they end, so record order is end-time order.
+	us := sim.Microsecond
+	want := []EventInfo{
+		{Comp: "procA", Name: "inner", Start: sim.Time(10 * us), Dur: 5 * us},
+		{Comp: "procB", Name: "work", Start: sim.Time(2 * us), Dur: 16 * us},
+		{Comp: "procA", Name: "outer", Start: 0, Dur: 25 * us},
+	}
+	for i, w := range want {
+		if ev[i] != w {
+			t.Fatalf("event %d = %+v, want %+v", i, ev[i], w)
+		}
+	}
+	inner, outer := ev[0], ev[2]
+	if inner.Start < outer.Start || inner.Start+sim.Time(inner.Dur) > outer.Start+sim.Time(outer.Dur) {
+		t.Fatalf("inner span %+v not nested in outer %+v", inner, outer)
+	}
+}
+
+// syntheticTrace builds a small fixed trace on a hand-driven clock —
+// every feature of the exporter is exercised: spans with and without
+// args, instants, caller-measured Complete, multiple components.
+func syntheticTrace() *Tracer {
+	var now sim.Time
+	tr := newTracer(func() sim.Time { return now })
+	span := tr.Begin("hpbd0", "write")
+	now = sim.Time(150 * sim.Microsecond)
+	span.EndArgs(map[string]any{"bytes": 65536, "server": "mem0"})
+	tr.Instant("mem0", "wakeup")
+	now = sim.Time(400 * sim.Microsecond)
+	tr.Complete("mem0-worker0", "rdma-read",
+		sim.Time(160*sim.Microsecond), now, map[string]any{"bytes": 65536})
+	plain := tr.Begin("hpbd0", "read")
+	now = sim.Time(475 * sim.Microsecond)
+	plain.End()
+	return tr
+}
+
+// TestWriteJSONGolden locks the exact Chrome trace_event export format
+// with a golden file (regenerate with go test ./internal/telemetry -run
+// Golden -update).
+func TestWriteJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := syntheticTrace().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "trace_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace JSON drifted from golden file:\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestWriteJSONSchema validates the export against the trace_event
+// contract chrome://tracing and Perfetto rely on.
+func TestWriteJSONSchema(t *testing.T) {
+	var buf bytes.Buffer
+	if err := syntheticTrace().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		DisplayUnit string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if doc.DisplayUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q, want ms", doc.DisplayUnit)
+	}
+	named := make(map[float64]bool) // tids introduced by thread_name metadata
+	for i, e := range doc.TraceEvents {
+		ph, _ := e["ph"].(string)
+		tid, _ := e["tid"].(float64)
+		if e["name"] == "" || tid < 1 || e["pid"].(float64) != 1 {
+			t.Fatalf("event %d missing required fields: %v", i, e)
+		}
+		switch ph {
+		case "M":
+			named[tid] = true
+		case "X":
+			if _, ok := e["dur"].(float64); !ok {
+				t.Fatalf("complete event %d has no dur: %v", i, e)
+			}
+			if !named[tid] {
+				t.Fatalf("event %d on tid %v before its thread_name metadata", i, tid)
+			}
+		case "i":
+			if e["s"] != "t" {
+				t.Fatalf("instant event %d missing thread scope: %v", i, e)
+			}
+			if !named[tid] {
+				t.Fatalf("event %d on tid %v before its thread_name metadata", i, tid)
+			}
+		default:
+			t.Fatalf("event %d has unexpected phase %q", i, ph)
+		}
+	}
+	if len(named) != 3 {
+		t.Fatalf("expected 3 component tracks, got %d", len(named))
+	}
+}
+
+// TestNilTracerWriteJSON: a disabled tracer still writes a loadable empty
+// trace so callers need no special case.
+func TestNilTracerWriteJSON(t *testing.T) {
+	var tr *Tracer
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("empty export invalid: %v", err)
+	}
+	if evs, ok := doc["traceEvents"].([]any); !ok || len(evs) != 0 {
+		t.Fatalf("want empty traceEvents, got %v", doc)
+	}
+}

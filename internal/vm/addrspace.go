@@ -169,6 +169,7 @@ func (as *AddressSpace) swapIn(p *sim.Proc, pg *Page) error {
 
 	// Submit the reads and let a watcher finalize each page as its I/O
 	// completes.
+	submitAt := s.env.Now()
 	ios := make([]*ioHandle, 0, len(batch))
 	for _, bp := range batch {
 		h, err := submitPageIO(dev, false, bp.slot)
@@ -193,6 +194,14 @@ func (as *AddressSpace) swapIn(p *sim.Proc, pg *Page) error {
 				bp.state = PageSwappedOut
 				s.releaseFrame()
 			} else {
+				// The faulting page is batch[0], so its latency is exact;
+				// readahead pages may be observed slightly late when their
+				// I/O overtakes an earlier one in the batch.
+				s.hSwapIn.Observe(wp.Now().Sub(submitAt))
+				if s.tracer != nil {
+					s.tracer.Complete("vm", "swap-in", submitAt, wp.Now(),
+						map[string]any{"slot": bp.slot, "readahead": bp.readahead})
+				}
 				bp.state = PageResident
 				bp.dirty = false
 				bp.referenced = false

@@ -13,6 +13,7 @@ package vm
 
 import (
 	"hpbd/internal/netmodel"
+	"hpbd/internal/telemetry"
 )
 
 // PageSize is the x86 page size used throughout.
@@ -47,6 +48,10 @@ type Config struct {
 	SlotCluster int
 	// Host carries the CPU cost model.
 	Host netmodel.HostModel
+	// Telemetry, if non-nil, receives swap path latencies: the
+	// vm.swapout.latency and vm.swapin.latency histograms (submit to
+	// completion per page) and, with tracing enabled, "vm" track spans.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultConfig sizes a 2.4-style configuration for memBytes of

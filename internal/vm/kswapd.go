@@ -93,9 +93,10 @@ func (s *System) refillInactive(p *sim.Proc, want int) {
 
 // writeout is one in-flight page write-back produced by shrink.
 type writeout struct {
-	pg  *Page
-	h   *ioHandle
-	dev *SwapDevice
+	pg    *Page
+	h     *ioHandle
+	dev   *SwapDevice
+	start sim.Time // submission, for the swap-out latency histogram
 }
 
 // finalizeWrites waits for each write-back and finalizes its page. It runs
@@ -106,6 +107,13 @@ func (s *System) finalizeWrites(p *sim.Proc, writes []writeout) {
 	for _, w := range writes {
 		err := w.h.wait(p)
 		pg := w.pg
+		if err == nil {
+			s.hSwapOut.Observe(p.Now().Sub(w.start))
+			if s.tracer != nil {
+				s.tracer.Complete("vm", "swap-out", w.start, p.Now(),
+					map[string]any{"slot": pg.slot})
+			}
+		}
 		if err != nil {
 			// Failed write-back: page stays resident and dirty.
 			w.dev.freeSlot(pg.slot)
@@ -201,7 +209,7 @@ func (s *System) shrink(p *sim.Proc, batch int) (freed int, writes []writeout) {
 			continue
 		}
 		s.stats.SwapOuts++
-		writes = append(writes, writeout{pg: pg, h: h, dev: dev})
+		writes = append(writes, writeout{pg: pg, h: h, dev: dev, start: p.Now()})
 		devsTouched[dev] = true
 	}
 	for dev := range devsTouched {

@@ -7,6 +7,7 @@ import (
 
 	"hpbd/internal/blockdev"
 	"hpbd/internal/sim"
+	"hpbd/internal/telemetry"
 )
 
 // ErrOutOfMemory reports that an allocation could not be satisfied: memory
@@ -68,6 +69,11 @@ type System struct {
 	// rrCount drives round-robin rotation among equal-priority devices.
 	rrCount int64
 	stats   Stats
+
+	// Telemetry handles (nil-safe: no-ops without cfg.Telemetry).
+	hSwapOut *telemetry.Histogram // page write-back submit -> completion
+	hSwapIn  *telemetry.Histogram // page read submit -> completion
+	tracer   *telemetry.Tracer
 }
 
 // NewSystem creates a VM on env and starts kswapd.
@@ -80,6 +86,9 @@ func NewSystem(env *sim.Env, cfg Config) *System {
 		inactive:   list.New(),
 		freeWait:   sim.NewWaitQueue(env),
 		kswapdWake: sim.NewWaitQueue(env),
+		hSwapOut:   cfg.Telemetry.Histogram("vm.swapout.latency"),
+		hSwapIn:    cfg.Telemetry.Histogram("vm.swapin.latency"),
+		tracer:     cfg.Telemetry.Tracer(),
 	}
 	env.Go("kswapd", s.kswapd)
 	return s

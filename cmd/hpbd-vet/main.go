@@ -1,0 +1,64 @@
+// Command hpbd-vet runs the determinism-contract lint suite (internal/lint)
+// over the given package patterns, in the style of a go/analysis
+// multichecker:
+//
+//	go run ./cmd/hpbd-vet ./...
+//
+// It prints one line per finding and exits non-zero if any survive the
+// //hpbd:allow directives. Run it from the module root (it shells out to
+// `go list` in the working directory).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hpbd/internal/lint"
+	"hpbd/internal/lint/load"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: hpbd-vet [packages]\n\nAnalyzers:\n%s\nOpt out of a finding with `//hpbd:allow <analyzer> -- <reason>` on or above the line.\n", lint.Doc())
+	}
+	flag.Parse()
+	if *list {
+		fmt.Print(lint.Doc())
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	env, err := load.List(cwd, patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := env.Targets()
+	if err != nil {
+		fatal(err)
+	}
+	findings, err := lint.Run(pkgs, lint.Analyzers)
+	if err != nil {
+		fatal(err)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "hpbd-vet: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hpbd-vet:", err)
+	os.Exit(2)
+}

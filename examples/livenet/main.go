@@ -36,7 +36,7 @@ func main() {
 	// Swap-out: stream 64 MiB of pages with 16 requests on the wire.
 	buf := make([]byte, 128*1024)
 	rand.New(rand.NewSource(1)).Read(buf)
-	start := time.Now()
+	start := time.Now() //hpbd:allow walltime -- live demo measures the real TCP data path
 	var waits []func() error
 	for off := int64(0); off < c.Size(); off += int64(len(buf)) {
 		w, err := c.WriteAsync(buf, off)
@@ -51,10 +51,10 @@ func main() {
 		}
 	}
 	mb := float64(c.Size()) / 1e6
-	fmt.Printf("swap-out: %.0f MB in %v (%.0f MB/s)\n", mb, time.Since(start).Round(time.Millisecond), mb/time.Since(start).Seconds())
+	fmt.Printf("swap-out: %.0f MB in %v (%.0f MB/s)\n", mb, time.Since(start).Round(time.Millisecond), mb/time.Since(start).Seconds()) //hpbd:allow walltime -- live demo measures the real TCP data path
 
 	// Swap-in with verification.
-	start = time.Now()
+	start = time.Now() //hpbd:allow walltime -- live demo measures the real TCP data path
 	got := make([]byte, len(buf))
 	for off := int64(0); off < c.Size(); off += int64(len(buf)) {
 		if _, err := c.ReadAt(got, off); err != nil {
@@ -64,5 +64,5 @@ func main() {
 			log.Fatalf("data corrupted at %d", off)
 		}
 	}
-	fmt.Printf("swap-in:  %.0f MB in %v (%.0f MB/s), all pages verified\n", mb, time.Since(start).Round(time.Millisecond), mb/time.Since(start).Seconds())
+	fmt.Printf("swap-in:  %.0f MB in %v (%.0f MB/s), all pages verified\n", mb, time.Since(start).Round(time.Millisecond), mb/time.Since(start).Seconds()) //hpbd:allow walltime -- live demo measures the real TCP data path
 }

@@ -3,6 +3,7 @@ package hpbd
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"hpbd/internal/blockdev"
 	"hpbd/internal/ib"
@@ -574,7 +575,15 @@ func (d *Device) fail() {
 		return
 	}
 	d.failed = true
-	for h, ph := range d.pending {
+	// Error out in handle order: completing a phys can complete its parent
+	// request and wake its issuer, so the order must not inherit map order.
+	handles := make([]uint64, 0, len(d.pending))
+	for h := range d.pending {
+		handles = append(handles, h)
+	}
+	sort.Slice(handles, func(i, j int) bool { return handles[i] < handles[j] })
+	for _, h := range handles {
+		ph := d.pending[h]
 		if !ph.sent {
 			continue // the sender cleans up queued requests on dequeue
 		}

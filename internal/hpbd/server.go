@@ -2,6 +2,7 @@ package hpbd
 
 import (
 	"fmt"
+	"sort"
 
 	"hpbd/internal/ib"
 	"hpbd/internal/netmodel"
@@ -196,7 +197,14 @@ func (s *Server) FreeBytes() int64 { return s.cfg.StoreBytes - s.nextArea }
 // DropClients closes every client connection (server shutdown or crash):
 // clients observe flushed completions and fail their devices.
 func (s *Server) DropClients() {
+	// Close in QP-number order: each Close flushes completions into the
+	// owning client, so the order must not inherit map order.
+	qps := make([]*ib.QP, 0, len(s.conns))
 	for qp := range s.conns {
+		qps = append(qps, qp)
+	}
+	sort.Slice(qps, func(i, j int) bool { return qps[i].QPN() < qps[j].QPN() })
+	for _, qp := range qps {
 		qp.Close()
 	}
 }

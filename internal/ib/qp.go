@@ -57,6 +57,11 @@ func (h *HCA) CreateQP(sendCQ, recvCQ *CQ) *QP {
 	return qp
 }
 
+// QPN returns the queue pair number, unique within the HCA. It is the
+// stable identity callers sort on when draining QP collections (map
+// iteration order must never reach a scheduling decision).
+func (q *QP) QPN() uint32 { return q.qpn }
+
 // Connect wires two queue pairs into the RC connected state. In the real
 // system this is the out-of-band (socket) QP information exchange done at
 // device initialization.

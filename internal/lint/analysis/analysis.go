@@ -1,0 +1,62 @@
+// Package analysis is a dependency-free subset of the
+// golang.org/x/tools/go/analysis API: an Analyzer is a named check, a Pass
+// presents one type-checked package to it, and diagnostics flow back
+// through Pass.Report. The shapes mirror x/tools deliberately so the hpbd
+// analyzers can migrate to the upstream driver mechanically if the
+// dependency ever becomes available; until then internal/lint/load supplies
+// packages using only the standard library and the go command.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //hpbd:allow directives. It must be a valid Go identifier.
+	Name string
+
+	// Doc is the one-paragraph description printed by hpbd-vet -help.
+	Doc string
+
+	// Run applies the check to a single package and reports diagnostics
+	// via pass.Report. The interface{} result mirrors x/tools Facts
+	// plumbing; the hpbd analyzers return nil.
+	Run func(*Pass) (interface{}, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// Pass presents one type-checked package to an Analyzer's Run function.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The driver installs it.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	End      token.Pos // optional: end of the offending region
+	Category string    // optional: sub-category within the analyzer
+	Message  string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// ReportRangef reports a formatted diagnostic covering node.
+func (p *Pass) ReportRangef(node ast.Node, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: node.Pos(), End: node.End(), Message: fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,171 @@
+// Package analysistest runs lint analyzers over fixture packages under
+// testdata/src, in the spirit of golang.org/x/tools/go/analysis/analysistest:
+// each fixture line that should produce a diagnostic carries a
+//
+//	// want "regexp"
+//
+// comment (several per line allowed), and the harness fails the test on
+// any unmatched diagnostic or unsatisfied expectation. Fixture packages
+// may import anything in the module (hpbd/internal/sim, ...) — they are
+// type-checked against the export data of a single shared `go list` run.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"hpbd/internal/lint"
+	"hpbd/internal/lint/analysis"
+	"hpbd/internal/lint/load"
+)
+
+var (
+	envOnce sync.Once
+	env     *load.Env
+	envErr  error
+)
+
+// moduleEnv loads export data for the whole module once per test binary.
+func moduleEnv() (*load.Env, error) {
+	envOnce.Do(func() {
+		root, err := moduleRoot()
+		if err != nil {
+			envErr = err
+			return
+		}
+		env, envErr = load.List(root, "./...")
+	})
+	return env, envErr
+}
+
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("analysistest: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// Run type-checks testdata/src/<fixture> (relative to the test's working
+// directory) and applies a to it, comparing diagnostics to the fixture's
+// `// want` expectations.
+func Run(t *testing.T, a *analysis.Analyzer, fixture string) {
+	t.Helper()
+	e, err := moduleEnv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(cwd, "testdata", "src", fixture)
+	pkg, err := e.CheckDir("hpbd/lintfixture/"+fixture, dir)
+	if err != nil {
+		t.Fatalf("fixture %s: %v", fixture, err)
+	}
+
+	wants := collectWants(t, pkg)
+	findings, err := lint.RunAnalyzer(a, pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		key := posKey{filepath.Base(f.Pos.Filename), f.Pos.Line}
+		if !wants.match(key, f.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", f.Pos, f.Message)
+		}
+	}
+	for key, exps := range wants {
+		for _, exp := range exps {
+			if !exp.matched {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", key.file, key.line, exp.rx)
+			}
+		}
+	}
+}
+
+type posKey struct {
+	file string
+	line int
+}
+
+type expectation struct {
+	rx      *regexp.Regexp
+	matched bool
+}
+
+type wantMap map[posKey][]*expectation
+
+func (w wantMap) match(key posKey, msg string) bool {
+	for _, exp := range w[key] {
+		if !exp.matched && exp.rx.MatchString(msg) {
+			exp.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+var wantRE = regexp.MustCompile(`// want (.*)$`)
+
+func collectWants(t *testing.T, pkg *load.Package) wantMap {
+	t.Helper()
+	wants := wantMap{}
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := posKey{filepath.Base(pos.Filename), pos.Line}
+				for _, q := range splitQuoted(t, pos.String(), m[1]) {
+					rx, err := regexp.Compile(q)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, q, err)
+					}
+					wants[key] = append(wants[key], &expectation{rx: rx})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitQuoted parses the space-separated double-quoted regexps after
+// `// want`, applying Go unquoting so fixtures can escape metacharacters.
+func splitQuoted(t *testing.T, pos, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		q, err := strconv.QuotedPrefix(s)
+		if err != nil {
+			t.Fatalf("%s: malformed want clause %q (expected quoted regexp): %v", pos, s, err)
+		}
+		unq, err := strconv.Unquote(q)
+		if err != nil {
+			t.Fatalf("%s: bad quoting in want clause %q: %v", pos, q, err)
+		}
+		out = append(out, unq)
+		s = strings.TrimSpace(s[len(q):])
+	}
+	return out
+}

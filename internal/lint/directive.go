@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"hpbd/internal/lint/analysis"
+)
+
+// directivePrefix introduces an opt-out comment. Syntax:
+//
+//	//hpbd:allow analyzer[,analyzer...] -- reason
+//
+// A directive suppresses matching diagnostics on its own line and on the
+// line immediately below (so it can sit inline or on the preceding line).
+// The reason after " -- " is mandatory: an unexplained exemption is a
+// determinism bug waiting for its moment.
+const directivePrefix = "//hpbd:allow"
+
+// directive is one parsed //hpbd:allow comment.
+type directive struct {
+	pos       token.Pos
+	line      int
+	analyzers map[string]bool
+	reason    string
+	malformed string // non-empty: why the directive is invalid
+}
+
+// parseDirectives extracts every //hpbd:allow directive from a file.
+func parseDirectives(fset *token.FileSet, f *ast.File) []directive {
+	var out []directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, directivePrefix) {
+				continue
+			}
+			d := directive{pos: c.Pos(), line: fset.Position(c.Pos()).Line, analyzers: map[string]bool{}}
+			rest := strings.TrimPrefix(c.Text, directivePrefix)
+			names, reason, found := strings.Cut(rest, "--")
+			if !found || strings.TrimSpace(reason) == "" {
+				d.malformed = "missing reason: use //hpbd:allow <analyzer> -- <reason>"
+			}
+			d.reason = strings.TrimSpace(reason)
+			for _, name := range strings.FieldsFunc(names, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
+				if !knownAnalyzers[name] {
+					d.malformed = "unknown analyzer \"" + name + "\" in //hpbd:allow directive"
+					continue
+				}
+				d.analyzers[name] = true
+			}
+			if len(d.analyzers) == 0 && d.malformed == "" {
+				d.malformed = "directive names no analyzer"
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// suppressed reports whether diag (from the named analyzer, at the given
+// line) is covered by one of the file's directives.
+func suppressed(dirs []directive, analyzer string, line int) bool {
+	for _, d := range dirs {
+		if d.malformed != "" || !d.analyzers[analyzer] {
+			continue
+		}
+		if line == d.line || line == d.line+1 {
+			return true
+		}
+	}
+	return false
+}
+
+// directiveDiagnostics turns malformed directives into diagnostics so a
+// typo'd opt-out fails the build instead of silently not applying.
+func directiveDiagnostics(dirs []directive) []analysis.Diagnostic {
+	var out []analysis.Diagnostic
+	for _, d := range dirs {
+		if d.malformed != "" {
+			out = append(out, analysis.Diagnostic{Pos: d.pos, Message: d.malformed})
+		}
+	}
+	return out
+}

@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"hpbd/internal/lint/analysis"
+)
+
+// globalRandFuncs are the math/rand package-level functions backed by the
+// shared global source. Constructors (New, NewSource, NewZipf) are the
+// approved escape hatch and stay legal.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
+	// math/rand/v2 additions, should anyone import it.
+	"N": true, "IntN": true, "Int32": true, "Int32N": true, "Int64N": true,
+	"Uint32N": true, "Uint64N": true, "UintN": true, "Uint": true,
+}
+
+// Globalrand forbids the process-global math/rand source in deterministic
+// packages. Every run of a paper figure must be a pure function of its
+// seed, so randomness flows from sim.Env.Rand or an explicitly seeded
+// rand.New(rand.NewSource(seed)).
+var Globalrand = &analysis.Analyzer{
+	Name: "globalrand",
+	Doc: "forbid package-level math/rand functions (global source) in " +
+		"deterministic packages; use sim.Env.Rand or a seeded rand.New",
+	Run: runGlobalrand,
+}
+
+func runGlobalrand(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || !globalRandFuncs[sel.Sel.Name] {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if p := fn.Pkg().Path(); p != "math/rand" && p != "math/rand/v2" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true // *rand.Rand method on a seeded source: fine
+			}
+			pass.ReportRangef(sel, "global math/rand source via rand.%s; thread a seeded *rand.Rand (sim.Env.Rand or rand.New(rand.NewSource(seed)))", sel.Sel.Name)
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,120 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hpbd/internal/lint"
+	"hpbd/internal/lint/analysis"
+	"hpbd/internal/lint/analysistest"
+	"hpbd/internal/lint/load"
+)
+
+// TestFixtures exercises each analyzer against its testdata package: every
+// fixture contains both violating lines (with `// want` expectations) and
+// clean lines that must stay silent, plus //hpbd:allow suppressions.
+func TestFixtures(t *testing.T) {
+	cases := []struct {
+		a       *analysis.Analyzer
+		fixture string
+	}{
+		{lint.Walltime, "walltime"},
+		{lint.Globalrand, "globalrand"},
+		{lint.Mapiter, "mapiter"},
+		{lint.Simblock, "simblock"},
+		{lint.Telemetrynil, "telemetrynil"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.fixture, func(t *testing.T) {
+			analysistest.Run(t, tc.a, tc.fixture)
+		})
+	}
+}
+
+// TestTreeIsClean runs the full suite over the whole module exactly as CI
+// does: the determinism contract must hold tree-wide, so the suite lands
+// green and stays green.
+func TestTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs go list -export over the whole module")
+	}
+	root := moduleRoot(t)
+	env, err := load.List(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := env.Targets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("suspiciously few packages loaded: %d", len(pkgs))
+	}
+	findings, err := lint.Run(pkgs, lint.Analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}
+
+// TestMalformedDirectives verifies that a typo'd //hpbd:allow fails loudly
+// instead of silently not suppressing.
+func TestMalformedDirectives(t *testing.T) {
+	root := moduleRoot(t)
+	env, err := load.List(root, "./internal/sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := env.CheckDir("hpbd/lintfixture/directive",
+		filepath.Join(root, "internal", "lint", "testdata", "src", "directive"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := lint.Run([]*load.Package{pkg}, lint.Analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var msgs []string
+	for _, f := range findings {
+		if f.Analyzer == "directive" {
+			msgs = append(msgs, f.Message)
+		}
+	}
+	want := []string{
+		`unknown analyzer "waltime" in //hpbd:allow directive`,
+		"missing reason: use //hpbd:allow <analyzer> -- <reason>",
+		"directive names no analyzer",
+	}
+	for _, w := range want {
+		found := false
+		for _, m := range msgs {
+			if m == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("expected a %q finding, got %v", w, msgs)
+		}
+	}
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod found")
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,194 @@
+// Package load turns Go package patterns into type-checked syntax trees
+// using only the standard library and the go command. It is the loading
+// half of the hpbd-vet driver: `go list -deps -export` compiles every
+// dependency and hands back export data from the build cache, and the gc
+// importer feeds that to go/types while the target packages themselves are
+// parsed from source with comments (the analyzers need comment directives
+// and positions). This is the same strategy golang.org/x/tools/go/packages
+// uses, reimplemented here because the tree must build without network
+// access to fetch x/tools.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one type-checked target package.
+type Package struct {
+	PkgPath   string // import path, e.g. "hpbd/internal/sim"
+	Dir       string
+	Fset      *token.FileSet
+	Syntax    []*ast.File // parsed with comments
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the loader consumes.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	CgoFiles   []string
+	DepOnly    bool
+	Standard   bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Env captures the result of one `go list` run: export data for every
+// package in the dependency closure, plus the target package metadata.
+// The export map can be reused to type-check out-of-module sources (the
+// analysistest fixtures) against the module's compiled packages.
+type Env struct {
+	Fset    *token.FileSet
+	exports map[string]string // import path -> export data file
+	targets []*listPackage
+}
+
+// List runs `go list -deps -export` in dir for the given patterns and
+// returns the loading environment. Patterns follow go tool conventions
+// ("./...", "hpbd/internal/sim", ...).
+func List(dir string, patterns ...string) (*Env, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Name,Dir,Export,GoFiles,CgoFiles,DepOnly,Standard,Incomplete,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("load: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	env := &Env{Fset: token.NewFileSet(), exports: make(map[string]string)}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("load: decoding go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("load: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			env.exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			q := p
+			env.targets = append(env.targets, &q)
+		}
+	}
+	return env, nil
+}
+
+// Importer returns a go/types importer that resolves imports from the
+// export data gathered by List.
+func (e *Env) Importer() types.Importer {
+	return importer.ForCompiler(e.Fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := e.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("load: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+}
+
+// NewInfo returns a types.Info with every map allocated, as analyzers
+// expect.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// Targets type-checks every target package from source and returns them in
+// `go list` order. Non-test GoFiles only: the determinism contract exempts
+// test files, so analyzers never need them.
+func (e *Env) Targets() ([]*Package, error) {
+	imp := e.Importer()
+	var out []*Package
+	for _, t := range e.targets {
+		if len(t.CgoFiles) > 0 {
+			// cgo packages cannot be type-checked from raw source; fall
+			// back to skipping (none exist in this module today).
+			continue
+		}
+		pkg, err := e.check(imp, t.ImportPath, t.Dir, t.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// CheckDir parses and type-checks a single directory of Go files as the
+// package importPath, resolving imports against this Env's export data.
+// It is the entry point the analysistest harness uses for fixture
+// packages that live under testdata and are invisible to go list.
+func (e *Env) CheckDir(importPath, dir string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("load: %v", err)
+	}
+	var files []string
+	for _, ent := range ents {
+		if !ent.IsDir() && strings.HasSuffix(ent.Name(), ".go") {
+			files = append(files, ent.Name())
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("load: no Go files in %s", dir)
+	}
+	return e.check(e.Importer(), importPath, dir, files)
+}
+
+func (e *Env) check(imp types.Importer, importPath, dir string, names []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(e.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("load: %v", err)
+		}
+		files = append(files, f)
+	}
+	info := NewInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(importPath, e.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: type-checking %s: %v", importPath, err)
+	}
+	return &Package{
+		PkgPath:   importPath,
+		Dir:       dir,
+		Fset:      e.Fset,
+		Syntax:    files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}

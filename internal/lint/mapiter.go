@@ -1,0 +1,332 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"hpbd/internal/lint/analysis"
+)
+
+// Mapiter flags `for range` over maps in deterministic packages unless the
+// loop is provably order-insensitive or feeds the canonical
+// collect-keys-then-sort pattern. Go randomizes map iteration order on
+// purpose, so any map-ordered scheduling decision (completing pending
+// requests, closing connections, unplugging queues) makes two runs with
+// the same seed diverge.
+//
+// A loop body is accepted as order-insensitive when its only effects are
+// commutative accumulations: increments/decrements, compound assignments
+// with commutative operators (+= *= |= &= ^=), plain assignments whose
+// value does not depend on the loop variables, writes indexed by the loop
+// key, appends into a local slice, and delete(m, k) — optionally guarded
+// by call-free conditions. Appended-to slices must be sorted (or handed to
+// a sort) later in the same block, otherwise the collect itself leaks map
+// order. Everything else needs sorted keys or an
+// //hpbd:allow mapiter -- reason directive.
+var Mapiter = &analysis.Analyzer{
+	Name: "mapiter",
+	Doc: "flag map iteration whose effects depend on Go's randomized map " +
+		"order; sort keys first or keep the body commutative",
+	Run: runMapiter,
+}
+
+func runMapiter(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		parents := buildParents(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			sc := &bodyScan{pass: pass, loopVars: map[types.Object]bool{}}
+			sc.addLoopVar(rs.Key)
+			sc.addLoopVar(rs.Value)
+			if !sc.stmts(rs.Body.List) {
+				pass.Reportf(rs.For, "map iteration order is random and this loop's effects depend on it; sort the keys first or annotate with //hpbd:allow mapiter -- reason")
+				return true
+			}
+			for _, obj := range sc.collects {
+				if !sortedAfter(pass, parents, rs, obj) {
+					pass.Reportf(rs.For, "map keys/values collected into %q but never sorted in this block; the slice inherits random map order", obj.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// bodyScan walks a range body checking every statement against the
+// order-insensitivity rules, recording slices used as collect targets.
+type bodyScan struct {
+	pass     *analysis.Pass
+	loopVars map[types.Object]bool
+	collects []types.Object
+}
+
+func (s *bodyScan) addLoopVar(e ast.Expr) {
+	if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+		if obj := s.pass.TypesInfo.Defs[id]; obj != nil {
+			s.loopVars[obj] = true
+		} else if obj := s.pass.TypesInfo.Uses[id]; obj != nil {
+			s.loopVars[obj] = true // `for k = range m` reusing an outer var
+		}
+	}
+}
+
+func (s *bodyScan) stmts(list []ast.Stmt) bool {
+	for _, st := range list {
+		if !s.stmt(st) {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *bodyScan) stmt(st ast.Stmt) bool {
+	switch st := st.(type) {
+	case *ast.IncDecStmt:
+		return s.pure(st.X)
+	case *ast.AssignStmt:
+		return s.assign(st)
+	case *ast.ExprStmt:
+		// delete(m, k) commutes: each iteration touches a distinct key.
+		if call, ok := st.X.(*ast.CallExpr); ok && s.isBuiltin(call, "delete") {
+			return true
+		}
+		return false
+	case *ast.IfStmt:
+		if st.Init != nil || !s.pure(st.Cond) {
+			return false
+		}
+		if !s.stmts(st.Body.List) {
+			return false
+		}
+		if st.Else != nil {
+			if blk, ok := st.Else.(*ast.BlockStmt); ok {
+				return s.stmts(blk.List)
+			}
+			return s.stmt(st.Else)
+		}
+		return true
+	case *ast.BlockStmt:
+		return s.stmts(st.List)
+	case *ast.BranchStmt:
+		// continue skips one commutative iteration: fine. break/goto make
+		// the visited subset depend on order: not fine.
+		return st.Tok == token.CONTINUE
+	case *ast.DeclStmt, *ast.EmptyStmt:
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *bodyScan) assign(st *ast.AssignStmt) bool {
+	if len(st.Lhs) != 1 || len(st.Rhs) != 1 {
+		return false
+	}
+	lhs, rhs := st.Lhs[0], st.Rhs[0]
+	switch st.Tok {
+	case token.ADD_ASSIGN, token.MUL_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+		// Commutative accumulation: v may depend on the loop variables.
+		return s.pure(rhs) && s.pure(lhs)
+	case token.ASSIGN, token.DEFINE:
+		// x = append(x, <pure>): the collect pattern; remember the target.
+		if call, ok := rhs.(*ast.CallExpr); ok && s.isBuiltin(call, "append") {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || len(call.Args) == 0 {
+				return false
+			}
+			base, ok := call.Args[0].(*ast.Ident)
+			if !ok || base.Name != id.Name {
+				return false
+			}
+			for _, a := range call.Args[1:] {
+				if !s.pure(a) {
+					return false
+				}
+			}
+			if obj := s.objOf(id); obj != nil {
+				s.collects = append(s.collects, obj)
+			}
+			return true
+		}
+		// m2[k] = <pure>: distinct keys commute.
+		if ix, ok := lhs.(*ast.IndexExpr); ok {
+			return s.pure(ix) && s.pure(rhs)
+		}
+		// x = <pure, loop-invariant>: same value every iteration.
+		if _, ok := lhs.(*ast.Ident); ok {
+			return s.pure(rhs) && !s.usesLoopVar(rhs)
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// pure reports whether e has no function calls (pure builtins and type
+// conversions excepted) and no channel operations.
+func (s *bodyScan) pure(e ast.Expr) bool {
+	pure := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if s.isConversion(n) || s.isBuiltin(n, "len") || s.isBuiltin(n, "cap") {
+				return true
+			}
+			pure = false
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				pure = false
+				return false
+			}
+		case *ast.FuncLit:
+			pure = false
+			return false
+		}
+		return true
+	})
+	return pure
+}
+
+func (s *bodyScan) usesLoopVar(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := s.pass.TypesInfo.Uses[id]; obj != nil && s.loopVars[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func (s *bodyScan) objOf(id *ast.Ident) types.Object {
+	if obj := s.pass.TypesInfo.Uses[id]; obj != nil {
+		return obj
+	}
+	return s.pass.TypesInfo.Defs[id]
+}
+
+func (s *bodyScan) isBuiltin(call *ast.CallExpr, name string) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = s.pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok
+}
+
+func (s *bodyScan) isConversion(call *ast.CallExpr) bool {
+	tv, ok := s.pass.TypesInfo.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// buildParents records each node's parent so sortedAfter can find the
+// statement list enclosing a range loop.
+func buildParents(f *ast.File) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// sortedAfter reports whether some statement after rs in its enclosing
+// statement list both mentions obj and performs a sort (a call into
+// package sort or slices, or any callee whose name contains "sort").
+func sortedAfter(pass *analysis.Pass, parents map[ast.Node]ast.Node, rs *ast.RangeStmt, obj types.Object) bool {
+	list := enclosingStmts(parents, rs)
+	idx := -1
+	for i, st := range list {
+		if st == ast.Stmt(rs) {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return false
+	}
+	for _, st := range list[idx+1:] {
+		if stmtSorts(pass, st, obj) {
+			return true
+		}
+	}
+	return false
+}
+
+func enclosingStmts(parents map[ast.Node]ast.Node, n ast.Node) []ast.Stmt {
+	switch p := parents[n].(type) {
+	case *ast.BlockStmt:
+		return p.List
+	case *ast.CaseClause:
+		return p.Body
+	case *ast.CommClause:
+		return p.Body
+	}
+	return nil
+}
+
+func stmtSorts(pass *analysis.Pass, st ast.Stmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(st, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		if !callIsSort(pass, call) || !mentionsObj(pass, call, obj) {
+			return true
+		}
+		found = true
+		return false
+	})
+	return found
+}
+
+func callIsSort(pass *analysis.Pass, call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok && fn.Pkg() != nil {
+			if p := fn.Pkg().Path(); p == "sort" || p == "slices" {
+				return true
+			}
+		}
+		return strings.Contains(strings.ToLower(fun.Sel.Name), "sort")
+	case *ast.Ident:
+		return strings.Contains(strings.ToLower(fun.Name), "sort")
+	}
+	return false
+}
+
+func mentionsObj(pass *analysis.Pass, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

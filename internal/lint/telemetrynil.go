@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"hpbd/internal/lint/analysis"
+)
+
+const telemetryPkgPath = "hpbd/internal/telemetry"
+
+// telemetryHandles are the types whose nil-safety contract depends on
+// construction going through the registry (or New/NewWithClock): a
+// struct-literal Counter has no name and never aggregates into a Summary,
+// and hand-rolled construction is exactly the kind of drift the nil-safe
+// design exists to prevent.
+var telemetryHandles = map[string]bool{
+	"Registry": true, "Counter": true, "Gauge": true,
+	"Histogram": true, "Tracer": true,
+}
+
+// Telemetrynil requires telemetry handles to come from the nil-safe
+// registry constructors (telemetry.New, Registry.Counter/Gauge/Histogram,
+// Registry.EnableTracing), never from struct literals or new().
+var Telemetrynil = &analysis.Analyzer{
+	Name: "telemetrynil",
+	Doc: "telemetry handles must come from the nil-safe registry " +
+		"constructors, not struct literals or new()",
+	Run: runTelemetrynil,
+}
+
+func runTelemetrynil(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				if name := telemetryHandleName(pass.TypesInfo.TypeOf(n)); name != "" {
+					pass.ReportRangef(n, "telemetry.%s constructed as a struct literal; obtain it from the nil-safe registry (telemetry.New / Registry.%s)", name, constructorFor(name))
+				}
+			case *ast.CallExpr:
+				id, ok := n.Fun.(*ast.Ident)
+				if !ok || id.Name != "new" || len(n.Args) != 1 {
+					return true
+				}
+				if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+					return true
+				}
+				if name := telemetryHandleName(pass.TypesInfo.TypeOf(n.Args[0])); name != "" {
+					pass.ReportRangef(n, "new(telemetry.%s) bypasses the nil-safe registry; obtain it from telemetry.New / Registry.%s", name, constructorFor(name))
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// telemetryHandleName returns the handle type's name when t (possibly
+// behind a pointer) is one of the guarded telemetry types, else "".
+func telemetryHandleName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != telemetryPkgPath || !telemetryHandles[obj.Name()] {
+		return ""
+	}
+	return obj.Name()
+}
+
+func constructorFor(name string) string {
+	switch name {
+	case "Registry":
+		return "— use telemetry.New(env)"
+	case "Tracer":
+		return "EnableTracing()"
+	default:
+		return name + "(name)"
+	}
+}

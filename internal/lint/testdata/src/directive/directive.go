@@ -1,0 +1,17 @@
+// Fixture for directive validation: malformed //hpbd:allow comments must
+// surface as findings so typo'd suppressions cannot silently not apply.
+package directive
+
+import "time"
+
+func misspelled() {
+	_ = time.Now() //hpbd:allow waltime -- analyzer name is misspelled, must be reported
+}
+
+func missingReason() {
+	_ = time.Now() //hpbd:allow walltime
+}
+
+func namesNoAnalyzer() {
+	_ = time.Now() //hpbd:allow -- a reason with no analyzer list
+}

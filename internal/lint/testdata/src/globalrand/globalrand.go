@@ -1,0 +1,27 @@
+// Fixture for the globalrand analyzer: package-level math/rand functions
+// (the process-global source) are flagged; seeded *rand.Rand values and
+// the constructors are not.
+package globalrand
+
+import (
+	"math/rand"
+
+	"hpbd/internal/sim"
+)
+
+func bad() {
+	_ = rand.Intn(10)                  // want "global math/rand source via rand.Intn"
+	_ = rand.Float64()                 // want "global math/rand source via rand.Float64"
+	_ = rand.Int63n(100)               // want "global math/rand source via rand.Int63n"
+	_ = rand.Perm(4)                   // want "global math/rand source via rand.Perm"
+	rand.Shuffle(3, func(i, j int) {}) // want "global math/rand source via rand.Shuffle"
+	buf := make([]byte, 8)
+	_, _ = rand.Read(buf) // want "global math/rand source via rand.Read"
+}
+
+func good(env *sim.Env) {
+	rnd := rand.New(rand.NewSource(42)) // constructor with explicit seed: fine
+	_ = rnd.Intn(10)                    // method on a seeded source: fine
+	_ = env.Rand.Float64()              // the sim env's deterministic source: fine
+	_ = rand.Intn(10)                   //hpbd:allow globalrand -- fixture: annotated escape hatch
+}

@@ -1,0 +1,98 @@
+// Fixture for the mapiter analyzer: map loops with order-dependent
+// effects are flagged; commutative accumulations, collect-then-sort, and
+// annotated loops are not.
+package mapiter
+
+import "sort"
+
+type conn struct{ id int }
+
+func (c *conn) Close() {}
+
+func badCallsInOrder(conns map[int]*conn) {
+	for _, c := range conns { // want "map iteration order is random"
+		c.Close()
+	}
+}
+
+func badLastKeyWins(m map[string]int) string {
+	last := ""
+	for k := range m { // want "map iteration order is random"
+		last = k
+	}
+	return last
+}
+
+func badBreak(m map[string]int) int {
+	n := 0
+	for range m { // want "map iteration order is random"
+		n++
+		if n > 3 {
+			break
+		}
+	}
+	return n
+}
+
+func badAppendNoCall(m map[string]int, out []string) []string {
+	for k := range m { // want "collected into \"out\" but never sorted"
+		out = append(out, k)
+	}
+	return out
+}
+
+func goodCount(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		if v > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func goodSum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func goodCollectSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func goodIndexWrite(src map[string]int, dst map[string]int) {
+	for k, v := range src {
+		dst[k] = v * 2
+	}
+}
+
+func goodDelete(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+func goodAnnotated(conns map[int]*conn) {
+	//hpbd:allow mapiter -- fixture: close order genuinely does not matter here
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+func goodSliceRange(xs []int) int {
+	n := 0
+	for _, v := range xs { // slices have stable order: never flagged
+		n += v
+	}
+	return n
+}

@@ -1,0 +1,30 @@
+// Fixture for the telemetrynil analyzer: struct-literal or new()
+// construction of telemetry handles is flagged; registry constructors and
+// nil handles are not.
+package telemetrynil
+
+import (
+	"hpbd/internal/sim"
+	"hpbd/internal/telemetry"
+)
+
+func bad() {
+	_ = telemetry.Counter{}    // want "telemetry.Counter constructed as a struct literal"
+	_ = &telemetry.Gauge{}     // want "telemetry.Gauge constructed as a struct literal"
+	_ = telemetry.Histogram{}  // want "telemetry.Histogram constructed as a struct literal"
+	_ = &telemetry.Registry{}  // want "telemetry.Registry constructed as a struct literal"
+	_ = new(telemetry.Counter) // want "new\\(telemetry.Counter\\) bypasses the nil-safe registry"
+	_ = new(telemetry.Tracer)  // want "new\\(telemetry.Tracer\\) bypasses the nil-safe registry"
+}
+
+func good(env *sim.Env) {
+	reg := telemetry.New(env) // the constructor: fine
+	c := reg.Counter("reads") // registry accessor: fine
+	c.Inc()
+	var nilReg *telemetry.Registry // nil handle, nil-safe by design: fine
+	nilReg.Counter("x").Inc()
+	_ = reg.Gauge("depth")
+	_ = reg.Histogram("latency")
+	_ = reg.EnableTracing()
+	_ = &telemetry.Counter{} //hpbd:allow telemetrynil -- fixture: annotated escape hatch
+}

@@ -1,0 +1,35 @@
+// Fixture for the walltime analyzer: wall-clock reads are flagged, virtual
+// time, time types/constants, timer methods, and directive-annotated uses
+// are not.
+package walltime
+
+import (
+	"time"
+
+	"hpbd/internal/sim"
+)
+
+func bad() {
+	_ = time.Now()                       // want "wall-clock call time.Now"
+	time.Sleep(time.Second)              // want "wall-clock call time.Sleep"
+	_ = time.Since(time.Time{})          // want "wall-clock call time.Since"
+	_ = time.After(time.Second)          // want "wall-clock call time.After"
+	_ = time.Tick(time.Second)           // want "wall-clock call time.Tick"
+	_ = time.NewTimer(time.Second)       // want "wall-clock call time.NewTimer"
+	_ = time.NewTicker(time.Second)      // want "wall-clock call time.NewTicker"
+	_ = time.AfterFunc(time.Second, bad) // want "wall-clock call time.AfterFunc"
+}
+
+func good(env *sim.Env, p *sim.Proc) {
+	_ = env.Now()            // virtual clock: fine
+	_ = p.Now()              // virtual clock: fine
+	p.Sleep(sim.Millisecond) // virtual sleep: fine
+	var d time.Duration = time.Second
+	_ = d                            // time types and constants: fine
+	tm := time.NewTimer(time.Second) //hpbd:allow walltime -- fixture: justified real pacing
+	tm.Reset(time.Second)            // method on a timer, not a package func: fine
+	_ = time.Now()                   //hpbd:allow walltime -- fixture: demo pacing against the real clock
+}
+
+//hpbd:allow walltime -- fixture: directive on the preceding line also suppresses
+func goodPrecedingLine() time.Time { return time.Now() }

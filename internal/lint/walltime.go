@@ -1,0 +1,52 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"hpbd/internal/lint/analysis"
+)
+
+// wallClockFuncs are the package time functions that read or wait on the
+// real clock. Types like time.Duration remain fine everywhere: the sim
+// layer deliberately mirrors them.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"Sleep": true, "After": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true, "AfterFunc": true,
+}
+
+// Walltime forbids real-clock reads in simulation-facing packages. All
+// timing inside the deterministic kernel must come from sim.Time
+// (Env.Now/Proc.Now); a single time.Now in a hot path silently decouples
+// figures from the virtual clock. The suite config exempts the real TCP
+// stack (internal/netblock, cmd/hpbd-server); justified uses elsewhere
+// (e.g. pacing a live demo) carry an //hpbd:allow walltime directive.
+var Walltime = &analysis.Analyzer{
+	Name: "walltime",
+	Doc: "forbid time.Now/Since/Sleep/After/Tick and timer construction in " +
+		"sim-facing packages; virtual time must come from sim.Env/sim.Proc",
+	Run: runWalltime,
+}
+
+func runWalltime(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || !wallClockFuncs[sel.Sel.Name] {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			fn, ok := obj.(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true // a method like Timer.Reset, not the package func
+			}
+			pass.ReportRangef(sel, "wall-clock call time.%s in sim-facing code; use sim.Env.Now/Proc.Now (or annotate with //hpbd:allow walltime -- reason)", sel.Sel.Name)
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,7 +1,6 @@
 package netblock
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -290,12 +289,11 @@ func (c *Client) Stat() (capacity, allocated int64, err error) {
 	if err != nil {
 		return 0, 0, err
 	}
-	if len(r.data) < wire.StatPayloadSize {
+	st, err := wire.UnmarshalStat(r.data)
+	if err != nil {
 		return 0, 0, ErrLostConn
 	}
-	capacity = int64(binary.BigEndian.Uint64(r.data))
-	allocated = int64(binary.BigEndian.Uint64(r.data[8:]))
-	return capacity, allocated, nil
+	return int64(st.CapacityBytes), int64(st.AllocatedBytes), nil
 }
 
 // issueStat sends a stat request expecting the fixed stat payload.

@@ -11,7 +11,6 @@
 package netblock
 
 import (
-	"encoding/binary"
 	"errors"
 	"io"
 	"log"
@@ -227,8 +226,10 @@ func (s *Server) serveConn(conn net.Conn) {
 		case wire.ReqStat:
 			out := make([]byte, wire.ReplySize+wire.StatPayloadSize)
 			wire.MarshalReply(out, &wire.Reply{Handle: req.Handle, Status: wire.StatusOK})
-			binary.BigEndian.PutUint64(out[wire.ReplySize:], uint64(s.cfg.CapacityBytes))
-			binary.BigEndian.PutUint64(out[wire.ReplySize+8:], uint64(s.Allocated()))
+			wire.MarshalStat(out[wire.ReplySize:], &wire.Stat{
+				CapacityBytes:  uint64(s.cfg.CapacityBytes),
+				AllocatedBytes: uint64(s.Allocated()),
+			})
 			replies <- out
 		default:
 			out := make([]byte, wire.ReplySize)

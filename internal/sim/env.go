@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math/rand"
+	"sort"
 )
 
 // event is a scheduled occurrence: either the resumption of a parked process
@@ -39,12 +40,13 @@ func (h *eventHeap) Pop() interface{} {
 // set of live processes. An Env is not safe for concurrent use from real
 // goroutines other than its own scheduled processes.
 type Env struct {
-	now    Time
-	seq    uint64
-	events eventHeap
-	yield  chan struct{} // handshake: running proc -> scheduler
-	procs  map[*Proc]struct{}
-	closed bool
+	now      Time
+	seq      uint64
+	nextProc uint64
+	events   eventHeap
+	yield    chan struct{} // handshake: running proc -> scheduler
+	procs    map[*Proc]struct{}
+	closed   bool
 
 	// Rand is a deterministic source for simulations that need randomness.
 	Rand *rand.Rand
@@ -85,7 +87,8 @@ func (e *Env) After(d Duration, fn func()) {
 // current virtual time, after the caller next yields to the scheduler.
 // The name appears in diagnostics.
 func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
-	p := &Proc{env: e, name: name, resume: make(chan struct{})}
+	e.nextProc++
+	p := &Proc{env: e, id: e.nextProc, name: name, resume: make(chan struct{})}
 	e.procs[p] = struct{}{}
 	e.schedule(e.now, p, nil)
 	go p.run(fn)
@@ -150,7 +153,16 @@ func (e *Env) Close() {
 		return
 	}
 	e.closed = true
+	// Kill in spawn order: unwinding runs deferred code, which may emit
+	// telemetry, so the teardown sequence must not inherit map order.
+	live := make([]*Proc, 0, len(e.procs))
 	for p := range e.procs {
+		if !p.done {
+			live = append(live, p)
+		}
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i].id < live[j].id })
+	for _, p := range live {
 		if p.done {
 			continue
 		}

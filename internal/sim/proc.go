@@ -12,12 +12,16 @@ func (k killedError) Error() string { return "sim: process " + k.name + " killed
 // that all blocking primitives return at deterministic virtual times.
 type Proc struct {
 	env    *Env
+	id     uint64 // spawn sequence number: a deterministic identity for ordering
 	name   string
 	resume chan struct{}
 	wake   *event // pending scheduled resume, if any (for cancellation)
 	done   bool
 	killed bool
 }
+
+// ID returns the process's spawn sequence number, unique within its Env.
+func (p *Proc) ID() uint64 { return p.id }
 
 // Env returns the environment the process belongs to.
 func (p *Proc) Env() *Env { return p.env }

@@ -152,7 +152,10 @@ func (s *System) shrink(p *sim.Proc, batch int) (freed int, writes []writeout) {
 	if s.inactive.Len() < batch {
 		s.refillInactive(p, batch-s.inactive.Len())
 	}
-	devsTouched := map[*SwapDevice]bool{}
+	// Slice keyed by a seen-map: unplug order must follow submission
+	// order, not random map order (Unplug dispatches queued I/O).
+	seen := map[*SwapDevice]bool{}
+	var devsTouched []*SwapDevice
 
 	scanned := 0
 	for scanned < batch && s.inactive.Len() > 0 {
@@ -210,9 +213,12 @@ func (s *System) shrink(p *sim.Proc, batch int) (freed int, writes []writeout) {
 		}
 		s.stats.SwapOuts++
 		writes = append(writes, writeout{pg: pg, h: h, dev: dev, start: p.Now()})
-		devsTouched[dev] = true
+		if !seen[dev] {
+			seen[dev] = true
+			devsTouched = append(devsTouched, dev)
+		}
 	}
-	for dev := range devsTouched {
+	for _, dev := range devsTouched {
 		dev.Queue.Unplug()
 	}
 	return freed, writes

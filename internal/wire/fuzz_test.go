@@ -45,6 +45,52 @@ func FuzzUnmarshalReply(f *testing.F) {
 	})
 }
 
+// FuzzUnmarshalHelloReply covers the handshake acknowledgement the real
+// client decodes straight off the network.
+func FuzzUnmarshalHelloReply(f *testing.F) {
+	seed := make([]byte, HelloReplySize)
+	MarshalHelloReply(seed, &HelloReply{Status: StatusOK})
+	f.Add(seed)
+	bad := make([]byte, HelloReplySize)
+	MarshalHelloReply(bad, &HelloReply{Status: StatusServerError})
+	f.Add(bad)
+	f.Add([]byte{})
+	f.Add([]byte{0x44})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		hr, err := UnmarshalHelloReply(data)
+		if err != nil {
+			return
+		}
+		out := make([]byte, HelloReplySize)
+		MarshalHelloReply(out, &hr)
+		if !bytes.Equal(out, data[:HelloReplySize]) {
+			t.Errorf("re-encode mismatch: %x vs %x", out, data[:HelloReplySize])
+		}
+	})
+}
+
+// FuzzUnmarshalStat covers the stat payload riding inside an
+// already-validated reply (no magic of its own, so every 16-byte input
+// must round-trip).
+func FuzzUnmarshalStat(f *testing.F) {
+	seed := make([]byte, StatPayloadSize)
+	MarshalStat(seed, &Stat{CapacityBytes: 1 << 30, AllocatedBytes: 1 << 20})
+	f.Add(seed)
+	f.Add(make([]byte, StatPayloadSize))
+	f.Add([]byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := UnmarshalStat(data)
+		if err != nil {
+			return
+		}
+		out := make([]byte, StatPayloadSize)
+		MarshalStat(out, &st)
+		if !bytes.Equal(out, data[:StatPayloadSize]) {
+			t.Errorf("re-encode mismatch: %x vs %x", out, data[:StatPayloadSize])
+		}
+	})
+}
+
 // FuzzUnmarshalHello covers the handshake path the real server exposes to
 // the network.
 func FuzzUnmarshalHello(f *testing.F) {

@@ -49,6 +49,31 @@ func (t ReqType) String() string {
 // capacity and allocated bytes as two big-endian uint64s.
 const StatPayloadSize = 16
 
+// Stat is the payload of a successful ReqStat reply.
+type Stat struct {
+	CapacityBytes  uint64
+	AllocatedBytes uint64
+}
+
+// MarshalStat encodes s into buf (StatPayloadSize bytes).
+func MarshalStat(buf []byte, s *Stat) {
+	_ = buf[StatPayloadSize-1]
+	binary.BigEndian.PutUint64(buf[0:], s.CapacityBytes)
+	binary.BigEndian.PutUint64(buf[8:], s.AllocatedBytes)
+}
+
+// UnmarshalStat decodes a Stat from buf. The payload rides inside an
+// already-validated Reply, so it carries no magic of its own.
+func UnmarshalStat(buf []byte) (Stat, error) {
+	if len(buf) < StatPayloadSize {
+		return Stat{}, ErrShortMessage
+	}
+	return Stat{
+		CapacityBytes:  binary.BigEndian.Uint64(buf[0:]),
+		AllocatedBytes: binary.BigEndian.Uint64(buf[8:]),
+	}, nil
+}
+
 // Status codes carried in replies.
 type Status uint8
 

@@ -218,6 +218,37 @@ func BenchmarkAblationPoolSize(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationHybrid compares copy-into-pool against the hybrid
+// copy/register data path across request sizes (the PR-3 extension of the
+// §4.1 argument).
+func BenchmarkAblationHybrid(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationHybrid(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportRows(b, res)
+			reportRatio(b, res, "hybrid/copy_128K_ratio", "hybrid/128K", "copy/128K")
+		}
+	}
+}
+
+// BenchmarkAblationDoorbell compares per-WQE posts against chained
+// doorbell submission under a small-write burst.
+func BenchmarkAblationDoorbell(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationDoorbell(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportRows(b, res)
+			reportRatio(b, res, "batched/unbatched_ratio", "batch-8", "batch-1")
+		}
+	}
+}
+
 // telemetryRun executes one HPBD testswap with metrics-only telemetry
 // (the always-on default) or with span tracing enabled, returning the
 // wall-clock cost of the simulation.

@@ -174,6 +174,11 @@ func Build(env *sim.Env, cfg Config) (*Node, error) {
 			if sc.Telemetry == nil {
 				sc.Telemetry = tel
 			}
+			// A doorbell-batching client implies batching servers unless an
+			// explicit server config already decided.
+			if cfg.ServerCfg == nil && ccfg.DoorbellBatch > 1 {
+				sc.DoorbellBatch = ccfg.DoorbellBatch
+			}
 			srv := hpbd.NewServer(fabric, fmt.Sprintf("mem%d", i), sc)
 			if err := dev.ConnectServer(srv, area); err != nil {
 				return nil, err

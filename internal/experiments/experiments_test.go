@@ -143,9 +143,47 @@ func TestSweepCreditsShape(t *testing.T) {
 	}
 }
 
+func TestAblationHybridWinsAtLargeSizes(t *testing.T) {
+	res, err := AblationHybrid(smallCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := res.Ratio("hybrid/128K", "copy/128K")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r >= 1.0 {
+		t.Errorf("hybrid/copy at 128K = %.3f; hybrid should beat copy-into-pool above the crossover", r)
+	}
+	// Below the threshold the hybrid device takes the pool path, so the
+	// small sizes must not regress.
+	small, err := res.Ratio("hybrid/4K", "copy/4K")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small > 1.01 {
+		t.Errorf("hybrid/copy at 4K = %.3f; small requests should be unaffected", small)
+	}
+}
+
+func TestAblationDoorbellReducesHostOverhead(t *testing.T) {
+	res, err := AblationDoorbell(smallCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := res.Ratio("batch-8", "batch-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r >= 1.0 {
+		t.Errorf("batched/unbatched host overhead = %.3f; chaining should cut doorbell cost", r)
+	}
+}
+
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig1", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "table1",
 		"ablation-registration", "ablation-receiver", "ablation-striping", "ablation-poolsize",
+		"ablation-hybrid", "ablation-doorbell",
 		"sweep-bandwidth", "sweep-credits", "sweep-readahead"}
 	for _, id := range want {
 		if _, ok := Registry[id]; !ok {

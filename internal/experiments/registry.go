@@ -25,6 +25,8 @@ var Registry = map[string]Runner{
 	"ablation-receiver":     AblationReceiver,
 	"ablation-striping":     AblationStriping,
 	"ablation-poolsize":     AblationPoolSize,
+	"ablation-hybrid":       AblationHybrid,
+	"ablation-doorbell":     AblationDoorbell,
 
 	"sweep-bandwidth": SweepBandwidth,
 	"sweep-credits":   SweepCredits,

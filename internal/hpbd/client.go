@@ -35,6 +35,25 @@ type ClientConfig struct {
 	// gives the device a private registry so Stats() always works.
 	Telemetry *telemetry.Registry
 
+	// HybridDataPath enables the adaptive copy/register data path:
+	// requests of HybridThresholdBytes or more skip the pool and register
+	// their payload on the fly through an MR reuse cache, while smaller
+	// requests keep the paper's copy-into-pool path. Off by default (the
+	// paper copies always).
+	HybridDataPath bool
+	// HybridThresholdBytes is the hybrid cutover size; zero means the
+	// netmodel Fig. 3 crossover (~127 KB).
+	HybridThresholdBytes int
+	// MRCacheEntries bounds the hybrid path's MR reuse cache (zero: 8).
+	MRCacheEntries int
+	// DoorbellBatch, when > 1, makes the sender drain up to this many
+	// queued requests and post each server's share as one chained work
+	// request list (a single doorbell charge instead of per-WQE). Values
+	// above Credits are clamped: a chain longer than the credit window
+	// would wait on replies it has not posted. <= 1 keeps the paper's
+	// one-post-per-request behavior.
+	DoorbellBatch int
+
 	// The remaining fields flip the paper's design choices for ablation
 	// studies; all default to the paper's design (false/zero).
 
@@ -49,6 +68,9 @@ type ClientConfig struct {
 	// round-robin chunks instead of the paper's blocked distribution
 	// (§4.2.5 argues striping does not pay at a 128 KB request bound).
 	StripeBytes int64
+	// FirstFitPool selects the paper's original first-fit free-list
+	// allocator instead of the size-classed default (ablation baseline).
+	FirstFitPool bool
 }
 
 // DefaultClientConfig returns the paper's client configuration.
@@ -71,6 +93,9 @@ type DeviceStats struct {
 	Splits       int64 // block requests split across servers
 	CreditStalls int64 // sends that waited on flow-control credits
 	RemoteErrors int64
+	Doorbells    int64 // send-side doorbells rung (== PhysReqs unless batching)
+	RecvWakeups  int64 // receiver sleep->wakeup transitions
+	HybridLarge  int64 // requests routed to the register-on-the-fly fast path
 }
 
 // deviceMetrics are the driver's registry handles, resolved once at
@@ -83,6 +108,9 @@ type deviceMetrics struct {
 	splits       *telemetry.Counter
 	creditStalls *telemetry.Counter
 	remoteErrors *telemetry.Counter
+	doorbells    *telemetry.Counter
+	recvWakeups  *telemetry.Counter
+	hybridLarge  *telemetry.Counter
 	queueWait    *telemetry.Histogram // Submit enqueue -> sender dequeue
 	opWrite      *telemetry.Histogram // send posted -> reply handled
 	opRead       *telemetry.Histogram
@@ -97,6 +125,9 @@ func newDeviceMetrics(reg *telemetry.Registry) deviceMetrics {
 		splits:       reg.Counter("hpbd.splits"),
 		creditStalls: reg.Counter("hpbd.credit_stalls"),
 		remoteErrors: reg.Counter("hpbd.remote_errors"),
+		doorbells:    reg.Counter("hpbd.doorbells"),
+		recvWakeups:  reg.Counter("hpbd.recv.wakeups"),
+		hybridLarge:  reg.Counter("hpbd.hybrid.large_reqs"),
 		queueWait:    reg.Histogram("hpbd.queue.wait"),
 		opWrite:      reg.Histogram("hpbd.op.write"),
 		opRead:       reg.Histogram("hpbd.op.read"),
@@ -110,8 +141,9 @@ type serverLink struct {
 	credits   *sim.Semaphore
 	startByte int64
 	size      int64
-	reqMR     *ib.MR // control-message staging
+	reqMR     *ib.MR // Credits control-message staging slots
 	recvMR    *ib.MR // Credits reply buffers
+	slot      int    // next reqMR slot (round-robin)
 }
 
 // parentReq tracks one block-layer request across its physical requests.
@@ -130,7 +162,8 @@ type phys struct {
 	offset  int64 // byte offset within the server area
 	off     int   // byte offset within the parent request
 	length  int
-	poolOff int
+	poolOff int    // pool allocation, -1 on the hybrid path
+	mr      *ib.MR // hybrid path: per-request registered payload buffer
 	handle  uint64
 	sent    bool
 	enqAt   sim.Time // handed to the sender queue
@@ -161,6 +194,10 @@ type Device struct {
 	tel     *telemetry.Registry
 	met     deviceMetrics
 	tracer  *telemetry.Tracer
+
+	hybridThr     int      // requests >= this register on the fly (0: hybrid off)
+	mrc           *mrCache // nil unless HybridDataPath
+	doorbellBatch int      // effective batch limit (clamped to Credits)
 }
 
 // NewDevice creates an HPBD client on the fabric. Connect servers with
@@ -172,6 +209,10 @@ func NewDevice(f *ib.Fabric, name string, cfg ClientConfig) *Device {
 	if tel == nil {
 		tel = telemetry.New(env)
 	}
+	pool := NewBufferPool(env, cfg.PoolBytes)
+	if cfg.FirstFitPool {
+		pool = NewFirstFitPool(env, cfg.PoolBytes)
+	}
 	d := &Device{
 		tel:     tel,
 		met:     newDeviceMetrics(tel),
@@ -182,11 +223,26 @@ func NewDevice(f *ib.Fabric, name string, cfg ClientConfig) *Device {
 		mem:     f.Config().Mem,
 		hca:     hca,
 		cq:      hca.CreateCQ(name + "-cq"),
-		pool:    NewBufferPool(env, cfg.PoolBytes),
+		pool:    pool,
 		byQP:    make(map[*ib.QP]*serverLink),
 		sendQ:   sim.NewChan[*phys](env, 0),
 		pending: make(map[uint64]*phys),
 		sleepQ:  sim.NewWaitQueue(env),
+	}
+	d.doorbellBatch = cfg.DoorbellBatch
+	if d.doorbellBatch > cfg.Credits {
+		d.doorbellBatch = cfg.Credits
+	}
+	if cfg.HybridDataPath {
+		d.hybridThr = cfg.HybridThresholdBytes
+		if d.hybridThr <= 0 {
+			d.hybridThr = netmodel.Fig3CrossoverBytes
+		}
+		entries := cfg.MRCacheEntries
+		if entries <= 0 {
+			entries = 8
+		}
+		d.mrc = newMRCache(hca, entries, tel)
 	}
 	// The pool is registered once at device load time — the design point
 	// the paper's Figure 3 motivates.
@@ -216,6 +272,9 @@ func (d *Device) Stats() DeviceStats {
 		Splits:       d.met.splits.Value(),
 		CreditStalls: d.met.creditStalls.Value(),
 		RemoteErrors: d.met.remoteErrors.Value(),
+		Doorbells:    d.met.doorbells.Value(),
+		RecvWakeups:  d.met.recvWakeups.Value(),
+		HybridLarge:  d.met.hybridLarge.Value(),
 	}
 }
 
@@ -247,7 +306,7 @@ func (d *Device) ConnectServer(srv *Server, areaBytes int64) error {
 		credits:   sim.NewSemaphore(d.env, d.cfg.Credits),
 		startByte: d.total,
 		size:      areaBytes,
-		reqMR:     d.hca.RegisterMRAtSetup(make([]byte, wire.RequestSize)),
+		reqMR:     d.hca.RegisterMRAtSetup(make([]byte, d.cfg.Credits*wire.RequestSize)),
 		recvMR:    d.hca.RegisterMRAtSetup(make([]byte, d.cfg.Credits*wire.ReplySize)),
 	}
 	for i := 0; i < d.cfg.Credits; i++ {
@@ -359,95 +418,220 @@ func (d *Device) Submit(p *sim.Proc, r *blockdev.Request) {
 		parent.readBuf = make([]byte, n)
 	}
 	for _, sg := range segs {
-		poolOff, err := d.pool.Alloc(p, sg.length)
-		if err != nil {
-			d.finishPhys(&phys{parent: parent}, err)
-			continue
+		ph := &phys{
+			parent: parent,
+			link:   sg.link,
+			write:  r.Write,
+			offset: sg.offset,
+			off:    sg.off,
+			length: sg.length,
 		}
-		if d.cfg.RegisterOnTheFly {
-			// Ablation: pay the registration cost the pool design avoids
-			// (the data still flows through pool space so the RDMA path
-			// is unchanged; only the cost model differs).
-			p.Sleep(d.mem.Register(sg.length))
+		if d.mrc != nil && sg.length >= d.hybridThr {
+			// Hybrid fast path: at or above the Fig. 3 crossover the
+			// request skips the pool and the server RDMAs against a
+			// per-request MR from the reuse cache. A cache miss charges
+			// the registration cost here; a hit charges nothing — the
+			// payload pages are (in the modeled driver) registered in
+			// place, so no copy is charged either.
+			ph.mr = d.mrc.get(p, sg.length)
+			ph.poolOff = -1
 			if r.Write {
+				copy(ph.mr.Buf[:sg.length], wdata[sg.off:sg.off+sg.length])
+			}
+			d.met.hybridLarge.Inc()
+		} else {
+			poolOff, err := d.pool.Alloc(p, sg.length)
+			if err != nil {
+				d.finishPhys(&phys{parent: parent}, err)
+				continue
+			}
+			ph.poolOff = poolOff
+			if d.cfg.RegisterOnTheFly {
+				// Ablation: pay the registration cost the pool design avoids
+				// (the data still flows through pool space so the RDMA path
+				// is unchanged; only the cost model differs).
+				p.Sleep(d.mem.Register(sg.length))
+				if r.Write {
+					copy(d.poolMR.Buf[poolOff:], wdata[sg.off:sg.off+sg.length])
+				}
+			} else if r.Write {
+				// The copy that replaces on-the-fly registration (§4.2.2).
+				p.Sleep(d.mem.Memcpy(sg.length))
 				copy(d.poolMR.Buf[poolOff:], wdata[sg.off:sg.off+sg.length])
 			}
-		} else if r.Write {
-			// The copy that replaces on-the-fly registration (§4.2.2).
-			p.Sleep(d.mem.Memcpy(sg.length))
-			copy(d.poolMR.Buf[poolOff:], wdata[sg.off:sg.off+sg.length])
 		}
 		d.nextH++
-		ph := &phys{
-			parent:  parent,
-			link:    sg.link,
-			write:   r.Write,
-			offset:  sg.offset,
-			off:     sg.off,
-			length:  sg.length,
-			poolOff: poolOff,
-			handle:  d.nextH,
-			enqAt:   p.Now(),
-		}
+		ph.handle = d.nextH
+		ph.enqAt = p.Now()
 		d.pending[ph.handle] = ph
 		d.sendQ.Send(p, ph)
 	}
 }
 
+// releasePayload returns a request's payload buffer to its source: the MR
+// reuse cache for hybrid requests, the registration pool otherwise. p may
+// be nil on failure paths (a cache eviction then skips the deregistration
+// charge — there is no process to bill).
+func (d *Device) releasePayload(p *sim.Proc, ph *phys) {
+	if ph.mr != nil {
+		d.mrc.put(p, ph.mr)
+		ph.mr = nil
+		return
+	}
+	d.pool.Free(ph.poolOff)
+}
+
+// marshalReq encodes ph's control message into the link's next staging
+// slot and returns the segment to post. Slots rotate round-robin over the
+// Credits-deep staging MR; the fabric copies the bytes at post time, so a
+// slot is reusable as soon as its WR is posted, and the rotation only has
+// to keep the slots of one marshalled-but-unposted chain distinct (chain
+// length is clamped to Credits).
+func (d *Device) marshalReq(ph *phys) ib.Segment {
+	link := ph.link
+	typ := wire.ReqRead
+	if ph.write {
+		typ = wire.ReqWrite
+	}
+	addr, rkey := uint64(0), uint32(0)
+	if ph.mr != nil {
+		rkey = ph.mr.RKey // hybrid: server RDMAs against the request's own MR
+	} else {
+		addr, rkey = uint64(ph.poolOff), d.poolMR.RKey
+	}
+	slot := link.slot
+	link.slot = (link.slot + 1) % d.cfg.Credits
+	off := slot * wire.RequestSize
+	wire.MarshalRequest(link.reqMR.Buf[off:off+wire.RequestSize], &wire.Request{
+		Type:   typ,
+		Handle: ph.handle,
+		Offset: uint64(ph.offset),
+		Length: uint32(ph.length),
+		Addr:   addr,
+		RKey:   rkey,
+	})
+	return ib.Segment{MR: link.reqMR, Off: off, Len: wire.RequestSize}
+}
+
 // sender is the request-issuing thread: it forwards queued physical
-// requests as soon as flow-control credits permit (§4.2.3, §4.2.4).
+// requests as soon as flow-control credits permit (§4.2.3, §4.2.4). With
+// DoorbellBatch > 1 it drains whatever has queued behind the blocking
+// receive — a decision keyed on queue state at the current instant, never
+// on wall time — and posts each server's share as one chained list.
 func (d *Device) sender(p *sim.Proc) {
 	for {
 		ph, ok := d.sendQ.Recv(p)
 		if !ok {
 			return
 		}
+		if d.doorbellBatch <= 1 {
+			d.sendOne(p, ph)
+			continue
+		}
+		batch := []*phys{ph}
+		for len(batch) < d.doorbellBatch {
+			next, ok2 := d.sendQ.TryRecv()
+			if !ok2 {
+				break
+			}
+			batch = append(batch, next)
+		}
+		d.sendChained(p, batch)
+	}
+}
+
+// sendOne is the paper's per-request issue path: one credit, one WQE, one
+// doorbell.
+func (d *Device) sendOne(p *sim.Proc, ph *phys) {
+	if d.failed {
+		if _, pending := d.pending[ph.handle]; pending {
+			delete(d.pending, ph.handle)
+			d.releasePayload(p, ph)
+			d.finishPhys(ph, ErrDeviceFailed)
+		}
+		return
+	}
+	d.met.queueWait.Observe(p.Now().Sub(ph.enqAt))
+	if !ph.link.credits.TryAcquire(1) {
+		d.met.creditStalls.Inc()
+		stall := d.tracer.Begin(d.name, "credit-stall")
+		ph.link.credits.Acquire(p, 1)
+		stall.End()
+	}
+	seg := d.marshalReq(ph)
+	// Mark in flight before posting: a failure during the post must
+	// not leave the request unaccounted.
+	ph.sent = true
+	err := ph.link.qp.PostSend(p, ib.SendWR{ID: ph.handle, Op: ib.OpSend, Local: seg})
+	if err != nil {
+		if _, pending := d.pending[ph.handle]; pending {
+			delete(d.pending, ph.handle)
+			d.releasePayload(p, ph)
+			d.finishPhys(ph, err)
+		}
+		ph.link.credits.Release(1)
+		return
+	}
+	ph.sentAt = p.Now()
+	d.met.physReqs.Inc()
+	d.met.doorbells.Inc()
+}
+
+// sendChained groups a drained batch by server link — links visited in
+// connect order, never map order — acquires one credit per request, and
+// posts each group as a single chained doorbell.
+func (d *Device) sendChained(p *sim.Proc, batch []*phys) {
+	live := batch[:0]
+	for _, ph := range batch {
 		if d.failed {
 			if _, pending := d.pending[ph.handle]; pending {
 				delete(d.pending, ph.handle)
-				d.pool.Free(ph.poolOff)
+				d.releasePayload(p, ph)
 				d.finishPhys(ph, ErrDeviceFailed)
 			}
 			continue
 		}
 		d.met.queueWait.Observe(p.Now().Sub(ph.enqAt))
-		if !ph.link.credits.TryAcquire(1) {
-			d.met.creditStalls.Inc()
-			stall := d.tracer.Begin(d.name, "credit-stall")
-			ph.link.credits.Acquire(p, 1)
-			stall.End()
-		}
-		typ := wire.ReqRead
-		if ph.write {
-			typ = wire.ReqWrite
-		}
-		wire.MarshalRequest(ph.link.reqMR.Buf, &wire.Request{
-			Type:   typ,
-			Handle: ph.handle,
-			Offset: uint64(ph.offset),
-			Length: uint32(ph.length),
-			Addr:   uint64(ph.poolOff),
-			RKey:   d.poolMR.RKey,
-		})
-		// Mark in flight before posting: a failure during the post must
-		// not leave the request unaccounted.
-		ph.sent = true
-		err := ph.link.qp.PostSend(p, ib.SendWR{
-			ID:    ph.handle,
-			Op:    ib.OpSend,
-			Local: ib.Segment{MR: ph.link.reqMR, Off: 0, Len: wire.RequestSize},
-		})
-		if err != nil {
-			if _, pending := d.pending[ph.handle]; pending {
-				delete(d.pending, ph.handle)
-				d.pool.Free(ph.poolOff)
-				d.finishPhys(ph, err)
+		live = append(live, ph)
+	}
+	for _, link := range d.links {
+		var wrs []ib.SendWR
+		var items []*phys
+		for _, ph := range live {
+			if ph.link != link {
+				continue
 			}
-			ph.link.credits.Release(1)
+			if !link.credits.TryAcquire(1) {
+				d.met.creditStalls.Inc()
+				stall := d.tracer.Begin(d.name, "credit-stall")
+				link.credits.Acquire(p, 1)
+				stall.End()
+			}
+			wrs = append(wrs, ib.SendWR{ID: ph.handle, Op: ib.OpSend, Local: d.marshalReq(ph)})
+			ph.sent = true
+			items = append(items, ph)
+		}
+		if len(items) == 0 {
 			continue
 		}
-		ph.sentAt = p.Now()
-		d.met.physReqs.Inc()
+		err := link.qp.PostSendBatch(p, wrs)
+		if err != nil {
+			for _, ph := range items {
+				if _, pending := d.pending[ph.handle]; pending {
+					delete(d.pending, ph.handle)
+					d.releasePayload(p, ph)
+					d.finishPhys(ph, err)
+				}
+				link.credits.Release(1)
+			}
+			continue
+		}
+		now := p.Now()
+		for _, ph := range items {
+			ph.sentAt = now
+			d.met.physReqs.Inc()
+		}
+		d.met.doorbells.Inc()
 	}
 }
 
@@ -468,6 +652,10 @@ func (d *Device) receiver(p *sim.Proc) {
 				} else {
 					d.sleepQ.Wait(p)
 					p.Sleep(d.cfg.Host.Wakeup)
+					// One wakeup serves however many replies the drain
+					// loop below finds queued (CQE burst accounting:
+					// replies/wakeups is the per-wakeup burst size).
+					d.met.recvWakeups.Inc()
 					continue
 				}
 			}
@@ -521,17 +709,25 @@ func (d *Device) handleReply(p *sim.Proc, e ib.CQE) {
 		ferr = fmt.Errorf("%w: %v", ErrRemote, rep.Status)
 	} else if !ph.write {
 		d.met.opRead.Observe(p.Now().Sub(ph.sentAt))
-		if d.cfg.RegisterOnTheFly {
-			p.Sleep(d.mem.Deregister())
+		if ph.mr != nil {
+			// Hybrid path: the server's RDMA WRITE landed in the
+			// request's own registered buffer, so there is no copy-out
+			// charge (the registration was paid — or amortized away — at
+			// submit); the MR goes back to the cache, not a deregister.
+			copy(ph.parent.readBuf[ph.off:], ph.mr.Buf[:ph.length])
 		} else {
-			// Copy the RDMA-written data out of the pool into the request.
-			p.Sleep(d.mem.Memcpy(ph.length))
+			if d.cfg.RegisterOnTheFly {
+				p.Sleep(d.mem.Deregister())
+			} else {
+				// Copy the RDMA-written data out of the pool into the request.
+				p.Sleep(d.mem.Memcpy(ph.length))
+			}
+			copy(ph.parent.readBuf[ph.off:], d.poolMR.Buf[ph.poolOff:ph.poolOff+ph.length])
 		}
-		copy(ph.parent.readBuf[ph.off:], d.poolMR.Buf[ph.poolOff:ph.poolOff+ph.length])
 		d.met.bytesRead.Add(int64(ph.length))
 	} else {
 		d.met.opWrite.Observe(p.Now().Sub(ph.sentAt))
-		if d.cfg.RegisterOnTheFly {
+		if ph.mr == nil && d.cfg.RegisterOnTheFly {
 			p.Sleep(d.mem.Deregister())
 		}
 		d.met.bytesWritten.Add(int64(ph.length))
@@ -545,7 +741,7 @@ func (d *Device) handleReply(p *sim.Proc, e ib.CQE) {
 			"bytes": ph.length, "server": ph.link.srv.Name(),
 		})
 	}
-	d.pool.Free(ph.poolOff)
+	d.releasePayload(p, ph)
 	link.credits.Release(1)
 	d.finishPhys(ph, ferr)
 }
@@ -588,7 +784,7 @@ func (d *Device) fail() {
 			continue // the sender cleans up queued requests on dequeue
 		}
 		delete(d.pending, h)
-		d.pool.Free(ph.poolOff)
+		d.releasePayload(nil, ph)
 		d.finishPhys(ph, ErrDeviceFailed)
 	}
 }

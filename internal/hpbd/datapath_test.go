@@ -1,0 +1,299 @@
+package hpbd
+
+import (
+	"bytes"
+	"testing"
+
+	"hpbd/internal/blockdev"
+	"hpbd/internal/sim"
+)
+
+// checkSegs validates the shared split invariants: segments cover the
+// request contiguously, in order, with no overlap and no spill past a
+// server area.
+func checkSegs(t *testing.T, segs []seg, n int) {
+	t.Helper()
+	off := 0
+	for i, sg := range segs {
+		if sg.off != off {
+			t.Errorf("seg %d starts at request offset %d, want %d", i, sg.off, off)
+		}
+		if sg.length <= 0 {
+			t.Errorf("seg %d has length %d", i, sg.length)
+		}
+		if sg.offset < 0 || sg.offset+int64(sg.length) > sg.link.size {
+			t.Errorf("seg %d [%d,+%d) spills out of its %d-byte area",
+				i, sg.offset, sg.length, sg.link.size)
+		}
+		off += sg.length
+	}
+	if off != n {
+		t.Errorf("segments cover %d bytes, want %d", off, n)
+	}
+}
+
+// The blocked layout's boundary cases: a request that straddles exactly
+// two server ranges symmetrically, and single-sector requests hugging
+// both sides of a range edge.
+func TestSplitExactBoundaries(t *testing.T) {
+	const area = 1 << 20
+	tb := newTestbed(t, 2, area, DefaultClientConfig())
+	defer tb.env.Close()
+	d := tb.dev
+
+	// 8 KB centred on the boundary: exactly 4 KB to each server.
+	segs := d.split(area-4096, 8192)
+	checkSegs(t, segs, 8192)
+	if len(segs) != 2 {
+		t.Fatalf("straddle split into %d segments, want 2", len(segs))
+	}
+	if segs[0].link != d.links[0] || segs[0].offset != area-4096 || segs[0].length != 4096 {
+		t.Errorf("left piece = {link%v off %d len %d}, want {0, %d, 4096}",
+			segs[0].link != d.links[0], segs[0].offset, segs[0].length, area-4096)
+	}
+	if segs[1].link != d.links[1] || segs[1].offset != 0 || segs[1].length != 4096 {
+		t.Errorf("right piece = {off %d len %d}, want {0, 4096}", segs[1].offset, segs[1].length)
+	}
+
+	// One sector each side of the edge must not split.
+	last := d.split(area-blockdev.SectorSize, blockdev.SectorSize)
+	if len(last) != 1 || last[0].link != d.links[0] || last[0].offset != area-blockdev.SectorSize {
+		t.Errorf("last sector of range 0 split wrong: %+v", last)
+	}
+	first := d.split(area, blockdev.SectorSize)
+	if len(first) != 1 || first[0].link != d.links[1] || first[0].offset != 0 {
+		t.Errorf("first sector of range 1 split wrong: %+v", first)
+	}
+
+	// The device's last sector is reachable; one byte past it is not.
+	if segs := d.split(2*area-blockdev.SectorSize, blockdev.SectorSize); len(segs) != 1 {
+		t.Errorf("device-tail sector split into %d segments", len(segs))
+	}
+	if segs := d.split(2*area-blockdev.SectorSize, 2*blockdev.SectorSize); segs != nil {
+		t.Error("split past the device end did not fail")
+	}
+}
+
+// The Figure 10 layout: 16 servers, blocked. A device-spanning range
+// yields exactly one segment per server in address order, and every
+// boundary sector lands on the right store.
+func TestSplitSixteenServerLayout(t *testing.T) {
+	const area = 256 * 1024
+	tb := newTestbed(t, 16, area, DefaultClientConfig())
+	d := tb.dev
+
+	segs := d.split(0, 16*area)
+	checkSegs(t, segs, 16*area)
+	if len(segs) != 16 {
+		t.Fatalf("full-device split into %d segments, want 16", len(segs))
+	}
+	for i, sg := range segs {
+		if sg.link != d.links[i] || sg.offset != 0 || sg.length != area {
+			t.Errorf("seg %d = {offset %d len %d}, want full area %d on server %d",
+				i, sg.offset, sg.length, area, i)
+		}
+	}
+
+	// Integration: write one page to the last page of every range; each
+	// must land at the tail of its own server's store.
+	tb.run(func(p *sim.Proc) {
+		var ios []*blockdev.IO
+		for i := 0; i < 16; i++ {
+			sector := (int64(i+1)*area - 4096) / blockdev.SectorSize
+			io, err := tb.queue.Submit(true, sector, pattern(4096, byte(i)))
+			if err != nil {
+				t.Fatalf("Submit %d: %v", i, err)
+			}
+			ios = append(ios, io)
+			tb.queue.Unplug()
+		}
+		for i, io := range ios {
+			if err := io.Wait(p); err != nil {
+				t.Fatalf("write %d: %v", i, err)
+			}
+		}
+	})
+	for i, srv := range tb.servers {
+		if st := srv.Stats(); st.Writes != 1 {
+			t.Errorf("server %d writes = %d, want 1", i, st.Writes)
+		}
+		if !bytes.Equal(srv.Store().Peek(area-4096, 4096), pattern(4096, byte(i))) {
+			t.Errorf("server %d tail page corrupted", i)
+		}
+	}
+	if tb.dev.Stats().Splits != 0 {
+		t.Error("page-sized edge writes must not split")
+	}
+}
+
+// The striped ablation layout: chunks rotate across servers, and a
+// request crossing a stripe boundary splits at it.
+func TestSplitStripedBoundaries(t *testing.T) {
+	const area = 1 << 20
+	const stripe = 64 * 1024
+	ccfg := DefaultClientConfig()
+	ccfg.StripeBytes = stripe
+	tb := newTestbed(t, 2, area, ccfg)
+	defer tb.env.Close()
+	d := tb.dev
+
+	// Two full stripes starting at a stripe boundary alternate servers.
+	segs := d.split(0, 2*stripe)
+	checkSegs(t, segs, 2*stripe)
+	if len(segs) != 2 || segs[0].link != d.links[0] || segs[1].link != d.links[1] {
+		t.Fatalf("striped split = %+v, want chunk 0 on server 0, chunk 1 on server 1", segs)
+	}
+
+	// A straddle of the stripe edge splits there; the second chunk of a
+	// round maps to server 1 at the same row offset.
+	segs = d.split(stripe-4096, 8192)
+	checkSegs(t, segs, 8192)
+	if len(segs) != 2 {
+		t.Fatalf("stripe straddle split into %d segments, want 2", len(segs))
+	}
+	if segs[0].link != d.links[0] || segs[0].offset != stripe-4096 {
+		t.Errorf("left piece offset %d on wrong server", segs[0].offset)
+	}
+	if segs[1].link != d.links[1] || segs[1].offset != 0 {
+		t.Errorf("right piece offset %d on wrong server", segs[1].offset)
+	}
+
+	// Chunk 2 wraps to server 0, row 1: area offset stripe.
+	segs = d.split(2*stripe, 4096)
+	if len(segs) != 1 || segs[0].link != d.links[0] || segs[0].offset != stripe {
+		t.Errorf("round-robin wrap = %+v, want server 0 at area offset %d", segs, stripe)
+	}
+}
+
+// The hybrid data path must route large requests around the pool: data
+// stays correct, the pool is never touched, and the MR reuse cache turns
+// repeat traffic into hits.
+func TestHybridLargeBypassesPool(t *testing.T) {
+	ccfg := DefaultClientConfig()
+	ccfg.HybridDataPath = true
+	tb := newTestbed(t, 1, 8<<20, ccfg)
+	const size = 128 * 1024
+	const reps = 6
+	tb.run(func(p *sim.Proc) {
+		for i := 0; i < reps; i++ {
+			want := pattern(size, byte(i))
+			sector := int64(i) * 2 * size / blockdev.SectorSize
+			w, err := tb.queue.Submit(true, sector, append([]byte(nil), want...))
+			if err != nil {
+				t.Fatalf("Submit write %d: %v", i, err)
+			}
+			tb.queue.Unplug()
+			if err := w.Wait(p); err != nil {
+				t.Fatalf("write %d: %v", i, err)
+			}
+			buf := make([]byte, size)
+			r, err := tb.queue.Submit(false, sector, buf)
+			if err != nil {
+				t.Fatalf("Submit read %d: %v", i, err)
+			}
+			tb.queue.Unplug()
+			if err := r.Wait(p); err != nil {
+				t.Fatalf("read %d: %v", i, err)
+			}
+			if !bytes.Equal(buf, want) {
+				t.Fatalf("rep %d: hybrid round trip corrupted data", i)
+			}
+		}
+	})
+	st := tb.dev.Stats()
+	if st.HybridLarge != 2*reps {
+		t.Errorf("HybridLarge = %d, want %d (every request is at the crossover)", st.HybridLarge, 2*reps)
+	}
+	if peak := tb.dev.Pool().PeakInUse; peak != 0 {
+		t.Errorf("pool peak = %d bytes; large requests must bypass the pool entirely", peak)
+	}
+	if tb.dev.mrc.Idle() == 0 {
+		t.Error("MR cache idle list empty after traffic; buffers are not being reused")
+	}
+	// Sequential 128K requests reuse one cached MR: one cold miss, the
+	// rest hits.
+	if hits, misses := tb.dev.mrc.hits.Value(), tb.dev.mrc.misses.Value(); misses != 1 || hits != 2*reps-1 {
+		t.Errorf("MR cache hits/misses = %d/%d, want %d/1", hits, misses, 2*reps-1)
+	}
+}
+
+// Below the threshold the hybrid device must behave exactly like the
+// default: pool-staged, no MR cache activity.
+func TestHybridSmallStaysOnPool(t *testing.T) {
+	ccfg := DefaultClientConfig()
+	ccfg.HybridDataPath = true
+	tb := newTestbed(t, 1, 1<<20, ccfg)
+	want := pattern(4096, 5)
+	tb.run(func(p *sim.Proc) {
+		w, _ := tb.queue.Submit(true, 0, append([]byte(nil), want...))
+		tb.queue.Unplug()
+		if err := w.Wait(p); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+	})
+	if st := tb.dev.Stats(); st.HybridLarge != 0 {
+		t.Errorf("HybridLarge = %d for a 4K request, want 0", st.HybridLarge)
+	}
+	if tb.dev.Pool().PeakInUse == 0 {
+		t.Error("small request did not stage through the pool")
+	}
+	if !bytes.Equal(tb.servers[0].Store().Peek(0, 4096), want) {
+		t.Error("server store does not hold the written bytes")
+	}
+}
+
+// Doorbell batching on the client sender: a backlog of small requests
+// must reach the server in fewer doorbells than requests, with data
+// intact; unbatched, doorbells equal physical requests.
+func TestClientDoorbellBatching(t *testing.T) {
+	const writes = 64
+	run := func(batch int) DeviceStats {
+		ccfg := DefaultClientConfig()
+		ccfg.Credits = 8
+		ccfg.DoorbellBatch = batch
+		tb := newTestbed(t, 1, 16<<20, ccfg)
+		tb.run(func(p *sim.Proc) {
+			var ios []*blockdev.IO
+			for i := 0; i < writes; i++ {
+				// Discontiguous sectors so the queue cannot merge.
+				io, err := tb.queue.Submit(true, int64(i*64), pattern(4096, byte(i)))
+				if err != nil {
+					t.Fatalf("Submit %d: %v", i, err)
+				}
+				ios = append(ios, io)
+			}
+			tb.queue.Unplug()
+			for i, io := range ios {
+				if err := io.Wait(p); err != nil {
+					t.Fatalf("write %d: %v", i, err)
+				}
+			}
+			// Read everything back.
+			for i := 0; i < writes; i++ {
+				buf := make([]byte, 4096)
+				r, _ := tb.queue.Submit(false, int64(i*64), buf)
+				tb.queue.Unplug()
+				if err := r.Wait(p); err != nil {
+					t.Fatalf("read %d: %v", i, err)
+				}
+				if !bytes.Equal(buf, pattern(4096, byte(i))) {
+					t.Fatalf("page %d corrupted under batch=%d", i, batch)
+				}
+			}
+		})
+		return tb.dev.Stats()
+	}
+	plain := run(1)
+	if plain.Doorbells != plain.PhysReqs {
+		t.Errorf("unbatched doorbells = %d, want %d (one per request)",
+			plain.Doorbells, plain.PhysReqs)
+	}
+	batched := run(8)
+	if batched.PhysReqs != plain.PhysReqs {
+		t.Fatalf("batched run sent %d phys reqs vs %d; not comparable",
+			batched.PhysReqs, plain.PhysReqs)
+	}
+	if batched.Doorbells >= plain.Doorbells {
+		t.Errorf("batched doorbells = %d, want < %d", batched.Doorbells, plain.Doorbells)
+	}
+}

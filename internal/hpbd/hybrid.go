@@ -1,0 +1,80 @@
+package hpbd
+
+import (
+	"math/bits"
+
+	"hpbd/internal/ib"
+	"hpbd/internal/netmodel"
+	"hpbd/internal/sim"
+	"hpbd/internal/telemetry"
+)
+
+// mrCache keeps recently used payload MRs registered so repeated large
+// transfers amortize the registration cost (the MR-reuse idea RDMAbox
+// applies to swap traffic). Idle MRs sit in least-recently-returned
+// order; get hands out the first large-enough buffer, put evicts the
+// coldest entry beyond the cap and pays deregistration for it. With the
+// cache warm, a large request's registration cost drops to zero and the
+// hybrid path wins against copy-into-pool everywhere at or above the
+// Fig. 3 crossover.
+type mrCache struct {
+	hca  *ib.HCA
+	cap  int
+	idle []*ib.MR // least recently returned first
+
+	hits   *telemetry.Counter
+	misses *telemetry.Counter
+	evicts *telemetry.Counter
+}
+
+func newMRCache(hca *ib.HCA, entries int, reg *telemetry.Registry) *mrCache {
+	return &mrCache{
+		hca:    hca,
+		cap:    entries,
+		hits:   reg.Counter("hpbd.hybrid.mr_hits"),
+		misses: reg.Counter("hpbd.hybrid.mr_misses"),
+		evicts: reg.Counter("hpbd.hybrid.mr_evicts"),
+	}
+}
+
+// get returns an idle registered MR of at least n bytes, registering a
+// fresh power-of-two-sized buffer (charging p the Fig. 3 registration
+// cost) on a miss. The size rounding keeps buffers interchangeable across
+// the narrow large-request size range, which is what makes reuse hit.
+func (c *mrCache) get(p *sim.Proc, n int) *ib.MR {
+	for i, mr := range c.idle {
+		if len(mr.Buf) >= n {
+			c.idle = append(c.idle[:i], c.idle[i+1:]...)
+			c.hits.Inc()
+			return mr
+		}
+	}
+	c.misses.Inc()
+	size := n
+	if size < netmodel.PageSize {
+		size = netmodel.PageSize
+	}
+	size = 1 << bits.Len(uint(size-1))
+	return c.hca.RegisterMR(p, make([]byte, size))
+}
+
+// put returns an MR to the idle list, evicting (and deregistering) the
+// least recently used entry beyond capacity. A nil p (failure teardown)
+// skips the deregistration charge — there is no process to bill.
+func (c *mrCache) put(p *sim.Proc, mr *ib.MR) {
+	c.idle = append(c.idle, mr)
+	if len(c.idle) <= c.cap {
+		return
+	}
+	old := c.idle[0]
+	c.idle = c.idle[1:]
+	c.evicts.Inc()
+	if p != nil {
+		c.hca.DeregisterMR(p, old)
+	} else {
+		c.hca.DeregisterMRAtTeardown(old)
+	}
+}
+
+// Idle returns how many registered MRs sit unused in the cache (tests).
+func (c *mrCache) Idle() int { return len(c.idle) }

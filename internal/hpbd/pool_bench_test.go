@@ -1,0 +1,78 @@
+package hpbd
+
+import (
+	"math/rand"
+	"testing"
+
+	"hpbd/internal/sim"
+)
+
+// fig6Mix models the testswap request-size distribution (Fig. 6): mostly
+// near-128K writes with a tail of page-cluster-sized reads. Sizes are
+// sector-aligned like real pool traffic.
+func fig6Mix(rnd *rand.Rand) int {
+	if rnd.Intn(100) < 70 {
+		return (120 + rnd.Intn(9)) * 1024 // 120K..128K
+	}
+	return (4 + 4*rnd.Intn(8)) * 1024 // 4K..32K
+}
+
+// benchPool exercises alloc/free churn with up to outstanding buffers in
+// flight. outstanding=16 is the regime the client's credit window
+// produces; larger values model a shared pool under many devices, where
+// the free list fragments and first-fit's linear scan degenerates.
+func benchPool(b *testing.B, mk func(env *sim.Env, size int) *BufferPool, poolBytes, outstanding int) {
+	env := sim.NewEnv()
+	pool := mk(env, poolBytes)
+	rnd := rand.New(rand.NewSource(1))
+	held := make([]int, 0, outstanding)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(held) == cap(held) || (len(held) > 0 && rnd.Intn(3) == 0) {
+			k := rnd.Intn(len(held))
+			pool.Free(held[k])
+			held = append(held[:k], held[k+1:]...)
+			continue
+		}
+		off, err := pool.TryAlloc(fig6Mix(rnd))
+		if err != nil {
+			// Pool momentarily exhausted: drain one and retry next round.
+			k := rnd.Intn(len(held))
+			pool.Free(held[k])
+			held = append(held[:k], held[k+1:]...)
+			continue
+		}
+		held = append(held, off)
+	}
+	b.StopTimer()
+	for _, off := range held {
+		pool.Free(off)
+	}
+	env.Close()
+}
+
+// BenchmarkPoolSizeClassed measures the segregated-fit allocator on the
+// Fig. 6 mix at the paper's scale (1 MB pool, credit-window concurrency);
+// it must at least match the first-fit baseline below.
+func BenchmarkPoolSizeClassed(b *testing.B) {
+	benchPool(b, NewBufferPool, 1<<20, 16)
+}
+
+// BenchmarkPoolFirstFit measures the paper's original first-fit free list
+// on the same mix.
+func BenchmarkPoolFirstFit(b *testing.B) {
+	benchPool(b, NewFirstFitPool, 1<<20, 16)
+}
+
+// BenchmarkPoolSizeClassedFragmented runs the same mix on a large shared
+// pool with 1024 buffers in flight, where hundreds of free extents
+// accumulate and the class index pays off.
+func BenchmarkPoolSizeClassedFragmented(b *testing.B) {
+	benchPool(b, NewBufferPool, 512<<20, 1024)
+}
+
+// BenchmarkPoolFirstFitFragmented is the first-fit baseline for the
+// fragmented regime.
+func BenchmarkPoolFirstFitFragmented(b *testing.B) {
+	benchPool(b, NewFirstFitPool, 512<<20, 1024)
+}

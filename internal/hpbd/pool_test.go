@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"hpbd/internal/sim"
+	"hpbd/internal/telemetry"
 )
 
 func TestPoolFirstFit(t *testing.T) {
@@ -164,6 +165,70 @@ func TestQuickPoolInvariants(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Error(err)
 	}
+}
+
+// The adaptive class index must build once fragmentation crosses
+// poolIndexBuild free extents, publish per-class occupancy gauges while
+// active, and drop again once coalescing shrinks the free set — with
+// allocation correctness unaffected on both sides of each transition.
+func TestPoolIndexBuildsAndDrops(t *testing.T) {
+	env := sim.NewEnv()
+	reg := telemetry.New(env)
+	bp := NewBufferPool(env, 1<<20)
+	bp.SetTelemetry(reg)
+	if bp.indexed {
+		t.Fatal("index active on a fresh pool")
+	}
+
+	// Checkerboard: allocate 2*poolIndexBuild page-sized blocks, free every
+	// other one. Each freed block is isolated, so the free set grows one
+	// extent per free until the index builds.
+	const n = 4096
+	offs := make([]int, 0, 2*poolIndexBuild)
+	for i := 0; i < 2*poolIndexBuild; i++ {
+		off, err := bp.TryAlloc(n)
+		if err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+		offs = append(offs, off)
+	}
+	for i := 0; i < len(offs); i += 2 {
+		bp.Free(offs[i])
+	}
+	if !bp.indexed {
+		t.Fatalf("index not built at %d free extents", bp.Fragments())
+	}
+	// The holes are page-sized, so class 12 (4096..8191) must be populated.
+	if got := reg.Gauge("pool.class.12").Value(); got < poolIndexBuild {
+		t.Errorf("pool.class.12 = %d, want >= %d", got, poolIndexBuild)
+	}
+
+	// Indexed allocation must reuse a hole, not only the tail extent.
+	off, err := bp.TryAlloc(n)
+	if err != nil {
+		t.Fatalf("indexed alloc: %v", err)
+	}
+	if off != offs[0] {
+		t.Errorf("indexed alloc at %d, want lowest hole %d", off, offs[0])
+	}
+	bp.Free(off)
+
+	// Free the rest: coalescing collapses the free set and the index must
+	// drop, zeroing the class gauges.
+	for i := 1; i < len(offs); i += 2 {
+		bp.Free(offs[i])
+	}
+	if bp.indexed {
+		t.Errorf("index still active at %d free extents", bp.Fragments())
+	}
+	if bp.Fragments() != 1 || bp.LargestFree() != 1<<20 || bp.InUse() != 0 {
+		t.Errorf("after drain: fragments=%d largest=%d inuse=%d",
+			bp.Fragments(), bp.LargestFree(), bp.InUse())
+	}
+	if got := reg.Gauge("pool.class.12").Value(); got != 0 {
+		t.Errorf("pool.class.12 = %d after index drop, want 0", got)
+	}
+	env.Close()
 }
 
 // The fragmentation scenario the paper's merge algorithm targets: after a

@@ -35,6 +35,12 @@ type ServerConfig struct {
 	StoreOpOverhead sim.Duration
 	// Host carries wakeup costs.
 	Host netmodel.HostModel
+	// DoorbellBatch, when > 1, routes workers' RDMA posts through a
+	// dedicated issuer process that drains up to this many queued
+	// operations and posts each connection's share as one chained
+	// doorbell (mirroring the client sender's batching). <= 1 keeps the
+	// per-operation posts of the paper's design.
+	DoorbellBatch int
 	// Telemetry, if non-nil, is the registry the server reports into
 	// (metric names are prefixed with the server name); nil gives the
 	// server a private registry so Stats() always works.
@@ -67,6 +73,7 @@ type ServerStats struct {
 	BadRequests int64
 	IdleSleeps  int64
 	RDMAIssued  int64
+	Doorbells   int64 // RDMA doorbells rung (== RDMAIssued unless batching)
 }
 
 // serverMetrics are the server's registry handles, resolved once at
@@ -81,6 +88,7 @@ type serverMetrics struct {
 	badRequests *telemetry.Counter
 	idleSleeps  *telemetry.Counter
 	rdmaIssued  *telemetry.Counter
+	doorbells   *telemetry.Counter
 }
 
 func newServerMetrics(reg *telemetry.Registry, name string) serverMetrics {
@@ -93,6 +101,7 @@ func newServerMetrics(reg *telemetry.Registry, name string) serverMetrics {
 		badRequests: reg.Counter(name + ".bad_requests"),
 		idleSleeps:  reg.Counter(name + ".idle_sleeps"),
 		rdmaIssued:  reg.Counter(name + ".rdma_issued"),
+		doorbells:   reg.Counter(name + ".doorbells"),
 	}
 }
 
@@ -126,6 +135,7 @@ type Server struct {
 	sleepQ    *sim.WaitQueue
 	rdmaWaits map[uint64]*sim.Event
 	nextWRID  uint64
+	issueQ    *sim.Chan[rdmaIssue] // nil unless DoorbellBatch > 1
 	tel       *telemetry.Registry
 	met       serverMetrics
 	tracer    *telemetry.Tracer
@@ -160,6 +170,10 @@ func NewServer(f *ib.Fabric, name string, cfg ServerConfig) *Server {
 	s.reqCQ.SetEventHandler(func() { s.sleepQ.WakeAll() })
 	env.Go(name+"-recv", s.recvLoop)
 	env.Go(name+"-datacq", s.dataCQLoop)
+	if cfg.DoorbellBatch > 1 {
+		s.issueQ = sim.NewChan[rdmaIssue](env, 0)
+		env.Go(name+"-issuer", s.rdmaIssuer)
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		wname := fmt.Sprintf("%s-worker%d", name, i)
 		env.Go(wname, func(p *sim.Proc) { s.worker(p, wname) })
@@ -182,6 +196,7 @@ func (s *Server) Stats() ServerStats {
 		BadRequests: s.met.badRequests.Value(),
 		IdleSleeps:  s.met.idleSleeps.Value(),
 		RDMAIssued:  s.met.rdmaIssued.Value(),
+		Doorbells:   s.met.doorbells.Value(),
 	}
 }
 
@@ -310,26 +325,88 @@ func (s *Server) dataCQLoop(p *sim.Proc) {
 	}
 }
 
+// rdmaIssue is one RDMA operation queued for the batching issuer.
+type rdmaIssue struct {
+	conn *clientConn
+	wr   ib.SendWR
+}
+
 // postRDMA issues one RDMA op on conn's QP and returns an event that
-// triggers on completion.
+// triggers on completion. With DoorbellBatch > 1 the op is handed to the
+// issuer process, which chains adjacent ops per connection under a single
+// doorbell; the completion event contract is identical either way.
 func (s *Server) postRDMA(p *sim.Proc, conn *clientConn, op ib.Opcode, local ib.Segment, remoteKey uint32, remoteOff int) (*sim.Event, error) {
 	s.nextWRID++
 	id := s.nextWRID
 	ev := sim.NewEvent(s.env)
-	s.rdmaWaits[id] = ev
-	err := conn.qp.PostSend(p, ib.SendWR{
+	wr := ib.SendWR{
 		ID:        id,
 		Op:        op,
 		Local:     local,
 		RemoteKey: remoteKey,
 		RemoteOff: remoteOff,
-	})
-	if err != nil {
+	}
+	if s.issueQ != nil {
+		s.rdmaWaits[id] = ev
+		s.issueQ.Send(p, rdmaIssue{conn: conn, wr: wr})
+		s.met.rdmaIssued.Inc()
+		return ev, nil
+	}
+	s.rdmaWaits[id] = ev
+	if err := conn.qp.PostSend(p, wr); err != nil {
 		delete(s.rdmaWaits, id)
 		return nil, err
 	}
 	s.met.rdmaIssued.Inc()
+	s.met.doorbells.Inc()
 	return ev, nil
+}
+
+// rdmaIssuer drains queued RDMA operations and rings one doorbell per
+// connection's share of each batch (§4.2.1's issue path, batched). Order
+// within a connection is the workers' enqueue order, and grouping walks
+// the batch slice in first-appearance order — map iteration never decides
+// what gets chained.
+func (s *Server) rdmaIssuer(p *sim.Proc) {
+	batch := make([]rdmaIssue, 0, s.cfg.DoorbellBatch)
+	for {
+		first, ok := s.issueQ.Recv(p)
+		if !ok {
+			return
+		}
+		batch = append(batch[:0], first)
+		for len(batch) < s.cfg.DoorbellBatch {
+			it, more := s.issueQ.TryRecv()
+			if !more {
+				break
+			}
+			batch = append(batch, it)
+		}
+		for i := range batch {
+			conn := batch[i].conn
+			if conn == nil {
+				continue // already chained with an earlier op
+			}
+			wrs := make([]ib.SendWR, 0, len(batch)-i)
+			for j := i; j < len(batch); j++ {
+				if batch[j].conn == conn {
+					wrs = append(wrs, batch[j].wr)
+					batch[j].conn = nil
+				}
+			}
+			if err := conn.qp.PostSendBatch(p, wrs); err != nil {
+				// Wake every chained worker; each re-checks QP state.
+				for _, wr := range wrs {
+					if ev, waiting := s.rdmaWaits[wr.ID]; waiting {
+						delete(s.rdmaWaits, wr.ID)
+						ev.Trigger()
+					}
+				}
+				continue
+			}
+			s.met.doorbells.Inc()
+		}
+	}
 }
 
 // sendReply posts the completion control message through the caller's

@@ -94,6 +94,11 @@ type Config struct {
 	QPCacheMiss sim.Duration
 	// PerWQE is host CPU charged to the posting process per work request.
 	PerWQE sim.Duration
+	// PerDoorbell is the host CPU charged once for a chained PostSendBatch
+	// post, regardless of how many WQEs ride the chain (the descriptor
+	// writes are amortized; the doorbell write dominates). Zero falls back
+	// to PerWQE, so batching never looks cheaper than a single post.
+	PerDoorbell sim.Duration
 	// EventDelay is the latency from a completion to the completion event
 	// handler running (interrupt + handler dispatch).
 	EventDelay sim.Duration
@@ -202,6 +207,14 @@ func (h *HCA) RegisterMRAtSetup(buf []byte) *MR { return h.registerMRFree(buf) }
 // DeregisterMR invalidates the region, charging the deregistration cost.
 func (h *HCA) DeregisterMR(p *sim.Proc, mr *MR) {
 	p.Sleep(h.fabric.cfg.Mem.Deregister())
+	mr.valid = false
+	delete(h.mrs, mr.RKey)
+}
+
+// DeregisterMRAtTeardown invalidates the region without charging simulated
+// time; use it on failure/teardown paths where no process context exists
+// (the counterpart of RegisterMRAtSetup).
+func (h *HCA) DeregisterMRAtTeardown(mr *MR) {
 	mr.valid = false
 	delete(h.mrs, mr.RKey)
 }

@@ -133,6 +133,38 @@ func (q *QP) PostSend(p *sim.Proc, wr SendWR) error {
 	return nil
 }
 
+// PostSendBatch posts wrs as one chained work-request list rung with a
+// single doorbell: the posting process is charged Config.PerDoorbell once
+// (PerWQE when PerDoorbell is zero) instead of PerWQE per request, which
+// is the host-overhead saving doorbell batching buys. The WRs issue in
+// slice order and complete individually on the send CQ. Validation is
+// atomic: on error nothing is issued.
+func (q *QP) PostSendBatch(p *sim.Proc, wrs []SendWR) error {
+	if len(wrs) == 0 {
+		return nil
+	}
+	if q.closed {
+		return ErrQPClosed
+	}
+	if q.peer == nil {
+		return ErrNotConnected
+	}
+	for i := range wrs {
+		if !wrs[i].Local.valid() {
+			return ErrBadSegment
+		}
+	}
+	d := q.hca.fabric.cfg.PerDoorbell
+	if d <= 0 {
+		d = q.hca.fabric.cfg.PerWQE
+	}
+	p.Sleep(d)
+	for i := range wrs {
+		q.issue(wrs[i])
+	}
+	return nil
+}
+
 // PostSendAsync posts from scheduler context (no process to charge); used
 // by layered code that batches posts inside event handlers.
 func (q *QP) PostSendAsync(wr SendWR) error {

@@ -1,0 +1,60 @@
+package netblock
+
+import (
+	"io"
+	"log"
+	"testing"
+)
+
+func benchPair(b *testing.B, size int64) (*Server, *Client) {
+	b.Helper()
+	s, err := Serve("127.0.0.1:0", ServerConfig{
+		CapacityBytes: size,
+		Logger:        log.New(io.Discard, "", 0),
+	})
+	if err != nil {
+		b.Fatalf("Serve: %v", err)
+	}
+	c, err := Dial(s.Addr(), size, 16)
+	if err != nil {
+		s.Close()
+		b.Fatalf("Dial: %v", err)
+	}
+	b.Cleanup(func() {
+		c.Close()
+		s.Close()
+	})
+	return s, c
+}
+
+// BenchmarkWriteAllocs measures steady-state allocations per 4 KB write.
+// The pooled header/reply buffers should keep this near zero on both ends.
+func BenchmarkWriteAllocs(b *testing.B) {
+	_, c := benchPair(b, 1<<20)
+	page := make([]byte, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := int64(i%16) * 4096
+		if _, err := c.WriteAt(page, off); err != nil {
+			b.Fatalf("WriteAt: %v", err)
+		}
+	}
+}
+
+// BenchmarkReadAllocs measures steady-state allocations per 4 KB read; the
+// reply payload comes out of payloadPool instead of a fresh make.
+func BenchmarkReadAllocs(b *testing.B) {
+	_, c := benchPair(b, 1<<20)
+	page := make([]byte, 4096)
+	if _, err := c.WriteAt(page, 0); err != nil {
+		b.Fatalf("WriteAt: %v", err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.ReadAt(page, 0); err != nil {
+			b.Fatalf("ReadAt: %v", err)
+		}
+	}
+}

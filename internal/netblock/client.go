@@ -20,6 +20,26 @@ var (
 	ErrLostConn   = errors.New("netblock: connection lost")
 )
 
+// hdrPool recycles request-header buffers across issues; payloadPool
+// recycles reply payload buffers across reads. Both store pointers so the
+// pool does not re-box the slice header on every Put.
+var (
+	hdrPool = sync.Pool{New: func() any {
+		b := make([]byte, wire.RequestSize)
+		return &b
+	}}
+	payloadPool = sync.Pool{New: func() any {
+		b := make([]byte, MaxRequestBytes)
+		return &b
+	}}
+)
+
+func putPayload(p *[]byte) {
+	if p != nil {
+		payloadPool.Put(p)
+	}
+}
+
 // Client is a remote-memory block device over TCP. ReadAt/WriteAt are
 // safe for concurrent use; up to `credits` requests are pipelined on the
 // wire (the paper's water-mark flow control).
@@ -28,7 +48,17 @@ type Client struct {
 	size    int64
 	credits chan struct{}
 
-	wmu sync.Mutex // serializes writes to the socket
+	// Outgoing frames queue under wmu and are flushed by whichever issuer
+	// finds no flush in progress; concurrent issuers' frames coalesce into
+	// a single writev (one syscall per burst instead of per frame — the
+	// socket analogue of the doorbell batching in the simulated client).
+	wmu       sync.Mutex
+	wq        net.Buffers
+	wrecycle  []*[]byte // pooled header buffers to release after flushing
+	wqSpare   net.Buffers
+	wrecSpare []*[]byte // retired queue slices, reused to avoid churn
+	wflushing bool
+	wlost     bool
 
 	pmu     sync.Mutex
 	pending map[uint64]*waiter
@@ -48,6 +78,7 @@ type waiter struct {
 type result struct {
 	status wire.Status
 	data   []byte
+	pooled *[]byte // backing buffer of data to return to payloadPool
 	err    error
 }
 
@@ -140,16 +171,22 @@ func (c *Client) recvLoop() {
 			return
 		}
 		var data []byte
+		var pooled *[]byte
 		if w.readLen > 0 && rep.Status == wire.StatusOK {
-			data = make([]byte, w.readLen)
+			pooled = payloadPool.Get().(*[]byte)
+			if cap(*pooled) < w.readLen {
+				*pooled = make([]byte, w.readLen)
+			}
+			data = (*pooled)[:w.readLen]
 			if _, err := io.ReadFull(c.conn, data); err != nil {
+				putPayload(pooled)
 				w.ch <- result{err: ErrLostConn}
 				c.credits <- struct{}{}
 				c.fail(ErrLostConn)
 				return
 			}
 		}
-		w.ch <- result{status: rep.Status, data: data}
+		w.ch <- result{status: rep.Status, data: data, pooled: pooled}
 		// The reply releases the flow-control credit (the paper's
 		// receiver thread replenishes the water-mark).
 		c.credits <- struct{}{}
@@ -187,6 +224,81 @@ func (c *Client) checkRange(off int64, n int) error {
 	return nil
 }
 
+// send queues a header frame (plus optional payload) for transmission and
+// flushes the queue unless another issuer is already flushing (that
+// issuer's next writev picks them up). recycle buffers go back to hdrPool
+// once their frames are on the wire.
+func (c *Client) send(hdr, payload []byte, recycle *[]byte) error {
+	c.wmu.Lock()
+	if c.wlost {
+		c.wmu.Unlock()
+		if recycle != nil {
+			hdrPool.Put(recycle)
+		}
+		return ErrLostConn
+	}
+	c.wq = append(c.wq, hdr)
+	if payload != nil {
+		c.wq = append(c.wq, payload)
+	}
+	if recycle != nil {
+		c.wrecycle = append(c.wrecycle, recycle)
+	}
+	if c.wflushing {
+		c.wmu.Unlock()
+		return nil // the active flusher will carry these frames
+	}
+	c.wflushing = true
+	var lost bool
+	for len(c.wq) > 0 && !lost {
+		// Swap in the spare queue slices so concurrent enqueuers reuse
+		// retired backing arrays instead of growing fresh ones each burst.
+		batch := c.wq
+		rec := c.wrecycle
+		c.wq = c.wqSpare
+		c.wrecycle = c.wrecSpare
+		c.wqSpare = nil
+		c.wrecSpare = nil
+		c.wmu.Unlock()
+		// WriteTo advances (and nils out) its receiver; flush a shadow
+		// header so batch keeps the backing array for reuse.
+		bw := batch
+		_, err := bw.WriteTo(c.conn)
+		for _, r := range rec {
+			hdrPool.Put(r)
+		}
+		if err != nil {
+			c.fail(ErrLostConn)
+			lost = true
+		}
+		for i := range batch {
+			batch[i] = nil
+		}
+		for i := range rec {
+			rec[i] = nil
+		}
+		c.wmu.Lock()
+		c.wqSpare = batch[:0]
+		c.wrecSpare = rec[:0]
+	}
+	c.wlost = c.wlost || lost
+	c.wflushing = false
+	// Frames enqueued after a failed writev will never flush; release
+	// their header buffers now that wlost stops new arrivals.
+	if c.wlost {
+		for _, r := range c.wrecycle {
+			hdrPool.Put(r)
+		}
+		c.wq, c.wrecycle = nil, nil
+	}
+	lost = c.wlost
+	c.wmu.Unlock()
+	if lost {
+		return ErrLostConn
+	}
+	return nil
+}
+
 // issue sends one request (plus optional payload) and returns the waiter.
 func (c *Client) issue(typ wire.ReqType, off int64, n int, payload []byte) (*waiter, error) {
 	<-c.credits // water-mark flow control
@@ -209,23 +321,22 @@ func (c *Client) issue(typ wire.ReqType, off int64, n int, payload []byte) (*wai
 	c.pending[h] = w
 	c.pmu.Unlock()
 
-	hdr := make([]byte, wire.RequestSize)
+	hp := hdrPool.Get().(*[]byte)
+	hdr := (*hp)[:wire.RequestSize]
 	wire.MarshalRequest(hdr, &wire.Request{
 		Type: typ, Handle: h, Offset: uint64(off), Length: uint32(n),
 	})
-	c.wmu.Lock()
-	_, err := c.conn.Write(hdr)
-	if err == nil && payload != nil {
-		_, err = c.conn.Write(payload)
-	}
-	c.wmu.Unlock()
-	if err != nil {
+	if err := c.send(hdr, payload, hp); err != nil {
+		// fail() may have already reaped the waiter and refunded the
+		// credit; only undo what is still ours.
 		c.pmu.Lock()
+		_, still := c.pending[h]
 		delete(c.pending, h)
 		c.pmu.Unlock()
-		c.credits <- struct{}{}
-		c.fail(ErrLostConn)
-		return nil, ErrLostConn
+		if still {
+			c.credits <- struct{}{}
+		}
+		return nil, err
 	}
 	return w, nil
 }
@@ -274,9 +385,12 @@ func (c *Client) ReadAt(p []byte, off int64) (int, error) {
 	}
 	r, err := c.wait(w)
 	if err != nil {
+		putPayload(r.pooled)
 		return 0, err
 	}
-	return copy(p, r.data), nil
+	n := copy(p, r.data)
+	putPayload(r.pooled)
+	return n, nil
 }
 
 // Stat asks the server for its capacity and current allocation.
@@ -287,9 +401,11 @@ func (c *Client) Stat() (capacity, allocated int64, err error) {
 	}
 	r, err := c.wait(w)
 	if err != nil {
+		putPayload(r.pooled)
 		return 0, 0, err
 	}
 	st, err := wire.UnmarshalStat(r.data)
+	putPayload(r.pooled)
 	if err != nil {
 		return 0, 0, ErrLostConn
 	}
@@ -315,18 +431,18 @@ func (c *Client) issueStat() (*waiter, error) {
 	c.pending[h] = w
 	c.pmu.Unlock()
 
-	hdr := make([]byte, wire.RequestSize)
+	hp := hdrPool.Get().(*[]byte)
+	hdr := (*hp)[:wire.RequestSize]
 	wire.MarshalRequest(hdr, &wire.Request{Type: wire.ReqStat, Handle: h})
-	c.wmu.Lock()
-	_, err := c.conn.Write(hdr)
-	c.wmu.Unlock()
-	if err != nil {
+	if err := c.send(hdr, nil, hp); err != nil {
 		c.pmu.Lock()
+		_, still := c.pending[h]
 		delete(c.pending, h)
 		c.pmu.Unlock()
-		c.credits <- struct{}{}
-		c.fail(ErrLostConn)
-		return nil, ErrLostConn
+		if still {
+			c.credits <- struct{}{}
+		}
+		return nil, err
 	}
 	return w, nil
 }

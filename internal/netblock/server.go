@@ -23,6 +23,20 @@ import (
 // MaxRequestBytes bounds a single transfer (the block layer's 128 KB).
 const MaxRequestBytes = 128 * 1024
 
+// replyPool recycles reply frames (header + worst-case inline payload)
+// across requests and connections.
+var replyPool = sync.Pool{New: func() any {
+	b := make([]byte, wire.ReplySize+MaxRequestBytes)
+	return &b
+}}
+
+// getReply takes a pooled frame sliced to n bytes.
+func getReply(n int) *[]byte {
+	p := replyPool.Get().(*[]byte)
+	*p = (*p)[:cap(*p)][:n]
+	return p
+}
+
 // ServerConfig parameterizes a memory server.
 type ServerConfig struct {
 	// CapacityBytes is the total memory the server will export.
@@ -165,19 +179,54 @@ func (s *Server) serveConn(conn net.Conn) {
 	defer s.log.Printf("netblock: client %s detached", conn.RemoteAddr())
 
 	// Request loop. Replies go through a dedicated writer goroutine so
-	// request processing never blocks on a slow reply path.
-	replies := make(chan []byte, 64)
-	var wmu sync.WaitGroup
-	wmu.Add(1)
+	// request processing never blocks on a slow reply path. The writer
+	// coalesces whatever has queued up into one writev per wakeup and
+	// recycles the frames; after a write error it keeps draining (and
+	// discarding) so the request loop never blocks on a dead socket.
+	replies := make(chan *[]byte, 64)
+	var wwg sync.WaitGroup
+	wwg.Add(1)
 	go func() {
-		defer wmu.Done()
-		for b := range replies {
-			if _, err := conn.Write(b); err != nil {
-				return
+		defer wwg.Done()
+		var failed bool
+		var batch net.Buffers
+		var rec []*[]byte
+		for f := range replies {
+			batch = append(batch[:0], *f)
+			rec = append(rec[:0], f)
+		drain:
+			for len(batch) < cap(replies) {
+				select {
+				case f2, ok := <-replies:
+					if !ok {
+						break drain
+					}
+					batch = append(batch, *f2)
+					rec = append(rec, f2)
+				default:
+					break drain
+				}
+			}
+			if !failed {
+				// Flush through a shadow header: WriteTo consumes its
+				// receiver, and batch's backing array is reused next wakeup.
+				bw := batch
+				if _, err := bw.WriteTo(conn); err != nil {
+					failed = true
+				}
+			}
+			for _, r := range rec {
+				replyPool.Put(r)
+			}
+			for i := range batch {
+				batch[i] = nil
+			}
+			for i := range rec {
+				rec[i] = nil
 			}
 		}
 	}()
-	defer wmu.Wait()
+	defer wwg.Wait()
 	defer close(replies)
 
 	hdr := make([]byte, wire.RequestSize)
@@ -209,31 +258,31 @@ func (s *Server) serveConn(conn net.Conn) {
 			} else if _, err := io.ReadFull(conn, area[req.Offset:req.Offset+uint64(n)]); err != nil {
 				return
 			}
-			out := make([]byte, wire.ReplySize)
-			wire.MarshalReply(out, &wire.Reply{Handle: req.Handle, Status: st})
+			out := getReply(wire.ReplySize)
+			wire.MarshalReply(*out, &wire.Reply{Handle: req.Handle, Status: st})
 			replies <- out
 		case wire.ReqRead:
 			if st != wire.StatusOK {
-				out := make([]byte, wire.ReplySize)
-				wire.MarshalReply(out, &wire.Reply{Handle: req.Handle, Status: st})
+				out := getReply(wire.ReplySize)
+				wire.MarshalReply(*out, &wire.Reply{Handle: req.Handle, Status: st})
 				replies <- out
 				continue
 			}
-			out := make([]byte, wire.ReplySize+n)
-			wire.MarshalReply(out, &wire.Reply{Handle: req.Handle, Status: st})
-			copy(out[wire.ReplySize:], area[req.Offset:req.Offset+uint64(n)])
+			out := getReply(wire.ReplySize + n)
+			wire.MarshalReply(*out, &wire.Reply{Handle: req.Handle, Status: st})
+			copy((*out)[wire.ReplySize:], area[req.Offset:req.Offset+uint64(n)])
 			replies <- out
 		case wire.ReqStat:
-			out := make([]byte, wire.ReplySize+wire.StatPayloadSize)
-			wire.MarshalReply(out, &wire.Reply{Handle: req.Handle, Status: wire.StatusOK})
-			wire.MarshalStat(out[wire.ReplySize:], &wire.Stat{
+			out := getReply(wire.ReplySize + wire.StatPayloadSize)
+			wire.MarshalReply(*out, &wire.Reply{Handle: req.Handle, Status: wire.StatusOK})
+			wire.MarshalStat((*out)[wire.ReplySize:], &wire.Stat{
 				CapacityBytes:  uint64(s.cfg.CapacityBytes),
 				AllocatedBytes: uint64(s.Allocated()),
 			})
 			replies <- out
 		default:
-			out := make([]byte, wire.ReplySize)
-			wire.MarshalReply(out, &wire.Reply{Handle: req.Handle, Status: wire.StatusBadRequest})
+			out := getReply(wire.ReplySize)
+			wire.MarshalReply(*out, &wire.Reply{Handle: req.Handle, Status: wire.StatusBadRequest})
 			replies <- out
 		}
 	}

@@ -75,6 +75,32 @@ func (m MemModel) Register(n int) sim.Duration {
 // Deregister returns the time to deregister a region.
 func (m MemModel) Deregister() sim.Duration { return m.DeregBase }
 
+// Fig3CrossoverBytes is the request size at which the paper's Figure 3
+// shows per-request registration starting to pay off against copying into
+// the pre-registered pool: just past the 4 K-127 K swap-request range.
+// It is the default threshold for the client's hybrid copy/register data
+// path.
+const Fig3CrossoverBytes = 127 * 1024
+
+// CopyRegisterCrossover returns the smallest page-multiple transfer size
+// at which registering the payload buffer — amortized over `reuse`
+// transfers through an MR reuse cache — costs no more than copying it.
+// With reuse = 1 this is the raw Figure 3 crossover (above the 128 KB
+// request bound); modest reuse pulls it into the swap-request range,
+// which is what makes the hybrid data path viable.
+func (m MemModel) CopyRegisterCrossover(reuse int) int {
+	if reuse < 1 {
+		reuse = 1
+	}
+	const limit = 1 << 30
+	for n := PageSize; n <= limit; n += PageSize {
+		if m.Register(n)/sim.Duration(reuse) <= m.Memcpy(n) {
+			return n
+		}
+	}
+	return limit
+}
+
 // LinkModel describes a network path at message granularity: a one-way
 // propagation/launch latency, a serialization bandwidth, and per-message
 // and per-segment host CPU costs (the TCP/IP stack burden for IP networks,

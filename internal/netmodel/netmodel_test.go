@@ -31,6 +31,25 @@ func TestRegistrationDominatesCopyInSwapRange(t *testing.T) {
 	}
 }
 
+func TestCopyRegisterCrossover(t *testing.T) {
+	m := DefaultMem()
+	// Without reuse the crossover sits above the whole 4K-127K swap-request
+	// range — the Fig. 3 case for the copy-into-pool design.
+	if c := m.CopyRegisterCrossover(1); c <= Fig3CrossoverBytes {
+		t.Errorf("crossover(1) = %d, want > %d: raw registration must lose across the swap range",
+			c, Fig3CrossoverBytes)
+	}
+	// Modest MR reuse amortizes the registration cost below memcpy within
+	// the 128K request bound — the case for the hybrid data path.
+	if c := m.CopyRegisterCrossover(4); c >= 128*1024 {
+		t.Errorf("crossover(4) = %d, want < 128K: reuse must pull the crossover into range", c)
+	}
+	// More reuse never raises the crossover.
+	if c8, c4 := m.CopyRegisterCrossover(8), m.CopyRegisterCrossover(4); c8 > c4 {
+		t.Errorf("crossover(8) = %d > crossover(4) = %d; not monotone in reuse", c8, c4)
+	}
+}
+
 func TestRegisterCountsPages(t *testing.T) {
 	m := DefaultMem()
 	onePage := m.Register(1)

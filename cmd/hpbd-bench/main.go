@@ -5,7 +5,7 @@
 // Usage:
 //
 //	hpbd-bench [-exp fig5,fig7] [-scale 32] [-seed 1] [-list]
-//	hpbd-bench -trace trace.json [-scale 32] [-seed 1]
+//	hpbd-bench -trace trace.json [-metrics metrics.om] [-scale 32] [-seed 1]
 package main
 
 import (
@@ -20,12 +20,13 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "comma-separated experiment IDs (default: all)")
-		scale = flag.Int("scale", experiments.PaperScale, "scale divisor for paper sizes")
-		seed  = flag.Int64("seed", 1, "workload RNG seed")
-		list  = flag.Bool("list", false, "list experiment IDs and exit")
-		csv   = flag.Bool("csv", false, "emit CSV rows instead of tables")
-		trace = flag.String("trace", "", "run a traced multi-server testswap and write Chrome trace JSON to this path")
+		exp     = flag.String("exp", "", "comma-separated experiment IDs (default: all)")
+		scale   = flag.Int("scale", experiments.PaperScale, "scale divisor for paper sizes")
+		seed    = flag.Int64("seed", 1, "workload RNG seed")
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
+		csv     = flag.Bool("csv", false, "emit CSV rows instead of tables")
+		trace   = flag.String("trace", "", "run a traced multi-server testswap and write Chrome trace JSON to this path")
+		metrics = flag.String("metrics", "", "with -trace: also write the OpenMetrics exposition to this path")
 	)
 	flag.Parse()
 
@@ -37,7 +38,7 @@ func main() {
 	}
 
 	if *trace != "" {
-		if err := tracedRun(*trace, *scale, *seed); err != nil {
+		if err := tracedRun(*trace, *metrics, *scale, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
 			os.Exit(1)
 		}
@@ -78,8 +79,9 @@ func main() {
 }
 
 // tracedRun executes the traced multi-server testswap workload, writes
-// the Chrome trace-event file, and prints the telemetry summary.
-func tracedRun(path string, scale int, seed int64) error {
+// the Chrome trace-event file (and optionally the OpenMetrics exposition),
+// and prints the telemetry summary plus the critical-path breakdown.
+func tracedRun(path, metricsPath string, scale int, seed int64) error {
 	reg, err := experiments.TraceRun(experiments.Config{Scale: scale, Seed: seed}, 4)
 	if err != nil {
 		return err
@@ -95,8 +97,26 @@ func tracedRun(path string, scale int, seed int64) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
+	if metricsPath != "" {
+		mf, err := os.Create(metricsPath)
+		if err != nil {
+			return err
+		}
+		if err := reg.WriteOpenMetrics(mf); err != nil {
+			mf.Close()
+			return err
+		}
+		if err := mf.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (OpenMetrics exposition)\n", metricsPath)
+	}
 	fmt.Printf("wrote %s (%d events; open at chrome://tracing or ui.perfetto.dev)\n\n",
 		path, reg.Tracer().Len())
 	fmt.Print(reg.Summary())
+	if lc := reg.Lifecycle(); lc != nil {
+		fmt.Println()
+		fmt.Print(lc.BreakdownTable())
+	}
 	return nil
 }

@@ -1,14 +1,17 @@
 // Command hpbdctl exercises a running hpbd-server: it attaches an area,
 // verifies data integrity with random pages, and measures sequential and
-// random throughput with pipelined requests. The trace subcommand needs
-// no server: it runs the simulated multi-server swap workload with event
-// tracing on and writes a Chrome trace-event file plus a metrics summary.
+// random throughput with pipelined requests. The trace and flightrec
+// subcommands need no server: they run the simulated multi-server swap
+// workload, trace writing a Chrome trace-event file plus a metrics
+// summary, flightrec printing the critical-path breakdown and the flight
+// recorder's last-N-requests table.
 //
 // Usage:
 //
 //	hpbdctl -server host:10809 -size 64 verify
 //	hpbdctl -server host:10809 -size 64 -credits 16 bench
 //	hpbdctl -out trace.json -servers 4 trace
+//	hpbdctl -servers 2 flightrec
 package main
 
 import (
@@ -40,10 +43,17 @@ func main() {
 		cmd = "verify"
 	}
 
-	// trace runs entirely in the simulator; no server connection needed.
+	// trace and flightrec run entirely in the simulator; no server
+	// connection needed.
 	if cmd == "trace" {
 		if err := trace(*out, *servers, *scale, *seed); err != nil {
 			log.Fatalf("hpbdctl trace: %v", err)
+		}
+		return
+	}
+	if cmd == "flightrec" {
+		if err := flightrec(*servers, *scale, *seed); err != nil {
+			log.Fatalf("hpbdctl flightrec: %v", err)
 		}
 		return
 	}
@@ -70,7 +80,7 @@ func main() {
 	case "bench":
 		bench(c)
 	default:
-		log.Fatalf("hpbdctl: unknown command %q (status|verify|bench|trace)", cmd)
+		log.Fatalf("hpbdctl: unknown command %q (status|verify|bench|trace|flightrec)", cmd)
 	}
 }
 
@@ -98,6 +108,24 @@ func trace(out string, servers, scale int, seed int64) error {
 		out, reg.Tracer().Len())
 	fmt.Print(reg.Summary())
 	return nil
+}
+
+// flightrec runs the simulated multi-server quick sort (whose random
+// access pattern produces the most varied request lifecycles), prints the
+// critical-path breakdown, and dumps the always-on flight recorder: the
+// last N requests with their exact per-stage latency split.
+func flightrec(servers, scale int, seed int64) error {
+	reg, err := experiments.TraceRunQuicksort(experiments.Config{Scale: scale, Seed: seed}, servers)
+	if err != nil {
+		return err
+	}
+	lc := reg.Lifecycle()
+	if lc == nil {
+		return fmt.Errorf("the swap device recorded no request lifecycles")
+	}
+	fmt.Print(lc.BreakdownTable())
+	fmt.Println()
+	return lc.Flight().Dump(os.Stdout, "on-demand (hpbdctl flightrec)")
 }
 
 // verify writes random pages across the area and reads them back.
@@ -160,4 +188,6 @@ func bench(c *netblock.Client) {
 	mb := float64(n*chunk) / 1e6
 	fmt.Printf("write: %.1f MB in %v (%.1f MB/s, pipelined)\n", mb, wElapsed, mb/wElapsed.Seconds())
 	fmt.Printf("read:  %.1f MB in %v (%.1f MB/s, serial)\n", mb, rElapsed, mb/rElapsed.Seconds())
+	fmt.Println()
+	fmt.Print(c.Breakdown())
 }

@@ -14,6 +14,7 @@ import (
 
 	"hpbd/internal/netmodel"
 	"hpbd/internal/sim"
+	"hpbd/internal/telemetry"
 )
 
 // SectorSize is the unit of block addressing.
@@ -55,6 +56,24 @@ type Request struct {
 	ios    []*IO
 	nbytes int
 	queued sim.Time
+	id     uint64
+}
+
+// ID returns the queue-assigned request id (0 for standalone requests).
+// Downstream drivers use it as the causal flow id in traces and flight
+// records, tying block-layer, driver, fabric and server events together.
+func (r *Request) ID() uint64 { return r.id }
+
+// QueuedAt returns the virtual time the request entered the block layer.
+func (r *Request) QueuedAt() sim.Time { return r.queued }
+
+// RequestID returns the id of the request this I/O was merged into
+// (valid once submitted; 0 before).
+func (io *IO) RequestID() uint64 {
+	if io.req == nil {
+		return 0
+	}
+	return io.req.id
 }
 
 // Bytes returns the total request payload size.
@@ -96,7 +115,7 @@ func (r *Request) Complete(err error) {
 // Completion is observed with Wait.
 func NewRequest(env *sim.Env, write bool, sector int64, data []byte) *Request {
 	io := &IO{Write: write, Sector: sector, Data: data, done: sim.NewEvent(env)}
-	r := &Request{Write: write, Sector: sector, ios: []*IO{io}, nbytes: len(data)}
+	r := &Request{Write: write, Sector: sector, ios: []*IO{io}, nbytes: len(data), queued: env.Now()}
 	io.req = r
 	return r
 }
@@ -153,6 +172,10 @@ type Queue struct {
 	logReqs  bool
 	elevator bool
 	headPos  int64
+	nextID   uint64
+	comp     string // trace track name, set with telemetry
+	tracer   *telemetry.Tracer
+	qwait    *telemetry.Histogram
 }
 
 // NewQueue creates the request queue for driver and starts its dispatch
@@ -165,6 +188,15 @@ func NewQueue(env *sim.Env, host netmodel.HostModel, driver Driver) *Queue {
 
 // Driver returns the underlying driver.
 func (q *Queue) Driver() Driver { return q.driver }
+
+// SetTelemetry attaches the node registry: queue-wait latency feeds the
+// blk.queue.wait histogram and, when tracing is on, every dispatch emits a
+// span plus a causal flow step under the request id.
+func (q *Queue) SetTelemetry(reg *telemetry.Registry) {
+	q.comp = "blkq-" + q.driver.Name()
+	q.tracer = reg.Tracer()
+	q.qwait = reg.Histogram("blk.queue.wait")
+}
 
 // EnableLog turns on per-request logging (needed for Figure 6).
 func (q *Queue) EnableLog() { q.logReqs = true }
@@ -217,7 +249,8 @@ func (q *Queue) Submit(write bool, sector int64, data []byte) (*IO, error) {
 			return io, nil
 		}
 	}
-	r := &Request{Write: write, Sector: sector, ios: []*IO{io}, nbytes: len(data), queued: q.env.Now()}
+	q.nextID++
+	r := &Request{Write: write, Sector: sector, ios: []*IO{io}, nbytes: len(data), queued: q.env.Now(), id: q.nextID}
 	io.req = r
 	if len(q.pending) == 0 {
 		q.plugged = true
@@ -258,6 +291,13 @@ func (q *Queue) dispatch(p *sim.Proc) {
 			})
 		}
 		p.Sleep(q.host.BlockPerRequest + sim.Duration(len(r.ios))*q.host.BlockPerBH)
+		q.qwait.Observe(p.Now().Sub(r.queued))
+		if q.tracer != nil {
+			q.tracer.Complete(q.comp, "dispatch", r.queued, p.Now(), map[string]any{
+				"req": r.id, "sector": r.Sector, "bytes": r.nbytes, "ios": len(r.ios), "write": r.Write,
+			})
+			q.tracer.FlowStep(q.comp, "req", r.id)
+		}
 		q.headPos = r.End()
 		q.driver.Submit(p, r)
 	}

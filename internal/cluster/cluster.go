@@ -201,6 +201,7 @@ func Build(env *sim.Env, cfg Config) (*Node, error) {
 		if err != nil {
 			return nil, err
 		}
+		srv.SetTelemetry(tel)
 		n.NBDServer = srv
 		size := cfg.SwapBytes
 		env.Go("nbd-setup", func(p *sim.Proc) {
@@ -208,6 +209,7 @@ func Build(env *sim.Env, cfg Config) (*Node, error) {
 			if derr != nil {
 				return // Ready never triggers; workloads report the hang
 			}
+			dev.SetTelemetry(tel)
 			n.Queue = blockdev.NewQueue(env, host, dev)
 			n.finish(cfg)
 		})
@@ -220,6 +222,7 @@ func Build(env *sim.Env, cfg Config) (*Node, error) {
 
 // finish registers the swap queue with the VM and signals readiness.
 func (n *Node) finish(cfg Config) {
+	n.Queue.SetTelemetry(n.Tel)
 	if cfg.LogRequests {
 		n.Queue.EnableLog()
 	}

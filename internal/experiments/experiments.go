@@ -109,6 +109,14 @@ func swapLatency(node *cluster.Node) (p50ms, p99ms float64) {
 	return float64(h.Quantile(0.50)) / ms, float64(h.Quantile(0.99)) / ms
 }
 
+// stageBreakdown summarizes the node's critical-path attribution as its
+// three largest stages ("rdma 40% send 25% queue 20%"): the swap device
+// records every request's per-stage latency partition into the node
+// registry's Lifecycle. Empty when the node never completed a request.
+func stageBreakdown(node *cluster.Node) string {
+	return node.Tel.Lifecycle().TopStages(3)
+}
+
 // swapConfigs returns the paper's five configurations for single-server
 // application tests, at the given scale.
 func swapConfigs(s int64) []struct {

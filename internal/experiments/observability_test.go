@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hpbd/internal/telemetry"
+)
+
+// breakdownOnce runs the scaled-down fig5 scenario and returns the node's
+// critical-path breakdown table and the OpenMetrics exposition.
+func breakdownOnce(t *testing.T, seed int64) (table, metrics string) {
+	t.Helper()
+	reg, err := TraceRun(Config{Scale: 256, Seed: seed}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc := reg.Lifecycle()
+	if lc == nil {
+		t.Fatal("HPBD device did not enable the lifecycle analyzer")
+	}
+	var buf bytes.Buffer
+	if err := reg.WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return lc.BreakdownTable(), buf.String()
+}
+
+// TestBreakdownGolden is the critical-path analyzer's determinism
+// regression: the per-stage breakdown of two identical-seed runs must be
+// byte-identical, and the shares must describe an exact partition of the
+// end-to-end time (the table always ends on the 100.00% row).
+func TestBreakdownGolden(t *testing.T) {
+	tab1, om1 := breakdownOnce(t, 42)
+	tab2, om2 := breakdownOnce(t, 42)
+	if tab1 != tab2 {
+		t.Errorf("breakdown tables differ between identical-seed runs:\n--- run1\n%s\n--- run2\n%s", tab1, tab2)
+	}
+	if om1 != om2 {
+		t.Errorf("OpenMetrics expositions differ between identical-seed runs")
+	}
+	for _, stage := range []string{"queue", "pool-wait", "credit-stall", "send", "rdma", "server-copy", "reply", "drain", "end-to-end"} {
+		if !strings.Contains(tab1, stage) {
+			t.Errorf("breakdown table missing stage %q:\n%s", stage, tab1)
+		}
+	}
+	if !strings.Contains(tab1, "100.00%") {
+		t.Errorf("breakdown table missing the exact-partition total row:\n%s", tab1)
+	}
+}
+
+// TestSweepOpenMetricsLexes runs the fig5 scenario and feeds the
+// registry's OpenMetrics exposition through a line-level check: every
+// per-stage histogram family must appear with cumulative buckets and the
+// exposition must end with the EOF marker.
+func TestSweepOpenMetricsLexes(t *testing.T) {
+	_, om := breakdownOnce(t, 42)
+	if !strings.HasSuffix(om, "# EOF\n") {
+		t.Fatalf("exposition does not end with # EOF:\n...%s", om[max(0, len(om)-200):])
+	}
+	for s := telemetry.Stage(0); s < telemetry.NumStages; s++ {
+		name := "req_stage_" + strings.ReplaceAll(s.String(), "-", "_") + "_seconds"
+		if !strings.Contains(om, name+"_count") {
+			t.Errorf("exposition missing per-stage histogram %s", name)
+		}
+	}
+	if !strings.Contains(om, "req_e2e_seconds_count") {
+		t.Errorf("exposition missing end-to-end histogram")
+	}
+	if !strings.Contains(om, `le="+Inf"`) {
+		t.Errorf("exposition has no +Inf bucket")
+	}
+}
+
+// TestSweepRowsCarryBreakdown checks the sweep runners annotate each row
+// with the top-stage attribution.
+func TestSweepRowsCarryBreakdown(t *testing.T) {
+	res, err := SweepCredits(smallCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		if !strings.Contains(row.Stat, "%") {
+			t.Fatalf("row %s: no stage attribution in Stat %q", row.Label, row.Stat)
+		}
+	}
+}

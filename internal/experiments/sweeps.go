@@ -48,6 +48,7 @@ func SweepBandwidth(c Config) (*Result, error) {
 			Label: fmt.Sprintf("%.0fMBps", mbps),
 			Value: elapsed.Seconds(),
 			P50ms: p50, P99ms: p99,
+			Stat: stageBreakdown(node),
 		})
 	}
 	return res, nil
@@ -115,7 +116,7 @@ func SweepCredits(c Config) (*Result, error) {
 			Label: fmt.Sprintf("credits-%d", credits),
 			Value: elapsed.Seconds(),
 			P50ms: p50, P99ms: p99,
-			Stat: fmt.Sprintf("stalls %d", node.HPBD.Stats().CreditStalls),
+			Stat: fmt.Sprintf("stalls %d; %s", node.HPBD.Stats().CreditStalls, stageBreakdown(node)),
 		})
 	}
 	return res, nil

@@ -3,6 +3,7 @@ package hpbd
 import (
 	"errors"
 	"fmt"
+	"io"
 	"sort"
 
 	"hpbd/internal/blockdev"
@@ -54,6 +55,21 @@ type ClientConfig struct {
 	// one-post-per-request behavior.
 	DoorbellBatch int
 
+	// FlightRecEntries sizes the always-on flight recorder ring of recent
+	// request records (zero-alloc in steady state). 0 selects the default
+	// (telemetry.DefaultFlightRecEntries); negative disables the
+	// request-lifecycle analyzer entirely.
+	FlightRecEntries int
+	// FlightDumpWriter, if non-nil, arms automatic flight-recorder dumps:
+	// a dump is written here when the device fails or a request exceeds
+	// RequestTimeout.
+	FlightDumpWriter io.Writer
+	// RequestTimeout, when > 0, arms a watchdog process that flags
+	// requests outstanding longer than this, counts them in
+	// hpbd.timeouts, and dumps the flight recorder. Zero (the default)
+	// spawns no watchdog, leaving the simulation schedule untouched.
+	RequestTimeout sim.Duration
+
 	// The remaining fields flip the paper's design choices for ablation
 	// studies; all default to the paper's design (false/zero).
 
@@ -96,6 +112,7 @@ type DeviceStats struct {
 	Doorbells    int64 // send-side doorbells rung (== PhysReqs unless batching)
 	RecvWakeups  int64 // receiver sleep->wakeup transitions
 	HybridLarge  int64 // requests routed to the register-on-the-fly fast path
+	Timeouts     int64 // requests the watchdog flagged as overdue
 }
 
 // deviceMetrics are the driver's registry handles, resolved once at
@@ -111,6 +128,7 @@ type deviceMetrics struct {
 	doorbells    *telemetry.Counter
 	recvWakeups  *telemetry.Counter
 	hybridLarge  *telemetry.Counter
+	timeouts     *telemetry.Counter
 	queueWait    *telemetry.Histogram // Submit enqueue -> sender dequeue
 	opWrite      *telemetry.Histogram // send posted -> reply handled
 	opRead       *telemetry.Histogram
@@ -128,6 +146,7 @@ func newDeviceMetrics(reg *telemetry.Registry) deviceMetrics {
 		doorbells:    reg.Counter("hpbd.doorbells"),
 		recvWakeups:  reg.Counter("hpbd.recv.wakeups"),
 		hybridLarge:  reg.Counter("hpbd.hybrid.large_reqs"),
+		timeouts:     reg.Counter("hpbd.timeouts"),
 		queueWait:    reg.Histogram("hpbd.queue.wait"),
 		opWrite:      reg.Histogram("hpbd.op.write"),
 		opRead:       reg.Histogram("hpbd.op.read"),
@@ -166,8 +185,15 @@ type phys struct {
 	mr      *ib.MR // hybrid path: per-request registered payload buffer
 	handle  uint64
 	sent    bool
-	enqAt   sim.Time // handed to the sender queue
-	sentAt  sim.Time // SEND posted to the fabric
+
+	timedOut bool     // the watchdog already flagged this request
+	flowID   uint64   // block-layer request id, threads the causal flow
+	blkAt    sim.Time // block-layer submission (parent request queued)
+	submitAt sim.Time // driver began preparing this physical request
+	enqAt    sim.Time // handed to the sender queue
+	deqAt    sim.Time // sender dequeued it
+	creditAt sim.Time // flow-control credit held
+	sentAt   sim.Time // SEND posted to the fabric
 }
 
 // Device is the HPBD client: a block device driver (blockdev.Driver) that
@@ -194,6 +220,7 @@ type Device struct {
 	tel     *telemetry.Registry
 	met     deviceMetrics
 	tracer  *telemetry.Tracer
+	lc      *telemetry.Lifecycle
 
 	hybridThr     int      // requests >= this register on the fly (0: hybrid off)
 	mrc           *mrCache // nil unless HybridDataPath
@@ -244,6 +271,15 @@ func NewDevice(f *ib.Fabric, name string, cfg ClientConfig) *Device {
 		}
 		d.mrc = newMRCache(hca, entries, tel)
 	}
+	// The request-lifecycle analyzer and its flight recorder are always on
+	// (cheap: timestamp reads and a ring copy per request, never a sleep)
+	// unless explicitly disabled.
+	if cfg.FlightRecEntries >= 0 {
+		d.lc = tel.EnableLifecycle(cfg.FlightRecEntries)
+		if cfg.FlightDumpWriter != nil {
+			d.lc.Flight().SetDumpWriter(cfg.FlightDumpWriter)
+		}
+	}
 	// The pool is registered once at device load time — the design point
 	// the paper's Figure 3 motivates.
 	d.pool.SetTelemetry(tel)
@@ -251,6 +287,9 @@ func NewDevice(f *ib.Fabric, name string, cfg ClientConfig) *Device {
 	d.cq.SetEventHandler(func() { d.sleepQ.WakeAll() })
 	env.Go(name+"-sender", d.sender)
 	env.Go(name+"-receiver", d.receiver)
+	if cfg.RequestTimeout > 0 {
+		env.Go(name+"-watchdog", d.watchdog)
+	}
 	return d
 }
 
@@ -275,8 +314,13 @@ func (d *Device) Stats() DeviceStats {
 		Doorbells:    d.met.doorbells.Value(),
 		RecvWakeups:  d.met.recvWakeups.Value(),
 		HybridLarge:  d.met.hybridLarge.Value(),
+		Timeouts:     d.met.timeouts.Value(),
 	}
 }
+
+// Lifecycle returns the device's request-lifecycle analyzer (nil when
+// disabled via FlightRecEntries < 0).
+func (d *Device) Lifecycle() *telemetry.Lifecycle { return d.lc }
 
 // Telemetry returns the registry the device reports into.
 func (d *Device) Telemetry() *telemetry.Registry { return d.tel }
@@ -419,12 +463,15 @@ func (d *Device) Submit(p *sim.Proc, r *blockdev.Request) {
 	}
 	for _, sg := range segs {
 		ph := &phys{
-			parent: parent,
-			link:   sg.link,
-			write:  r.Write,
-			offset: sg.offset,
-			off:    sg.off,
-			length: sg.length,
+			parent:   parent,
+			link:     sg.link,
+			write:    r.Write,
+			offset:   sg.offset,
+			off:      sg.off,
+			length:   sg.length,
+			flowID:   r.ID(),
+			blkAt:    r.QueuedAt(),
+			submitAt: p.Now(),
 		}
 		if d.mrc != nil && sg.length >= d.hybridThr {
 			// Hybrid fast path: at or above the Fig. 3 crossover the
@@ -551,18 +598,20 @@ func (d *Device) sendOne(p *sim.Proc, ph *phys) {
 		}
 		return
 	}
-	d.met.queueWait.Observe(p.Now().Sub(ph.enqAt))
+	ph.deqAt = p.Now()
+	d.met.queueWait.Observe(ph.deqAt.Sub(ph.enqAt))
 	if !ph.link.credits.TryAcquire(1) {
 		d.met.creditStalls.Inc()
 		stall := d.tracer.Begin(d.name, "credit-stall")
 		ph.link.credits.Acquire(p, 1)
 		stall.End()
 	}
+	ph.creditAt = p.Now()
 	seg := d.marshalReq(ph)
 	// Mark in flight before posting: a failure during the post must
 	// not leave the request unaccounted.
 	ph.sent = true
-	err := ph.link.qp.PostSend(p, ib.SendWR{ID: ph.handle, Op: ib.OpSend, Local: seg})
+	err := ph.link.qp.PostSend(p, ib.SendWR{ID: ph.handle, Op: ib.OpSend, Local: seg, Flow: ph.flowID})
 	if err != nil {
 		if _, pending := d.pending[ph.handle]; pending {
 			delete(d.pending, ph.handle)
@@ -573,8 +622,21 @@ func (d *Device) sendOne(p *sim.Proc, ph *phys) {
 		return
 	}
 	ph.sentAt = p.Now()
+	d.markPosted(ph)
 	d.met.physReqs.Inc()
 	d.met.doorbells.Inc()
+}
+
+// markPosted threads the causal flow across the wire: when tracing is on,
+// the server half continues the flow under the same id, which it looks up
+// by wire handle through the shared-registry link table (the wire format
+// itself is frozen — see telemetry.ServerStamp).
+func (d *Device) markPosted(ph *phys) {
+	if d.tracer == nil {
+		return
+	}
+	d.tracer.FlowStep(d.name, "req", ph.flowID)
+	d.lc.LinkFlow(ph.handle, ph.flowID)
 }
 
 // sendChained groups a drained batch by server link — links visited in
@@ -591,7 +653,8 @@ func (d *Device) sendChained(p *sim.Proc, batch []*phys) {
 			}
 			continue
 		}
-		d.met.queueWait.Observe(p.Now().Sub(ph.enqAt))
+		ph.deqAt = p.Now()
+		d.met.queueWait.Observe(ph.deqAt.Sub(ph.enqAt))
 		live = append(live, ph)
 	}
 	for _, link := range d.links {
@@ -607,7 +670,8 @@ func (d *Device) sendChained(p *sim.Proc, batch []*phys) {
 				link.credits.Acquire(p, 1)
 				stall.End()
 			}
-			wrs = append(wrs, ib.SendWR{ID: ph.handle, Op: ib.OpSend, Local: d.marshalReq(ph)})
+			ph.creditAt = p.Now()
+			wrs = append(wrs, ib.SendWR{ID: ph.handle, Op: ib.OpSend, Local: d.marshalReq(ph), Flow: ph.flowID})
 			ph.sent = true
 			items = append(items, ph)
 		}
@@ -629,6 +693,7 @@ func (d *Device) sendChained(p *sim.Proc, batch []*phys) {
 		now := p.Now()
 		for _, ph := range items {
 			ph.sentAt = now
+			d.markPosted(ph)
 			d.met.physReqs.Inc()
 		}
 		d.met.doorbells.Inc()
@@ -673,6 +738,7 @@ func (d *Device) receiver(p *sim.Proc) {
 }
 
 func (d *Device) handleReply(p *sim.Proc, e ib.CQE) {
+	replyAt := p.Now()
 	link := d.byQP[e.QP]
 	if link == nil {
 		return
@@ -739,11 +805,59 @@ func (d *Device) handleReply(p *sim.Proc, e ib.CQE) {
 		}
 		d.tracer.Complete(d.name, name, ph.enqAt, p.Now(), map[string]any{
 			"bytes": ph.length, "server": ph.link.srv.Name(),
+			"flow": ph.flowID, "handle": ph.handle,
 		})
+		d.tracer.FlowEnd(d.name, "req", ph.flowID)
 	}
+	d.recordLifecycle(p, ph, replyAt, ferr)
 	d.releasePayload(p, ph)
 	link.credits.Release(1)
 	d.finishPhys(ph, ferr)
+}
+
+// recordLifecycle attributes the completed request's end-to-end latency to
+// the critical-path stages. The stages partition [blkAt, now] exactly by
+// construction: every boundary is a captured timestamp, and the server's
+// interior split (send/rdma/server-copy/reply) comes from its stamp in the
+// shared registry when available, falling back to post->reply flight time
+// under "send"/"reply" when the server keeps a private registry.
+func (d *Device) recordLifecycle(p *sim.Proc, ph *phys, replyAt sim.Time, ferr error) {
+	if d.lc == nil {
+		return
+	}
+	now := p.Now()
+	rec := telemetry.ReqRecord{
+		ID:     ph.handle,
+		Flow:   ph.flowID,
+		Write:  ph.write,
+		Err:    ferr != nil,
+		Bytes:  ph.length,
+		Server: ph.link.srv.Name(),
+		Start:  ph.blkAt,
+		End:    now,
+	}
+	// Queueing is two segments: block layer -> driver dispatch, and the
+	// driver's own send queue. Only the sum must partition.
+	rec.Stages[telemetry.StageQueue] = ph.submitAt.Sub(ph.blkAt) + ph.deqAt.Sub(ph.enqAt)
+	rec.Stages[telemetry.StagePoolWait] = ph.enqAt.Sub(ph.submitAt)
+	rec.Stages[telemetry.StageCreditStall] = ph.creditAt.Sub(ph.deqAt)
+	flightStart := ph.creditAt
+	if st, ok := d.lc.TakeServerStamp(ph.handle); ok &&
+		st.Start >= flightStart && st.Reply >= st.Start && replyAt >= st.Reply {
+		srvCopy := st.Copy
+		if srvCopy > st.Reply.Sub(st.Start) {
+			srvCopy = st.Reply.Sub(st.Start)
+		}
+		rec.Stages[telemetry.StageSend] = st.Start.Sub(flightStart)
+		rec.Stages[telemetry.StageServerCopy] = srvCopy
+		rec.Stages[telemetry.StageRDMA] = st.Reply.Sub(st.Start) - srvCopy
+		rec.Stages[telemetry.StageReply] = replyAt.Sub(st.Reply)
+	} else {
+		rec.Stages[telemetry.StageSend] = ph.sentAt.Sub(flightStart)
+		rec.Stages[telemetry.StageReply] = replyAt.Sub(ph.sentAt)
+	}
+	rec.Stages[telemetry.StageDrain] = now.Sub(replyAt)
+	d.lc.Record(&rec)
 }
 
 // finishPhys records one physical completion and completes the parent
@@ -763,6 +877,44 @@ func (d *Device) finishPhys(ph *phys, err error) {
 	parent.req.Complete(parent.err)
 }
 
+// watchdog periodically scans the pending table for overdue requests
+// (outstanding longer than RequestTimeout): each is counted once in
+// hpbd.timeouts and triggers one flight-recorder dump, so a wedged server
+// leaves the last N request records in the log. It only reads the virtual
+// clock and never completes requests itself, so arming it does not change
+// request timing; it is only spawned when RequestTimeout > 0.
+func (d *Device) watchdog(p *sim.Proc) {
+	period := d.cfg.RequestTimeout / 2
+	if period <= 0 {
+		period = d.cfg.RequestTimeout
+	}
+	for {
+		p.Sleep(period)
+		if d.failed {
+			continue
+		}
+		now := p.Now()
+		// Scan in handle order: the dump reason must not inherit map order.
+		handles := make([]uint64, 0, len(d.pending))
+		for h := range d.pending {
+			handles = append(handles, h)
+		}
+		sort.Slice(handles, func(i, j int) bool { return handles[i] < handles[j] })
+		for _, h := range handles {
+			ph := d.pending[h]
+			age := now.Sub(ph.submitAt)
+			if ph.timedOut || age < d.cfg.RequestTimeout {
+				continue
+			}
+			ph.timedOut = true
+			d.met.timeouts.Inc()
+			d.lc.Flight().DumpOnEvent(fmt.Sprintf(
+				"request timeout: handle=%d flow=%d server=%s age=%v",
+				ph.handle, ph.flowID, ph.link.srv.Name(), age))
+		}
+	}
+}
+
 // fail moves the device to the failed state and errors out all pending
 // requests (reliability handling, §4.1: RC excludes network loss, so a
 // completion error means the peer is gone).
@@ -771,6 +923,7 @@ func (d *Device) fail() {
 		return
 	}
 	d.failed = true
+	d.lc.Flight().DumpOnEvent(fmt.Sprintf("device %s failed: %d requests pending", d.name, len(d.pending)))
 	// Error out in handle order: completing a phys can complete its parent
 	// request and wake its issuer, so the order must not inherit map order.
 	handles := make([]uint64, 0, len(d.pending))

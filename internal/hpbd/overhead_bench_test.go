@@ -1,0 +1,50 @@
+package hpbd
+
+import (
+	"testing"
+
+	"hpbd/internal/blockdev"
+	"hpbd/internal/ib"
+	"hpbd/internal/netmodel"
+	"hpbd/internal/sim"
+)
+
+// benchRequestPath measures the real (host) cost of one simulated 4K
+// write round trip. entries selects the lifecycle configuration: 0 is the
+// always-on default (analyzer + flight ring), -1 the explicit opt-out.
+// The gap between the two is the observability tax on the datapath; the
+// acceptance gate keeps it within a few percent.
+func benchRequestPath(b *testing.B, entries int) {
+	env := sim.NewEnv()
+	f := ib.NewFabric(env, ib.DefaultConfig())
+	ccfg := DefaultClientConfig()
+	ccfg.FlightRecEntries = entries
+	dev := NewDevice(f, "hpbd0", ccfg)
+	srv := NewServer(f, "mem0", DefaultServerConfig(1<<20))
+	if err := dev.ConnectServer(srv, 1<<20); err != nil {
+		b.Fatalf("ConnectServer: %v", err)
+	}
+	q := blockdev.NewQueue(env, netmodel.DefaultHost(), dev)
+	data := make([]byte, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	env.Go("bench", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			w, err := q.Submit(true, 0, data)
+			if err != nil {
+				b.Errorf("Submit: %v", err)
+				return
+			}
+			q.Unplug()
+			if err := w.Wait(p); err != nil {
+				b.Errorf("write: %v", err)
+				return
+			}
+		}
+	})
+	env.Run()
+	env.Close()
+}
+
+func BenchmarkRequestPathLifecycleOn(b *testing.B)  { benchRequestPath(b, 0) }
+func BenchmarkRequestPathLifecycleOff(b *testing.B) { benchRequestPath(b, -1) }

@@ -139,6 +139,7 @@ type Server struct {
 	tel       *telemetry.Registry
 	met       serverMetrics
 	tracer    *telemetry.Tracer
+	lc        *telemetry.Lifecycle
 }
 
 // NewServer creates a memory server on the fabric and starts its daemon
@@ -202,6 +203,18 @@ func (s *Server) Stats() ServerStats {
 
 // Telemetry returns the registry the server reports into.
 func (s *Server) Telemetry() *telemetry.Registry { return s.tel }
+
+// lifecycle lazily resolves the request-lifecycle analyzer on the server's
+// registry. On a cluster node the registry is shared with the client
+// device, which enables the analyzer, so server-side timing stamps reach
+// the client's breakdown; a server on a private registry resolves nil and
+// clients fall back to coarse flight-time attribution.
+func (s *Server) lifecycle() *telemetry.Lifecycle {
+	if s.lc == nil {
+		s.lc = s.tel.Lifecycle()
+	}
+	return s.lc
+}
 
 // Store exposes the backing RamDisk (tests verify stored bytes through it).
 func (s *Server) Store() *ramdisk.RamDisk { return s.store }
@@ -335,7 +348,7 @@ type rdmaIssue struct {
 // triggers on completion. With DoorbellBatch > 1 the op is handed to the
 // issuer process, which chains adjacent ops per connection under a single
 // doorbell; the completion event contract is identical either way.
-func (s *Server) postRDMA(p *sim.Proc, conn *clientConn, op ib.Opcode, local ib.Segment, remoteKey uint32, remoteOff int) (*sim.Event, error) {
+func (s *Server) postRDMA(p *sim.Proc, conn *clientConn, op ib.Opcode, local ib.Segment, remoteKey uint32, remoteOff int, flow uint64) (*sim.Event, error) {
 	s.nextWRID++
 	id := s.nextWRID
 	ev := sim.NewEvent(s.env)
@@ -345,6 +358,7 @@ func (s *Server) postRDMA(p *sim.Proc, conn *clientConn, op ib.Opcode, local ib.
 		Local:     local,
 		RemoteKey: remoteKey,
 		RemoteOff: remoteOff,
+		Flow:      flow,
 	}
 	if s.issueQ != nil {
 		s.rdmaWaits[id] = ev
@@ -434,11 +448,30 @@ func (s *Server) worker(p *sim.Proc, wname string) {
 			return
 		}
 		conn, req := item.conn, item.req
+		// Lifecycle instrumentation: wstart anchors the server's interior
+		// split of the request, copyNs accumulates the local memcpy share,
+		// and the client's flow (linked by handle through the shared
+		// registry) continues on this worker's trace track. The stamp is
+		// published just before every reply so the client's breakdown can
+		// attribute send / rdma / server-copy / reply exactly.
+		lc := s.lifecycle()
+		wstart := p.Now()
+		var copyNs sim.Duration
+		flow, hasFlow := lc.TakeFlow(req.Handle)
+		if hasFlow {
+			s.tracer.FlowStep(wname, "req", flow)
+		}
+		reply := func(st wire.Status) {
+			lc.StampServer(req.Handle, telemetry.ServerStamp{
+				Start: wstart, Reply: p.Now(), Copy: copyNs,
+			})
+			s.sendReply(p, conn, replyMR, req.Handle, st)
+		}
 		n := int(req.Length)
 		if n <= 0 || n > s.cfg.StagingBytes ||
 			req.Offset+uint64(n) > uint64(conn.areaSize) {
 			s.met.badRequests.Inc()
-			s.sendReply(p, conn, replyMR, req.Handle, wire.StatusOutOfRange)
+			reply(wire.StatusOutOfRange)
 			continue
 		}
 		storeOff := conn.areaOff + int64(req.Offset)
@@ -447,9 +480,9 @@ func (s *Server) worker(p *sim.Proc, wname string) {
 			// Swap-out: pull the page data out of the client's pool.
 			span := s.tracer.Begin(wname, "rdma-read")
 			ev, err := s.postRDMA(p, conn, ib.OpRDMARead,
-				ib.Segment{MR: staging, Off: 0, Len: n}, req.RKey, int(req.Addr))
+				ib.Segment{MR: staging, Off: 0, Len: n}, req.RKey, int(req.Addr), flow)
 			if err != nil {
-				s.sendReply(p, conn, replyMR, req.Handle, wire.StatusServerError)
+				reply(wire.StatusServerError)
 				continue
 			}
 			ev.Wait(p)
@@ -458,28 +491,34 @@ func (s *Server) worker(p *sim.Proc, wname string) {
 				continue
 			}
 			span = s.tracer.Begin(wname, "store-write")
+			copyStart := p.Now()
 			if err := s.store.WriteAt(p, staging.Buf[:n], storeOff); err != nil {
-				s.sendReply(p, conn, replyMR, req.Handle, wire.StatusServerError)
+				copyNs = p.Now().Sub(copyStart)
+				reply(wire.StatusServerError)
 				continue
 			}
+			copyNs = p.Now().Sub(copyStart)
 			span.EndArgs(map[string]any{"bytes": n})
 			s.met.writes.Inc()
 			s.met.bytesStored.Add(int64(n))
-			s.sendReply(p, conn, replyMR, req.Handle, wire.StatusOK)
+			reply(wire.StatusOK)
 
 		case wire.ReqRead:
 			// Swap-in: push stored data into the client's pool.
 			span := s.tracer.Begin(wname, "store-read")
+			copyStart := p.Now()
 			if err := s.store.ReadAt(p, staging.Buf[:n], storeOff); err != nil {
-				s.sendReply(p, conn, replyMR, req.Handle, wire.StatusServerError)
+				copyNs = p.Now().Sub(copyStart)
+				reply(wire.StatusServerError)
 				continue
 			}
+			copyNs = p.Now().Sub(copyStart)
 			span.EndArgs(map[string]any{"bytes": n})
 			span = s.tracer.Begin(wname, "rdma-write")
 			ev, err := s.postRDMA(p, conn, ib.OpRDMAWrite,
-				ib.Segment{MR: staging, Off: 0, Len: n}, req.RKey, int(req.Addr))
+				ib.Segment{MR: staging, Off: 0, Len: n}, req.RKey, int(req.Addr), flow)
 			if err != nil {
-				s.sendReply(p, conn, replyMR, req.Handle, wire.StatusServerError)
+				reply(wire.StatusServerError)
 				continue
 			}
 			ev.Wait(p)
@@ -489,11 +528,11 @@ func (s *Server) worker(p *sim.Proc, wname string) {
 			}
 			s.met.reads.Inc()
 			s.met.bytesServed.Add(int64(n))
-			s.sendReply(p, conn, replyMR, req.Handle, wire.StatusOK)
+			reply(wire.StatusOK)
 
 		default:
 			s.met.badRequests.Inc()
-			s.sendReply(p, conn, replyMR, req.Handle, wire.StatusBadRequest)
+			reply(wire.StatusBadRequest)
 		}
 	}
 }

@@ -28,6 +28,10 @@ type SendWR struct {
 	// Solicited sets the solicited-event bit so the peer's armed
 	// completion handler fires (SEND only).
 	Solicited bool
+	// Flow, when non-zero, threads the caller's causal flow id through the
+	// fabric: the completion span carries it and a flow step is emitted on
+	// the posting HCA's track (tracing only; no timing effect).
+	Flow uint64
 }
 
 // RecvWR is a posted receive buffer.
@@ -214,7 +218,7 @@ func (q *QP) issue(wr SendWR) {
 				st = StatusFlushErr
 			}
 			q.sendCQ.push(CQE{WRID: wr.ID, Op: wr.Op, Status: st, QP: q, ByteLen: n})
-			q.traceComplete(wr.Op, now, n)
+			q.traceComplete(wr.Op, now, n, wr.Flow)
 		})
 
 	case OpRDMARead:
@@ -230,14 +234,19 @@ func (q *QP) issue(wr SendWR) {
 }
 
 // traceComplete records one post-to-completion span on the posting HCA's
-// track (no-op unless fabric tracing is enabled).
-func (q *QP) traceComplete(op Opcode, postAt sim.Time, n int) {
+// track (no-op unless fabric tracing is enabled); a non-zero flow id also
+// continues the request's causal flow through the HCA.
+func (q *QP) traceComplete(op Opcode, postAt sim.Time, n int, flow uint64) {
 	tr := q.hca.fabric.tracer()
 	if tr == nil {
 		return
 	}
-	tr.Complete(q.hca.name, op.String(), postAt, q.hca.fabric.env.Now(),
-		map[string]any{"bytes": n, "qpn": q.qpn})
+	args := map[string]any{"bytes": n, "qpn": q.qpn}
+	if flow != 0 {
+		args["flow"] = flow
+		tr.FlowStep(q.hca.name, "req", flow)
+	}
+	tr.Complete(q.hca.name, op.String(), postAt, q.hca.fabric.env.Now(), args)
 }
 
 // completeRDMARead runs at the responder when the read request arrives;
@@ -271,7 +280,7 @@ func (q *QP) completeRDMARead(wr SendWR, peer *QP, n int, postAt sim.Time) {
 			copy(wr.Local.bytes(), payload)
 		}
 		q.sendCQ.push(CQE{WRID: wr.ID, Op: wr.Op, Status: st, QP: q, ByteLen: n})
-		q.traceComplete(wr.Op, postAt, n)
+		q.traceComplete(wr.Op, postAt, n, wr.Flow)
 	})
 }
 

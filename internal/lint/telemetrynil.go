@@ -17,6 +17,7 @@ const telemetryPkgPath = "hpbd/internal/telemetry"
 var telemetryHandles = map[string]bool{
 	"Registry": true, "Counter": true, "Gauge": true,
 	"Histogram": true, "Tracer": true,
+	"Lifecycle": true, "FlightRecorder": true,
 }
 
 // Telemetrynil requires telemetry handles to come from the nil-safe
@@ -81,6 +82,10 @@ func constructorFor(name string) string {
 		return "— use telemetry.New(env)"
 	case "Tracer":
 		return "EnableTracing()"
+	case "Lifecycle":
+		return "EnableLifecycle(n)"
+	case "FlightRecorder":
+		return "EnableLifecycle(n).Flight()"
 	default:
 		return name + "(name)"
 	}

@@ -9,12 +9,16 @@ import (
 )
 
 func bad() {
-	_ = telemetry.Counter{}    // want "telemetry.Counter constructed as a struct literal"
-	_ = &telemetry.Gauge{}     // want "telemetry.Gauge constructed as a struct literal"
-	_ = telemetry.Histogram{}  // want "telemetry.Histogram constructed as a struct literal"
-	_ = &telemetry.Registry{}  // want "telemetry.Registry constructed as a struct literal"
-	_ = new(telemetry.Counter) // want "new\\(telemetry.Counter\\) bypasses the nil-safe registry"
-	_ = new(telemetry.Tracer)  // want "new\\(telemetry.Tracer\\) bypasses the nil-safe registry"
+	_ = telemetry.Counter{}           // want "telemetry.Counter constructed as a struct literal"
+	_ = &telemetry.Gauge{}            // want "telemetry.Gauge constructed as a struct literal"
+	_ = telemetry.Histogram{}         // want "telemetry.Histogram constructed as a struct literal"
+	_ = &telemetry.Registry{}         // want "telemetry.Registry constructed as a struct literal"
+	_ = new(telemetry.Counter)        // want "new\\(telemetry.Counter\\) bypasses the nil-safe registry"
+	_ = new(telemetry.Tracer)         // want "new\\(telemetry.Tracer\\) bypasses the nil-safe registry"
+	_ = telemetry.Lifecycle{}         // want "telemetry.Lifecycle constructed as a struct literal"
+	_ = &telemetry.FlightRecorder{}   // want "telemetry.FlightRecorder constructed as a struct literal"
+	_ = new(telemetry.Lifecycle)      // want "new\\(telemetry.Lifecycle\\) bypasses the nil-safe registry"
+	_ = new(telemetry.FlightRecorder) // want "new\\(telemetry.FlightRecorder\\) bypasses the nil-safe registry"
 }
 
 func good(env *sim.Env) {
@@ -26,5 +30,9 @@ func good(env *sim.Env) {
 	_ = reg.Gauge("depth")
 	_ = reg.Histogram("latency")
 	_ = reg.EnableTracing()
+	lc := reg.EnableLifecycle(64)  // registry constructor: fine
+	_ = lc.Flight()                // accessor off the registry-built analyzer: fine
+	var nilLC *telemetry.Lifecycle // nil handle, nil-safe by design: fine
+	nilLC.Flight().DumpOnEvent("x")
 	_ = &telemetry.Counter{} //hpbd:allow telemetrynil -- fixture: annotated escape hatch
 }

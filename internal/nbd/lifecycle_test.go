@@ -1,0 +1,111 @@
+package nbd
+
+import (
+	"testing"
+
+	"hpbd/internal/blockdev"
+	"hpbd/internal/netmodel"
+	"hpbd/internal/sim"
+	"hpbd/internal/tcpip"
+	"hpbd/internal/telemetry"
+)
+
+// newTelemetryBed is newBed with a shared registry wired into both the
+// server and the device before any request flows, as cluster.Build does.
+func newTelemetryBed(t *testing.T, size int64) (*bed, *telemetry.Registry) {
+	t.Helper()
+	env := sim.NewEnv()
+	reg := telemetry.New(env)
+	mem := netmodel.DefaultMem()
+	net := tcpip.NewNetwork(env, netmodel.IPoIB(), mem)
+	ch, sh := net.NewHost("client"), net.NewHost("server")
+	srv, err := NewServer(env, sh, size, mem)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	srv.SetTelemetry(reg)
+	b := &bed{env: env, srv: srv}
+	ready := sim.NewEvent(env)
+	env.Go("dial", func(p *sim.Proc) {
+		dev, err := NewDevice(p, "nbd0", ch, sh, size)
+		if err != nil {
+			t.Errorf("NewDevice: %v", err)
+			return
+		}
+		dev.SetTelemetry(reg)
+		b.dev = dev
+		b.queue = blockdev.NewQueue(env, netmodel.DefaultHost(), dev)
+		b.queue.SetTelemetry(reg)
+		ready.Trigger()
+	})
+	env.Go("wait-ready", func(p *sim.Proc) { ready.Wait(p) })
+	env.RunUntil(env.Now().Add(sim.Second))
+	if b.dev == nil {
+		t.Fatal("device did not come up")
+	}
+	return b, reg
+}
+
+// TestLifecycleExactPartition checks the NBD baseline honors the shared
+// stage-taxonomy contract: stages partition the end-to-end latency
+// exactly, the server stamp splits its copy time out, and stages the
+// transport cannot observe stay zero.
+func TestLifecycleExactPartition(t *testing.T) {
+	b, reg := newTelemetryBed(t, 1<<20)
+	env := b.env
+	env.Go("io", func(p *sim.Proc) {
+		w, err := b.queue.Submit(true, 0, pattern(16*1024, 7))
+		if err != nil {
+			t.Errorf("Submit write: %v", err)
+			return
+		}
+		b.queue.Unplug()
+		if err := w.Wait(p); err != nil {
+			t.Errorf("write: %v", err)
+		}
+		buf := make([]byte, 16*1024)
+		r, err := b.queue.Submit(false, 0, buf)
+		if err != nil {
+			t.Errorf("Submit read: %v", err)
+			return
+		}
+		b.queue.Unplug()
+		if err := r.Wait(p); err != nil {
+			t.Errorf("read: %v", err)
+		}
+	})
+	env.Run()
+	env.Close()
+
+	lc := reg.Lifecycle()
+	if lc == nil || lc.Count() < 2 {
+		t.Fatalf("lifecycle recorded %d requests, want >= 2", lc.Count())
+	}
+	for _, rec := range lc.Flight().Records() {
+		var sum sim.Duration
+		for s := telemetry.Stage(0); s < telemetry.NumStages; s++ {
+			if rec.Stages[s] < 0 {
+				t.Errorf("req %d: stage %v negative: %v", rec.ID, s, rec.Stages[s])
+			}
+			sum += rec.Stages[s]
+		}
+		if sum != rec.Total() {
+			t.Errorf("req %d: stages sum to %v, end-to-end is %v (must partition exactly)",
+				rec.ID, sum, rec.Total())
+		}
+		if rec.Server != "nbd" {
+			t.Errorf("req %d: server %q, want nbd", rec.ID, rec.Server)
+		}
+		for _, s := range []telemetry.Stage{telemetry.StagePoolWait, telemetry.StageCreditStall, telemetry.StageRDMA} {
+			if rec.Stages[s] != 0 {
+				t.Errorf("req %d: stage %v = %v, must stay zero on the NBD path", rec.ID, s, rec.Stages[s])
+			}
+		}
+	}
+	if lc.StageSum(telemetry.StageServerCopy) == 0 {
+		t.Error("server-copy stage never attributed: NBD server stamp missing")
+	}
+	if lc.StageSum(telemetry.StageSend) == 0 {
+		t.Error("send stage never attributed")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"hpbd/internal/ramdisk"
 	"hpbd/internal/sim"
 	"hpbd/internal/tcpip"
+	"hpbd/internal/telemetry"
 	"hpbd/internal/wire"
 )
 
@@ -36,6 +37,8 @@ type Server struct {
 	host  *tcpip.Host
 	store *ramdisk.RamDisk
 	stats ServerStats
+	tel   *telemetry.Registry
+	lc    *telemetry.Lifecycle
 }
 
 // StoreOpOverhead is the per-request cost of the server's file-backed
@@ -62,6 +65,22 @@ func NewServer(env *sim.Env, host *tcpip.Host, size int64, mem netmodel.MemModel
 	return s, nil
 }
 
+// SetTelemetry attaches the node-wide registry. The serving loop then
+// publishes a per-request ServerStamp through the registry's Lifecycle so
+// the client can attribute server-side time (store copy vs. the rest) in
+// its critical-path breakdown, exactly as the HPBD servers do. Call it
+// before the device dials in.
+func (s *Server) SetTelemetry(reg *telemetry.Registry) { s.tel = reg }
+
+// lifecycle resolves the shared critical-path analyzer lazily: the client
+// device enables it on the registry after the server is built.
+func (s *Server) lifecycle() *telemetry.Lifecycle {
+	if s.lc == nil {
+		s.lc = s.tel.Lifecycle()
+	}
+	return s.lc
+}
+
 // Stats returns a copy of server counters.
 func (s *Server) Stats() ServerStats { return s.stats }
 
@@ -83,6 +102,7 @@ func (s *Server) serve(p *sim.Proc, c *tcpip.Conn) {
 			return
 		}
 		s.stats.Requests++
+		lc := s.lifecycle()
 		n := int(req.Length)
 		st := wire.StatusOK
 		switch req.Type {
@@ -92,21 +112,32 @@ func (s *Server) serve(p *sim.Proc, c *tcpip.Conn) {
 				c.Close()
 				return
 			}
+			// The stamp's Start is "full request received": everything before
+			// it is the client's send stage, everything after the Reply time
+			// is wire + client receive.
+			wstart := p.Now()
+			s.continueFlow(lc, req.Handle)
 			if werr := s.store.WriteAt(p, data, int64(req.Offset)); werr != nil {
 				st = wire.StatusOutOfRange
 			}
+			copyNs := p.Now().Sub(wstart)
 			s.stats.Writes++
 			wire.MarshalReply(rep, &wire.Reply{Handle: req.Handle, Status: st})
+			lc.StampServer(req.Handle, telemetry.ServerStamp{Start: wstart, Reply: p.Now(), Copy: copyNs})
 			if err := c.Write(p, rep); err != nil {
 				return
 			}
 		case wire.ReqRead:
+			wstart := p.Now()
+			s.continueFlow(lc, req.Handle)
 			data := make([]byte, n)
 			if rerr := s.store.ReadAt(p, data, int64(req.Offset)); rerr != nil {
 				st = wire.StatusOutOfRange
 			}
+			copyNs := p.Now().Sub(wstart)
 			s.stats.Reads++
 			wire.MarshalReply(rep, &wire.Reply{Handle: req.Handle, Status: st})
+			lc.StampServer(req.Handle, telemetry.ServerStamp{Start: wstart, Reply: p.Now(), Copy: copyNs})
 			if err := c.Write(p, rep); err != nil {
 				return
 			}
@@ -116,11 +147,27 @@ func (s *Server) serve(p *sim.Proc, c *tcpip.Conn) {
 				}
 			}
 		default:
+			now := p.Now()
+			s.continueFlow(lc, req.Handle)
 			wire.MarshalReply(rep, &wire.Reply{Handle: req.Handle, Status: wire.StatusBadRequest})
+			lc.StampServer(req.Handle, telemetry.ServerStamp{Start: now, Reply: p.Now(), Copy: 0})
 			if err := c.Write(p, rep); err != nil {
 				return
 			}
 		}
+	}
+}
+
+// continueFlow consumes the flow id the client linked to handle and steps
+// the request's causal flow onto the server host's trace track (no-op
+// without tracing; the take itself keeps the relay map bounded).
+func (s *Server) continueFlow(lc *telemetry.Lifecycle, handle uint64) {
+	flow, ok := lc.TakeFlow(handle)
+	if !ok || s.tel == nil {
+		return
+	}
+	if tr := s.tel.Tracer(); tr != nil && flow != 0 {
+		tr.FlowStep(s.host.Name(), "req", flow)
 	}
 }
 
@@ -136,6 +183,8 @@ type Device struct {
 	nextH  uint64
 	failed bool
 	Reqs   int64
+	lc     *telemetry.Lifecycle
+	tracer *telemetry.Tracer
 }
 
 // NewDevice dials the server on serverHost and returns the client driver
@@ -154,6 +203,21 @@ func NewDevice(p *sim.Proc, name string, client *tcpip.Host, serverHost *tcpip.H
 	}, nil
 }
 
+// SetTelemetry attaches the node-wide registry and enables the shared
+// critical-path analyzer (default flight-recorder ring), so the NBD
+// baseline reports the same stage taxonomy as HPBD. Stages NBD cannot
+// observe (pool-wait, credit-stall, rdma) stay zero.
+func (d *Device) SetTelemetry(reg *telemetry.Registry) {
+	d.lc = reg.EnableLifecycle(0)
+	if reg != nil {
+		d.tracer = reg.Tracer()
+	}
+}
+
+// Lifecycle returns the device's critical-path analyzer (nil before
+// SetTelemetry).
+func (d *Device) Lifecycle() *telemetry.Lifecycle { return d.lc }
+
 // Name implements blockdev.Driver.
 func (d *Device) Name() string { return d.name }
 
@@ -164,6 +228,7 @@ func (d *Device) Sectors() int64 { return d.size / blockdev.SectorSize }
 // paper describes: the request is sent and its response fully received
 // before the next request proceeds.
 func (d *Device) Submit(p *sim.Proc, r *blockdev.Request) {
+	blkAt := r.QueuedAt()
 	d.lock.Lock(p)
 	defer d.lock.Unlock()
 	if d.failed {
@@ -172,6 +237,15 @@ func (d *Device) Submit(p *sim.Proc, r *blockdev.Request) {
 	}
 	d.Reqs++
 	d.nextH++
+	handle := d.nextH
+	// Lifecycle timestamps: with strictly serialized transfers the whole
+	// queue stage is the wait for the device lock plus block-layer queueing.
+	lockAt := p.Now()
+	sentAt, replyAt := lockAt, lockAt
+	fail := func() {
+		d.failed = true
+		d.finish(p, r, handle, blkAt, lockAt, sentAt, replyAt, ErrDisconnected)
+	}
 	typ := wire.ReqRead
 	if r.Write {
 		typ = wire.ReqWrite
@@ -179,46 +253,88 @@ func (d *Device) Submit(p *sim.Proc, r *blockdev.Request) {
 	hdr := make([]byte, wire.RequestSize)
 	wire.MarshalRequest(hdr, &wire.Request{
 		Type:   typ,
-		Handle: d.nextH,
+		Handle: handle,
 		Offset: uint64(r.Sector * blockdev.SectorSize),
 		Length: uint32(r.Bytes()),
 	})
+	if d.tracer != nil && r.ID() != 0 {
+		d.lc.LinkFlow(handle, r.ID())
+	}
 	if err := d.conn.Write(p, hdr); err != nil {
-		d.failed = true
-		r.Complete(ErrDisconnected)
+		fail()
 		return
 	}
 	if r.Write {
 		if err := d.conn.Write(p, r.Data()); err != nil {
-			d.failed = true
-			r.Complete(ErrDisconnected)
+			fail()
 			return
 		}
 	}
+	sentAt, replyAt = p.Now(), p.Now()
+	if d.tracer != nil && r.ID() != 0 {
+		d.tracer.FlowStep(d.name, "req", r.ID())
+	}
 	rep := make([]byte, wire.ReplySize)
 	if err := d.conn.ReadFull(p, rep); err != nil {
-		d.failed = true
-		r.Complete(ErrDisconnected)
+		fail()
 		return
 	}
+	replyAt = p.Now()
 	reply, err := wire.UnmarshalReply(rep)
-	if err != nil || reply.Handle != d.nextH {
-		d.failed = true
-		r.Complete(ErrDisconnected)
+	if err != nil || reply.Handle != handle {
+		fail()
 		return
 	}
 	if reply.Status != wire.StatusOK {
-		r.Complete(errors.New("nbd: " + reply.Status.String()))
+		d.finish(p, r, handle, blkAt, lockAt, sentAt, replyAt, errors.New("nbd: "+reply.Status.String()))
 		return
 	}
 	if !r.Write {
 		data := make([]byte, r.Bytes())
 		if err := d.conn.ReadFull(p, data); err != nil {
-			d.failed = true
-			r.Complete(ErrDisconnected)
+			fail()
 			return
 		}
 		r.Scatter(data)
 	}
-	r.Complete(nil)
+	d.finish(p, r, handle, blkAt, lockAt, sentAt, replyAt, nil)
+}
+
+// finish records the request's lifecycle (stages partition End-Start
+// exactly, as on the HPBD path), ends its causal flow, and completes it.
+func (d *Device) finish(p *sim.Proc, r *blockdev.Request, handle uint64, blkAt, lockAt, sentAt, replyAt sim.Time, err error) {
+	if d.tracer != nil && r.ID() != 0 {
+		d.tracer.FlowEnd(d.name, "req", r.ID())
+	}
+	if d.lc != nil {
+		now := p.Now()
+		rec := telemetry.ReqRecord{
+			ID:     handle,
+			Flow:   r.ID(),
+			Write:  r.Write,
+			Err:    err != nil,
+			Bytes:  r.Bytes(),
+			Server: "nbd",
+			Start:  blkAt,
+			End:    now,
+		}
+		rec.Stages[telemetry.StageQueue] = lockAt.Sub(blkAt)
+		if st, ok := d.lc.TakeServerStamp(handle); ok && st.Start >= lockAt && st.Reply >= st.Start && replyAt >= st.Reply {
+			serverCopy := st.Copy
+			if busy := st.Reply.Sub(st.Start); serverCopy > busy {
+				serverCopy = busy
+			}
+			rec.Stages[telemetry.StageSend] = st.Start.Sub(lockAt)
+			rec.Stages[telemetry.StageServerCopy] = serverCopy
+			// NBD has no RDMA engine; the server's non-copy time (decode,
+			// reply marshal) is charged to the reply stage.
+			rec.Stages[telemetry.StageReply] = replyAt.Sub(st.Start) - serverCopy
+		} else {
+			rec.Stages[telemetry.StageSend] = sentAt.Sub(lockAt)
+			rec.Stages[telemetry.StageReply] = replyAt.Sub(sentAt)
+		}
+		rec.Stages[telemetry.StageDrain] = now.Sub(replyAt)
+		d.lc.Record(&rec)
+	}
+	r.Complete(err)
 }

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"hpbd/internal/wire"
 )
@@ -66,6 +67,10 @@ type Client struct {
 	closed  bool
 	lostErr error
 
+	// stages attributes each request's wall-clock latency to the shared
+	// critical-path taxonomy (see stages.go).
+	stages stageAcc
+
 	wg sync.WaitGroup
 }
 
@@ -73,6 +78,10 @@ type Client struct {
 type waiter struct {
 	ch      chan result
 	readLen int // payload length expected with the reply (0 for writes)
+	// credit and send are the issue path's wall-clock stage measurements,
+	// consumed by the caller when it records the completed request.
+	credit time.Duration
+	send   time.Duration
 }
 
 type result struct {
@@ -299,9 +308,12 @@ func (c *Client) send(hdr, payload []byte, recycle *[]byte) error {
 	return nil
 }
 
-// issue sends one request (plus optional payload) and returns the waiter.
+// issue sends one request (plus optional payload) and returns the waiter,
+// with the credit-stall and send stage durations measured on it.
 func (c *Client) issue(typ wire.ReqType, off int64, n int, payload []byte) (*waiter, error) {
+	issueAt := time.Now()
 	<-c.credits // water-mark flow control
+	creditAt := time.Now()
 	c.pmu.Lock()
 	if c.closed || c.lostErr != nil {
 		err := c.lostErr
@@ -314,7 +326,7 @@ func (c *Client) issue(typ wire.ReqType, off int64, n int, payload []byte) (*wai
 	}
 	c.nextH++
 	h := c.nextH
-	w := &waiter{ch: make(chan result, 1)}
+	w := &waiter{ch: make(chan result, 1), credit: creditAt.Sub(issueAt)}
 	if typ == wire.ReqRead {
 		w.readLen = n
 	}
@@ -338,6 +350,7 @@ func (c *Client) issue(typ wire.ReqType, off int64, n int, payload []byte) (*wai
 		}
 		return nil, err
 	}
+	w.send = time.Since(creditAt)
 	return w, nil
 }
 
@@ -364,12 +377,15 @@ func (c *Client) WriteAt(p []byte, off int64) (int, error) {
 	if err := c.checkRange(off, len(p)); err != nil {
 		return 0, err
 	}
+	start := time.Now()
 	w, err := c.issue(wire.ReqWrite, off, len(p), p)
 	if err != nil {
 		return 0, err
 	}
-	if _, err := c.wait(w); err != nil {
-		return 0, err
+	_, werr := c.wait(w)
+	c.stages.record(werr != nil, w.credit, w.send, 0, time.Since(start))
+	if werr != nil {
+		return 0, werr
 	}
 	return len(p), nil
 }
@@ -379,6 +395,7 @@ func (c *Client) ReadAt(p []byte, off int64) (int, error) {
 	if err := c.checkRange(off, len(p)); err != nil {
 		return 0, err
 	}
+	start := time.Now()
 	w, err := c.issue(wire.ReqRead, off, len(p), nil)
 	if err != nil {
 		return 0, err
@@ -386,10 +403,13 @@ func (c *Client) ReadAt(p []byte, off int64) (int, error) {
 	r, err := c.wait(w)
 	if err != nil {
 		putPayload(r.pooled)
+		c.stages.record(true, w.credit, w.send, 0, time.Since(start))
 		return 0, err
 	}
+	drainAt := time.Now()
 	n := copy(p, r.data)
 	putPayload(r.pooled)
+	c.stages.record(false, w.credit, w.send, time.Since(drainAt), time.Since(start))
 	return n, nil
 }
 
@@ -453,12 +473,14 @@ func (c *Client) WriteAsync(p []byte, off int64) (func() error, error) {
 	if err := c.checkRange(off, len(p)); err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	w, err := c.issue(wire.ReqWrite, off, len(p), p)
 	if err != nil {
 		return nil, err
 	}
 	return func() error {
 		_, werr := c.wait(w)
+		c.stages.record(werr != nil, w.credit, w.send, 0, time.Since(start))
 		return werr
 	}, nil
 }

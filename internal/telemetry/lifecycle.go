@@ -1,0 +1,478 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"hpbd/internal/sim"
+)
+
+// Stage names one segment of a swap request's critical path. The taxonomy
+// is shared by the HPBD datapath, the simulated NBD baseline and the real
+// TCP netblock client so per-stage breakdowns compare apples-to-apples;
+// stages a transport cannot observe simply stay zero. For every completed
+// request the recorded stages partition the end-to-end latency exactly:
+// sum(Stages) == End - Start in virtual nanoseconds, by construction.
+type Stage int
+
+const (
+	// StageQueue: block-layer queueing — submission to driver dispatch,
+	// plus time parked on the driver's internal send queue.
+	StageQueue Stage = iota
+	// StagePoolWait: waiting for (and preparing) a staging-pool extent —
+	// allocator blocking, copy-in or MR registration on the hybrid path.
+	StagePoolWait
+	// StageCreditStall: blocked on flow-control credits at the sender.
+	StageCreditStall
+	// StageSend: doorbell, wire transfer and server-side pickup of the
+	// request message.
+	StageSend
+	// StageRDMA: the server-side RDMA data movement (READ or WRITE).
+	StageRDMA
+	// StageServerCopy: the server's local store memcpy.
+	StageServerCopy
+	// StageReply: reply marshal, wire transfer and client receive.
+	StageReply
+	// StageDrain: client-side completion drain — copy-out and block-layer
+	// completion after the reply arrives.
+	StageDrain
+	// NumStages bounds the enum; per-request stage vectors are
+	// [NumStages]sim.Duration.
+	NumStages
+)
+
+var stageNames = [NumStages]string{
+	"queue", "pool-wait", "credit-stall", "send",
+	"rdma", "server-copy", "reply", "drain",
+}
+
+var stageMetricNames = [NumStages]string{
+	"queue", "pool_wait", "credit_stall", "send",
+	"rdma", "server_copy", "reply", "drain",
+}
+
+// String returns the stage's display name ("queue", "pool-wait", ...).
+func (s Stage) String() string {
+	if s < 0 || s >= NumStages {
+		return fmt.Sprintf("stage(%d)", int(s))
+	}
+	return stageNames[s]
+}
+
+// ReqRecord is one completed request's lifecycle: identity, shape, and the
+// exact per-stage latency partition. Records are fixed-size values so the
+// flight recorder can retain them with zero steady-state allocation.
+type ReqRecord struct {
+	ID     uint64 // wire handle of the request
+	Flow   uint64 // causal flow id (block-layer request id); 0 if untraced
+	Write  bool
+	Err    bool // completed with an error status
+	Bytes  int
+	Server string   // serving host, "" if unknown
+	Start  sim.Time // block-layer submission
+	End    sim.Time // completion delivered
+	Stages [NumStages]sim.Duration
+}
+
+// Total returns the end-to-end latency (== the sum of Stages).
+func (r *ReqRecord) Total() sim.Duration { return r.End.Sub(r.Start) }
+
+// ServerStamp carries server-side timing for one in-flight request across
+// the (simulated) process boundary. The wire format is frozen — growing a
+// message would change the fabric model's byte-charged transfer times — so
+// a server publishes its stamp through the shared node Registry instead,
+// keyed by wire handle, and the client consumes it on reply.
+type ServerStamp struct {
+	Start sim.Time     // server worker picked the request up
+	Reply sim.Time     // server posted the reply
+	Copy  sim.Duration // local store memcpy portion of [Start, Reply]
+}
+
+// Lifecycle is the critical-path analyzer: it accumulates per-stage
+// histograms and exact per-stage sums from completed-request records,
+// feeds the flight recorder, and relays server stamps and flow ids
+// between the client and server halves of the datapath. Obtain one only
+// via Registry.EnableLifecycle / Registry.Lifecycle; all methods are
+// nil-safe no-ops so disabled paths need no branches.
+//
+// Handle-keyed relay maps assume one client device per registry (true for
+// a cluster node, which shares one registry across its whole stack).
+type Lifecycle struct {
+	flight *FlightRecorder
+	e2e    *Histogram
+	hists  [NumStages]*Histogram
+	count  int64
+	errs   int64
+	sums   [NumStages]sim.Duration
+	sumE2E sim.Duration
+	stamps map[uint64]ServerStamp
+	flows  map[uint64]uint64
+}
+
+func newLifecycle(r *Registry, ring int) *Lifecycle {
+	if ring <= 0 {
+		ring = DefaultFlightRecEntries
+	}
+	l := &Lifecycle{
+		flight: &FlightRecorder{ring: make([]ReqRecord, ring)},
+		e2e:    r.Histogram("req.e2e"),
+		stamps: make(map[uint64]ServerStamp),
+		flows:  make(map[uint64]uint64),
+	}
+	for s := Stage(0); s < NumStages; s++ {
+		l.hists[s] = r.Histogram("req.stage." + stageMetricNames[s])
+	}
+	return l
+}
+
+// DefaultFlightRecEntries is the ring size EnableLifecycle uses when the
+// caller passes ring <= 0.
+const DefaultFlightRecEntries = 256
+
+// EnableLifecycle attaches (or returns the existing) critical-path
+// analyzer with a flight-recorder ring of the given size (<= 0 selects
+// DefaultFlightRecEntries). Idempotent: the first call fixes the ring
+// size. Per-stage histograms appear in the registry as req.stage.<name>
+// plus req.e2e.
+func (r *Registry) EnableLifecycle(ring int) *Lifecycle {
+	if r == nil {
+		return nil
+	}
+	if r.lifecycle == nil {
+		r.lifecycle = newLifecycle(r, ring)
+	}
+	return r.lifecycle
+}
+
+// Lifecycle returns the attached analyzer, or nil when not enabled.
+func (r *Registry) Lifecycle() *Lifecycle {
+	if r == nil {
+		return nil
+	}
+	return r.lifecycle
+}
+
+// Record ingests one completed request: per-stage histograms, exact sums
+// and the flight-recorder ring. Zero-alloc in steady state.
+func (l *Lifecycle) Record(rec *ReqRecord) {
+	if l == nil {
+		return
+	}
+	l.count++
+	if rec.Err {
+		l.errs++
+	}
+	total := rec.End.Sub(rec.Start)
+	l.sumE2E += total
+	l.e2e.Observe(total)
+	for s := Stage(0); s < NumStages; s++ {
+		l.sums[s] += rec.Stages[s]
+		l.hists[s].Observe(rec.Stages[s])
+	}
+	l.flight.add(rec)
+}
+
+// Count returns the number of recorded requests.
+func (l *Lifecycle) Count() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.count
+}
+
+// Errors returns how many recorded requests completed with an error.
+func (l *Lifecycle) Errors() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.errs
+}
+
+// StageSum returns the exact accumulated virtual time spent in one stage.
+func (l *Lifecycle) StageSum(s Stage) sim.Duration {
+	if l == nil || s < 0 || s >= NumStages {
+		return 0
+	}
+	return l.sums[s]
+}
+
+// StageHistogram returns the per-stage latency histogram (nil when the
+// lifecycle is disabled).
+func (l *Lifecycle) StageHistogram(s Stage) *Histogram {
+	if l == nil || s < 0 || s >= NumStages {
+		return nil
+	}
+	return l.hists[s]
+}
+
+// Flight returns the always-on flight recorder (nil when disabled).
+func (l *Lifecycle) Flight() *FlightRecorder {
+	if l == nil {
+		return nil
+	}
+	return l.flight
+}
+
+// StampServer publishes server-side timing for an in-flight request. The
+// client consumes it with TakeServerStamp when the reply drains.
+func (l *Lifecycle) StampServer(handle uint64, st ServerStamp) {
+	if l == nil {
+		return
+	}
+	l.stamps[handle] = st
+}
+
+// TakeServerStamp removes and returns the server stamp for a handle.
+func (l *Lifecycle) TakeServerStamp(handle uint64) (ServerStamp, bool) {
+	if l == nil {
+		return ServerStamp{}, false
+	}
+	st, ok := l.stamps[handle]
+	if ok {
+		delete(l.stamps, handle)
+	}
+	return st, ok
+}
+
+// LinkFlow associates a wire handle with a causal flow id so the server
+// half of the path can continue the client's flow in the trace.
+func (l *Lifecycle) LinkFlow(handle, flow uint64) {
+	if l == nil {
+		return
+	}
+	l.flows[handle] = flow
+}
+
+// TakeFlow removes and returns the flow id linked to a handle.
+func (l *Lifecycle) TakeFlow(handle uint64) (uint64, bool) {
+	if l == nil {
+		return 0, false
+	}
+	f, ok := l.flows[handle]
+	if ok {
+		delete(l.flows, handle)
+	}
+	return f, ok
+}
+
+// StageStat is one row of a critical-path breakdown.
+type StageStat struct {
+	Stage Stage
+	Total sim.Duration // exact accumulated virtual time in this stage
+	Mean  sim.Duration // Total / request count
+	Share float64      // fraction of accumulated end-to-end time
+}
+
+// Breakdown returns the per-stage attribution in fixed stage order. The
+// shares sum to 1 because the stages partition every request exactly.
+func (l *Lifecycle) Breakdown() []StageStat {
+	if l == nil || l.count == 0 {
+		return nil
+	}
+	out := make([]StageStat, NumStages)
+	for s := Stage(0); s < NumStages; s++ {
+		st := StageStat{Stage: s, Total: l.sums[s]}
+		st.Mean = st.Total / sim.Duration(l.count)
+		if l.sumE2E > 0 {
+			st.Share = float64(st.Total) / float64(l.sumE2E)
+		}
+		out[s] = st
+	}
+	return out
+}
+
+// BreakdownTable renders the critical-path attribution as a deterministic
+// aligned text table (stages in fixed order, fixed-precision columns).
+func (l *Lifecycle) BreakdownTable() string {
+	if l == nil {
+		return ""
+	}
+	var b strings.Builder
+	if l.count == 0 {
+		fmt.Fprintf(&b, "critical-path breakdown: no completed requests\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "critical-path breakdown (%d requests, %d errors, mean end-to-end %.3fus):\n",
+		l.count, l.errs, float64(l.sumE2E)/float64(l.count)/1e3)
+	fmt.Fprintf(&b, "  %-14s %14s %12s %8s\n", "stage", "total(ms)", "mean(us)", "share")
+	for _, st := range l.Breakdown() {
+		fmt.Fprintf(&b, "  %-14s %14.6f %12.3f %7.2f%%\n",
+			st.Stage.String(), float64(st.Total)/1e6, float64(st.Mean)/1e3, st.Share*100)
+	}
+	fmt.Fprintf(&b, "  %-14s %14.6f %12.3f %7.2f%%\n",
+		"end-to-end", float64(l.sumE2E)/1e6, float64(l.sumE2E)/float64(l.count)/1e3, 100.0)
+	return b.String()
+}
+
+// TopStages renders the n largest stages as a compact "stage pct" list
+// (ties broken by stage order) for one-line sweep output.
+func (l *Lifecycle) TopStages(n int) string {
+	if l == nil || l.count == 0 || l.sumE2E == 0 {
+		return ""
+	}
+	stats := l.Breakdown()
+	// Selection sort by share, descending, stable in stage order: NumStages
+	// is 8, and determinism matters more than asymptotics here.
+	for i := 0; i < len(stats); i++ {
+		best := i
+		for j := i + 1; j < len(stats); j++ {
+			if stats[j].Share > stats[best].Share {
+				best = j
+			}
+		}
+		stats[i], stats[best] = stats[best], stats[i]
+	}
+	if n > len(stats) {
+		n = len(stats)
+	}
+	parts := make([]string, 0, n)
+	for _, st := range stats[:n] {
+		parts = append(parts, fmt.Sprintf("%s %.0f%%", st.Stage.String(), st.Share*100))
+	}
+	return strings.Join(parts, " ")
+}
+
+// FlightRecorder is an always-on fixed-size ring of the most recent
+// request records. Adding a record is an in-place value copy — zero
+// allocation in steady state — so it stays enabled in production runs.
+// Obtain one only via Lifecycle.Flight; all methods are nil-safe.
+type FlightRecorder struct {
+	ring  []ReqRecord
+	next  int
+	total uint64
+	dumpW io.Writer
+	dumps int
+}
+
+// add appends a record, overwriting the oldest once the ring is full.
+func (f *FlightRecorder) add(rec *ReqRecord) {
+	if f == nil || len(f.ring) == 0 {
+		return
+	}
+	f.ring[f.next] = *rec
+	f.next++
+	if f.next == len(f.ring) {
+		f.next = 0
+	}
+	f.total++
+}
+
+// Len returns how many records the ring currently holds.
+func (f *FlightRecorder) Len() int {
+	if f == nil {
+		return 0
+	}
+	if f.total < uint64(len(f.ring)) {
+		return int(f.total)
+	}
+	return len(f.ring)
+}
+
+// Cap returns the ring capacity.
+func (f *FlightRecorder) Cap() int {
+	if f == nil {
+		return 0
+	}
+	return len(f.ring)
+}
+
+// Total returns how many records have ever been added.
+func (f *FlightRecorder) Total() uint64 {
+	if f == nil {
+		return 0
+	}
+	return f.total
+}
+
+// Dumps returns how many automatic dumps have been emitted.
+func (f *FlightRecorder) Dumps() int {
+	if f == nil {
+		return 0
+	}
+	return f.dumps
+}
+
+// Records returns the retained records, oldest first.
+func (f *FlightRecorder) Records() []ReqRecord {
+	if f == nil {
+		return nil
+	}
+	n := f.Len()
+	out := make([]ReqRecord, 0, n)
+	start := 0
+	if f.total > uint64(len(f.ring)) {
+		start = f.next
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, f.ring[(start+i)%len(f.ring)])
+	}
+	return out
+}
+
+// SetDumpWriter arms automatic dumps: DumpOnEvent writes here. A nil
+// writer disarms.
+func (f *FlightRecorder) SetDumpWriter(w io.Writer) {
+	if f == nil {
+		return
+	}
+	f.dumpW = w
+}
+
+// DumpOnEvent emits a dump to the armed writer (no-op when disarmed);
+// the datapath calls it on request failure or timeout.
+func (f *FlightRecorder) DumpOnEvent(reason string) {
+	if f == nil || f.dumpW == nil {
+		return
+	}
+	f.dumps++
+	f.Dump(f.dumpW, reason)
+}
+
+// Dump writes the retained records as a deterministic aligned table,
+// oldest first, with the per-stage latency split in microseconds.
+func (f *FlightRecorder) Dump(w io.Writer, reason string) error {
+	if f == nil {
+		_, err := fmt.Fprintf(w, "== flight recorder: disabled (%s)\n", reason)
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "== flight recorder dump: %s\n== last %d of %d requests (oldest first, durations in us)\n",
+		reason, f.Len(), f.total); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%8s %6s %3s %8s %-8s %12s %10s", "id", "flow", "op", "bytes", "server", "start_us", "e2e"); err != nil {
+		return err
+	}
+	for s := Stage(0); s < NumStages; s++ {
+		if _, err := fmt.Fprintf(w, " %10s", stageNames[s]); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w, " err"); err != nil {
+		return err
+	}
+	for _, rec := range f.Records() {
+		op := "W"
+		if !rec.Write {
+			op = "R"
+		}
+		errMark := "-"
+		if rec.Err {
+			errMark = "E"
+		}
+		if _, err := fmt.Fprintf(w, "%8d %6d %3s %8d %-8s %12.3f %10.3f",
+			rec.ID, rec.Flow, op, rec.Bytes, rec.Server,
+			float64(rec.Start)/1e3, float64(rec.Total())/1e3); err != nil {
+			return err
+		}
+		for s := Stage(0); s < NumStages; s++ {
+			if _, err := fmt.Fprintf(w, " %10.3f", float64(rec.Stages[s])/1e3); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, " %3s\n", errMark); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,233 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hpbd/internal/sim"
+)
+
+func testRecord(i int) ReqRecord {
+	us := sim.Microsecond
+	rec := ReqRecord{
+		ID:     uint64(100 + i),
+		Flow:   uint64(i),
+		Write:  i%2 == 0,
+		Bytes:  4096,
+		Server: "mem0",
+		Start:  sim.Time(i) * sim.Time(50*us),
+	}
+	rec.Stages = [NumStages]sim.Duration{
+		2 * us, 3 * us, 0, 5 * us, 7 * us, 4 * us, 6 * us, 1 * us,
+	}
+	total := sim.Duration(0)
+	for _, d := range rec.Stages {
+		total += d
+	}
+	rec.End = rec.Start.Add(total)
+	return rec
+}
+
+// TestLifecycleStagePartition: recorded stages must sum to end-to-end
+// exactly, and the analyzer's sums must reflect every record.
+func TestLifecycleStagePartition(t *testing.T) {
+	var now sim.Time
+	reg := NewWithClock(func() sim.Time { return now })
+	lc := reg.EnableLifecycle(8)
+	for i := 0; i < 5; i++ {
+		rec := testRecord(i)
+		if got := rec.Total(); got != 28*sim.Microsecond {
+			t.Fatalf("record %d total = %v, want 28us", i, got)
+		}
+		lc.Record(&rec)
+	}
+	if lc.Count() != 5 {
+		t.Fatalf("count = %d, want 5", lc.Count())
+	}
+	var stageTotal sim.Duration
+	for s := Stage(0); s < NumStages; s++ {
+		stageTotal += lc.StageSum(s)
+		if h := lc.StageHistogram(s); h.Count() != 5 {
+			t.Fatalf("stage %v histogram count = %d, want 5", s, h.Count())
+		}
+	}
+	if want := 5 * 28 * sim.Microsecond; stageTotal != want {
+		t.Fatalf("stage sums total %v, want %v (exact partition)", stageTotal, want)
+	}
+	if reg.Histogram("req.e2e").Count() != 5 {
+		t.Fatal("req.e2e histogram not fed")
+	}
+}
+
+// TestBreakdownTableDeterministic: the same record stream renders the
+// byte-identical breakdown table and flight dump twice.
+func TestBreakdownTableDeterministic(t *testing.T) {
+	render := func() (string, string) {
+		reg := NewWithClock(func() sim.Time { return 0 })
+		lc := reg.EnableLifecycle(16)
+		for i := 0; i < 9; i++ {
+			rec := testRecord(i)
+			lc.Record(&rec)
+		}
+		var dump bytes.Buffer
+		if err := lc.Flight().Dump(&dump, "test"); err != nil {
+			t.Fatal(err)
+		}
+		return lc.BreakdownTable(), dump.String()
+	}
+	t1, d1 := render()
+	t2, d2 := render()
+	if t1 != t2 {
+		t.Fatalf("breakdown table not deterministic:\n%s\nvs\n%s", t1, t2)
+	}
+	if d1 != d2 {
+		t.Fatalf("flight dump not deterministic:\n%s\nvs\n%s", d1, d2)
+	}
+	for _, stage := range stageNames {
+		if !strings.Contains(t1, stage) {
+			t.Fatalf("breakdown table missing stage %q:\n%s", stage, t1)
+		}
+	}
+	if !strings.Contains(t1, "end-to-end") || !strings.Contains(t1, "100.00%") {
+		t.Fatalf("breakdown table missing end-to-end row:\n%s", t1)
+	}
+}
+
+// TestTopStages: compact sweep-row rendering picks the largest stages in
+// descending share order.
+func TestTopStages(t *testing.T) {
+	reg := NewWithClock(func() sim.Time { return 0 })
+	lc := reg.EnableLifecycle(4)
+	rec := testRecord(0)
+	lc.Record(&rec)
+	got := lc.TopStages(2)
+	// rdma (7us) then reply (6us) out of the 28us total.
+	if got != "rdma 25% reply 21%" {
+		t.Fatalf("TopStages(2) = %q", got)
+	}
+}
+
+// TestFlightRecorderWraparound: the ring retains exactly the last Cap
+// records, oldest first, while counting every add.
+func TestFlightRecorderWraparound(t *testing.T) {
+	reg := NewWithClock(func() sim.Time { return 0 })
+	lc := reg.EnableLifecycle(4)
+	f := lc.Flight()
+	for i := 0; i < 11; i++ {
+		rec := testRecord(i)
+		lc.Record(&rec)
+	}
+	if f.Cap() != 4 || f.Len() != 4 || f.Total() != 11 {
+		t.Fatalf("cap/len/total = %d/%d/%d, want 4/4/11", f.Cap(), f.Len(), f.Total())
+	}
+	recs := f.Records()
+	for i, rec := range recs {
+		if want := uint64(100 + 7 + i); rec.ID != want {
+			t.Fatalf("record %d has ID %d, want %d (oldest first)", i, rec.ID, want)
+		}
+	}
+}
+
+// TestFlightRecorderZeroAlloc: steady-state Record (histograms + ring
+// copy) must not allocate, so the recorder can stay always-on.
+func TestFlightRecorderZeroAlloc(t *testing.T) {
+	reg := NewWithClock(func() sim.Time { return 0 })
+	lc := reg.EnableLifecycle(64)
+	rec := testRecord(1)
+	// Warm up: create-on-access histograms exist after EnableLifecycle, and
+	// the first adds touch fresh ring slots (no allocation either way).
+	for i := 0; i < 128; i++ {
+		lc.Record(&rec)
+	}
+	if avg := testing.AllocsPerRun(200, func() { lc.Record(&rec) }); avg != 0 {
+		t.Fatalf("Record allocates %.1f per op in steady state, want 0", avg)
+	}
+}
+
+// TestFlightRecorderDumpOnEvent: an armed recorder emits dumps with the
+// reason; a disarmed one stays silent.
+func TestFlightRecorderDumpOnEvent(t *testing.T) {
+	reg := NewWithClock(func() sim.Time { return 0 })
+	lc := reg.EnableLifecycle(2)
+	rec := testRecord(3)
+	lc.Record(&rec)
+	f := lc.Flight()
+
+	f.DumpOnEvent("should be silent")
+	if f.Dumps() != 0 {
+		t.Fatal("disarmed recorder dumped")
+	}
+	var buf bytes.Buffer
+	f.SetDumpWriter(&buf)
+	f.DumpOnEvent("request timeout handle=103")
+	if f.Dumps() != 1 {
+		t.Fatalf("dumps = %d, want 1", f.Dumps())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "request timeout handle=103") || !strings.Contains(out, "103") {
+		t.Fatalf("dump missing reason or record:\n%s", out)
+	}
+}
+
+// TestLifecycleSideChannels: server stamps and flow links round-trip by
+// handle and are consumed exactly once.
+func TestLifecycleSideChannels(t *testing.T) {
+	reg := NewWithClock(func() sim.Time { return 0 })
+	lc := reg.EnableLifecycle(2)
+	lc.StampServer(9, ServerStamp{Start: 100, Reply: 300, Copy: 50})
+	st, ok := lc.TakeServerStamp(9)
+	if !ok || st.Start != 100 || st.Reply != 300 || st.Copy != 50 {
+		t.Fatalf("stamp round-trip failed: %+v ok=%v", st, ok)
+	}
+	if _, ok := lc.TakeServerStamp(9); ok {
+		t.Fatal("stamp not consumed")
+	}
+	lc.LinkFlow(9, 42)
+	if f, ok := lc.TakeFlow(9); !ok || f != 42 {
+		t.Fatalf("flow round-trip failed: %d ok=%v", f, ok)
+	}
+	if _, ok := lc.TakeFlow(9); ok {
+		t.Fatal("flow not consumed")
+	}
+}
+
+// TestLifecycleNilSafety: every method must be a no-op on nil handles, the
+// same contract the rest of the telemetry package keeps.
+func TestLifecycleNilSafety(t *testing.T) {
+	var lc *Lifecycle
+	var f *FlightRecorder
+	rec := testRecord(0)
+	lc.Record(&rec)
+	lc.StampServer(1, ServerStamp{})
+	lc.LinkFlow(1, 2)
+	if _, ok := lc.TakeServerStamp(1); ok {
+		t.Fatal("nil lifecycle returned a stamp")
+	}
+	if _, ok := lc.TakeFlow(1); ok {
+		t.Fatal("nil lifecycle returned a flow")
+	}
+	if lc.Count() != 0 || lc.Errors() != 0 || lc.StageSum(StageRDMA) != 0 {
+		t.Fatal("nil lifecycle accumulated state")
+	}
+	if lc.Breakdown() != nil || lc.BreakdownTable() != "" || lc.TopStages(3) != "" {
+		t.Fatal("nil lifecycle rendered output")
+	}
+	if lc.Flight() != nil || lc.StageHistogram(StageSend) != nil {
+		t.Fatal("nil lifecycle returned handles")
+	}
+	f.add(&rec)
+	f.SetDumpWriter(&bytes.Buffer{})
+	f.DumpOnEvent("x")
+	if f.Len() != 0 || f.Cap() != 0 || f.Total() != 0 || f.Records() != nil {
+		t.Fatal("nil flight recorder accumulated state")
+	}
+	var buf bytes.Buffer
+	if err := f.Dump(&buf, "nil"); err != nil {
+		t.Fatal(err)
+	}
+	var reg *Registry
+	if reg.EnableLifecycle(4) != nil || reg.Lifecycle() != nil {
+		t.Fatal("nil registry returned a lifecycle")
+	}
+}

@@ -1,0 +1,86 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteOpenMetrics exports every metric in the registry as OpenMetrics
+// text exposition (the format Prometheus scrapes): counters as <name>_total,
+// gauges as current level plus a <name>_peak companion, histograms with
+// cumulative le-bucketed counts, _sum and _count. Durations are exported in
+// seconds per the OpenMetrics unit convention. Metric families are emitted
+// in sorted-name order and only non-empty buckets appear (plus the
+// mandatory +Inf), so the snapshot is deterministic and compact. A nil or
+// empty registry writes just the EOF marker.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, "# EOF\n")
+		return err
+	}
+	var b strings.Builder
+	for _, name := range sortedKeys(r.counters) {
+		n := sanitizeMetricName(name)
+		fmt.Fprintf(&b, "# TYPE %s counter\n", n)
+		fmt.Fprintf(&b, "%s_total %d\n", n, r.counters[name].Value())
+	}
+	for _, name := range sortedKeys(r.gauges) {
+		g := r.gauges[name]
+		n := sanitizeMetricName(name)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n", n)
+		fmt.Fprintf(&b, "%s %d\n", n, g.Value())
+		fmt.Fprintf(&b, "# TYPE %s_peak gauge\n", n)
+		fmt.Fprintf(&b, "%s_peak %d\n", n, g.Peak())
+	}
+	for _, name := range sortedKeys(r.hists) {
+		h := r.hists[name]
+		n := sanitizeMetricName(name) + "_seconds"
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", n)
+		fmt.Fprintf(&b, "# UNIT %s seconds\n", n)
+		cum := int64(0)
+		for i, c := range h.counts {
+			if c == 0 || i >= len(bucketBounds) {
+				continue
+			}
+			cum += c
+			fmt.Fprintf(&b, "%s_bucket{le=\"%s\"} %d\n", n, formatSeconds(float64(bucketBounds[i])/1e9), cum)
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", n, h.Count())
+		fmt.Fprintf(&b, "%s_sum %s\n", n, formatSeconds(float64(h.Sum())/1e9))
+		fmt.Fprintf(&b, "%s_count %d\n", n, h.Count())
+	}
+	b.WriteString("# EOF\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// sanitizeMetricName maps the registry's dotted names onto the OpenMetrics
+// charset [a-zA-Z0-9_:] ("hpbd.reads" -> "hpbd_reads").
+func sanitizeMetricName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// formatSeconds renders a seconds value with enough precision to round-trip
+// nanosecond sim durations, trimming trailing zeros for compactness.
+func formatSeconds(v float64) string {
+	s := fmt.Sprintf("%.9f", v)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimSuffix(s, ".")
+}

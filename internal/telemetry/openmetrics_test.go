@@ -1,0 +1,147 @@
+package telemetry
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"hpbd/internal/sim"
+)
+
+// lexOpenMetrics is a minimal OpenMetrics text-format lexer: it checks
+// line shape (comments, samples, EOF), metric-name charset, monotone
+// cumulative buckets and the mandatory trailing # EOF, returning the
+// number of sample lines. It is deliberately a lexer, not a full parser —
+// enough to catch a malformed export in CI.
+func lexOpenMetrics(t *testing.T, text string) int {
+	t.Helper()
+	lines := strings.Split(text, "\n")
+	if len(lines) < 2 || lines[len(lines)-1] != "" || lines[len(lines)-2] != "# EOF" {
+		t.Fatalf("export must end with '# EOF\\n', got tail %q", lines[len(lines)-2:])
+	}
+	nameOK := func(n string) bool {
+		for i := 0; i < len(n); i++ {
+			c := n[i]
+			ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':' ||
+				(i > 0 && c >= '0' && c <= '9')
+			if !ok {
+				return false
+			}
+		}
+		return len(n) > 0
+	}
+	samples := 0
+	lastBucket := map[string]int64{}
+	for i, line := range lines[:len(lines)-2] {
+		if strings.HasPrefix(line, "# TYPE ") || strings.HasPrefix(line, "# UNIT ") {
+			fields := strings.Fields(line)
+			if len(fields) < 4 || !nameOK(fields[2]) {
+				t.Fatalf("line %d: bad metadata %q", i+1, line)
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("line %d: sample %q is not 'name value'", i+1, line)
+		}
+		name := fields[0]
+		if j := strings.IndexByte(name, '{'); j >= 0 {
+			base := name[:j]
+			label := name[j:]
+			if !nameOK(base) || !strings.HasPrefix(label, `{le="`) || !strings.HasSuffix(label, `"}`) {
+				t.Fatalf("line %d: bad labeled sample %q", i+1, line)
+			}
+			v, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				t.Fatalf("line %d: bucket value %q: %v", i+1, fields[1], err)
+			}
+			if v < lastBucket[base] {
+				t.Fatalf("line %d: bucket counts not cumulative: %d after %d", i+1, v, lastBucket[base])
+			}
+			lastBucket[base] = v
+		} else if !nameOK(name) {
+			t.Fatalf("line %d: bad metric name %q", i+1, line)
+		}
+		if _, err := strconv.ParseFloat(fields[1], 64); err != nil {
+			t.Fatalf("line %d: value %q not a number: %v", i+1, fields[1], err)
+		}
+		samples++
+	}
+	return samples
+}
+
+// TestWriteOpenMetrics: counters, gauges and histograms all export, names
+// sanitize to the OpenMetrics charset, and the output lexes clean.
+func TestWriteOpenMetrics(t *testing.T) {
+	var now sim.Time
+	reg := NewWithClock(func() sim.Time { return now })
+	reg.Counter("hpbd.reads").Add(7)
+	reg.Gauge("pool.free-bytes").Set(4096)
+	h := reg.Histogram("req.stage.rdma")
+	h.Observe(100 * sim.Nanosecond)
+	h.Observe(3 * sim.Microsecond)
+	h.Observe(3 * sim.Microsecond)
+	h.Observe(70 * sim.Millisecond)
+
+	var buf bytes.Buffer
+	if err := reg.WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	samples := lexOpenMetrics(t, out)
+	if samples < 7 {
+		t.Fatalf("expected >= 7 samples, got %d:\n%s", samples, out)
+	}
+	for _, want := range []string{
+		"hpbd_reads_total 7",
+		"pool_free_bytes 4096",
+		"pool_free_bytes_peak 4096",
+		"req_stage_rdma_seconds_count 4",
+		`req_stage_rdma_seconds_bucket{le="+Inf"} 4`,
+		"req_stage_rdma_seconds_sum 0.070006",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("export missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestWriteOpenMetricsDeterministic: two exports of the same registry are
+// byte-identical (sorted families, fixed formatting).
+func TestWriteOpenMetricsDeterministic(t *testing.T) {
+	reg := NewWithClock(func() sim.Time { return 0 })
+	for _, n := range []string{"z.last", "a.first", "m.mid"} {
+		reg.Counter(n).Inc()
+		reg.Histogram("h." + n).Observe(sim.Microsecond)
+	}
+	var b1, b2 bytes.Buffer
+	if err := reg.WriteOpenMetrics(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.WriteOpenMetrics(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatalf("export not deterministic:\n%s\nvs\n%s", b1.String(), b2.String())
+	}
+	idx := strings.Index(b1.String(), "a_first_total")
+	idx2 := strings.Index(b1.String(), "m_mid_total")
+	idx3 := strings.Index(b1.String(), "z_last_total")
+	if !(idx >= 0 && idx < idx2 && idx2 < idx3) {
+		t.Fatalf("counter families not sorted:\n%s", b1.String())
+	}
+}
+
+// TestWriteOpenMetricsNil: a nil registry still writes a valid (empty)
+// exposition.
+func TestWriteOpenMetricsNil(t *testing.T) {
+	var reg *Registry
+	var buf bytes.Buffer
+	if err := reg.WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "# EOF\n" {
+		t.Fatalf("nil export = %q", buf.String())
+	}
+}

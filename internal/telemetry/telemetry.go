@@ -27,11 +27,12 @@ import (
 // the rest of the simulation, a Registry is confined to one sim.Env's
 // cooperatively-scheduled processes and needs no locking.
 type Registry struct {
-	now      func() sim.Time
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
-	tracer   *Tracer
+	now       func() sim.Time
+	counters  map[string]*Counter
+	gauges    map[string]*Gauge
+	hists     map[string]*Histogram
+	tracer    *Tracer
+	lifecycle *Lifecycle
 }
 
 // New creates a registry whose tracer (if enabled) timestamps events with

@@ -45,9 +45,9 @@ func TestSpanConcurrentProcs(t *testing.T) {
 	// Spans are recorded when they end, so record order is end-time order.
 	us := sim.Microsecond
 	want := []EventInfo{
-		{Comp: "procA", Name: "inner", Start: sim.Time(10 * us), Dur: 5 * us},
-		{Comp: "procB", Name: "work", Start: sim.Time(2 * us), Dur: 16 * us},
-		{Comp: "procA", Name: "outer", Start: 0, Dur: 25 * us},
+		{Comp: "procA", Name: "inner", Start: sim.Time(10 * us), Dur: 5 * us, Phase: 'X'},
+		{Comp: "procB", Name: "work", Start: sim.Time(2 * us), Dur: 16 * us, Phase: 'X'},
+		{Comp: "procA", Name: "outer", Start: 0, Dur: 25 * us, Phase: 'X'},
 	}
 	for i, w := range want {
 		if ev[i] != w {
@@ -76,6 +76,15 @@ func syntheticTrace() *Tracer {
 	plain := tr.Begin("hpbd0", "read")
 	now = sim.Time(475 * sim.Microsecond)
 	plain.End()
+	// A causal flow threading all three components, plus a child span
+	// carrying span/parent ids.
+	tr.FlowBegin("hpbd0", "req", 7)
+	now = sim.Time(480 * sim.Microsecond)
+	tr.FlowStep("mem0", "req", 7)
+	child := tr.BeginChild("mem0-worker0", "store-write", 3)
+	now = sim.Time(490 * sim.Microsecond)
+	child.End()
+	tr.FlowEnd("hpbd0", "req", 7)
 	return tr
 }
 
@@ -145,6 +154,16 @@ func TestWriteJSONSchema(t *testing.T) {
 			}
 			if !named[tid] {
 				t.Fatalf("event %d on tid %v before its thread_name metadata", i, tid)
+			}
+		case "s", "t", "f":
+			if e["cat"] != "flow" {
+				t.Fatalf("flow event %d has cat %v, want flow", i, e["cat"])
+			}
+			if id, _ := e["id"].(string); id == "" {
+				t.Fatalf("flow event %d missing id: %v", i, e)
+			}
+			if ph == "f" && e["bp"] != "e" {
+				t.Fatalf("flow end %d missing bp=e: %v", i, e)
 			}
 		default:
 			t.Fatalf("event %d has unexpected phase %q", i, ph)

@@ -171,8 +171,16 @@ func (as *AddressSpace) swapIn(p *sim.Proc, pg *Page) error {
 	// completes.
 	submitAt := s.env.Now()
 	ios := make([]*ioHandle, 0, len(batch))
+	flowsBegun := map[uint64]bool{} // membership only, never iterated
 	for _, bp := range batch {
 		h, err := submitPageIO(dev, false, bp.slot)
+		if err == nil && s.tracer != nil {
+			// One flow per merged block request, beginning at the vm layer.
+			if id := h.io.RequestID(); id != 0 && !flowsBegun[id] {
+				flowsBegun[id] = true
+				s.tracer.FlowBegin("vm", "req", id)
+			}
+		}
 		if err != nil {
 			// Should not happen (slot addresses are in range); surface
 			// loudly in tests.
@@ -200,7 +208,7 @@ func (as *AddressSpace) swapIn(p *sim.Proc, pg *Page) error {
 				s.hSwapIn.Observe(wp.Now().Sub(submitAt))
 				if s.tracer != nil {
 					s.tracer.Complete("vm", "swap-in", submitAt, wp.Now(),
-						map[string]any{"slot": bp.slot, "readahead": bp.readahead})
+						map[string]any{"slot": bp.slot, "readahead": bp.readahead, "req": h.io.RequestID()})
 				}
 				bp.state = PageResident
 				bp.dirty = false

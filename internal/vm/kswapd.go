@@ -111,7 +111,7 @@ func (s *System) finalizeWrites(p *sim.Proc, writes []writeout) {
 			s.hSwapOut.Observe(p.Now().Sub(w.start))
 			if s.tracer != nil {
 				s.tracer.Complete("vm", "swap-out", w.start, p.Now(),
-					map[string]any{"slot": pg.slot})
+					map[string]any{"slot": pg.slot, "req": w.h.io.RequestID()})
 			}
 		}
 		if err != nil {
@@ -156,6 +156,7 @@ func (s *System) shrink(p *sim.Proc, batch int) (freed int, writes []writeout) {
 	// order, not random map order (Unplug dispatches queued I/O).
 	seen := map[*SwapDevice]bool{}
 	var devsTouched []*SwapDevice
+	flowsBegun := map[uint64]bool{} // membership only, never iterated
 
 	scanned := 0
 	for scanned < batch && s.inactive.Len() > 0 {
@@ -212,6 +213,13 @@ func (s *System) shrink(p *sim.Proc, batch int) (freed int, writes []writeout) {
 			continue
 		}
 		s.stats.SwapOuts++
+		if s.tracer != nil {
+			// One flow per merged block request, beginning at the vm layer.
+			if id := h.io.RequestID(); id != 0 && !flowsBegun[id] {
+				flowsBegun[id] = true
+				s.tracer.FlowBegin("vm", "req", id)
+			}
+		}
 		writes = append(writes, writeout{pg: pg, h: h, dev: dev, start: p.Now()})
 		if !seen[dev] {
 			seen[dev] = true

@@ -6,6 +6,7 @@
 //
 //	hpbd-bench [-exp fig5,fig7] [-scale 32] [-seed 1] [-list]
 //	hpbd-bench -trace trace.json [-metrics metrics.om] [-scale 32] [-seed 1]
+//	hpbd-bench -trace trace.json -faults "crash@8ms=mem0,delay@2ms+4ms~200us=mem1"
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"time"
 
 	"hpbd/internal/experiments"
+	"hpbd/internal/telemetry"
 )
 
 func main() {
@@ -27,6 +29,7 @@ func main() {
 		csv     = flag.Bool("csv", false, "emit CSV rows instead of tables")
 		trace   = flag.String("trace", "", "run a traced multi-server testswap and write Chrome trace JSON to this path")
 		metrics = flag.String("metrics", "", "with -trace: also write the OpenMetrics exposition to this path")
+		faults  = flag.String("faults", "", "with -trace: replay this fault spec against a mirrored node (see internal/faultsim)")
 	)
 	flag.Parse()
 
@@ -38,11 +41,15 @@ func main() {
 	}
 
 	if *trace != "" {
-		if err := tracedRun(*trace, *metrics, *scale, *seed); err != nil {
+		if err := tracedRun(*trace, *metrics, *faults, *scale, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
 			os.Exit(1)
 		}
 		return
+	}
+	if *faults != "" {
+		fmt.Fprintln(os.Stderr, "-faults requires -trace (fault replay is a traced run)")
+		os.Exit(1)
 	}
 
 	names := experiments.Names()
@@ -80,9 +87,18 @@ func main() {
 
 // tracedRun executes the traced multi-server testswap workload, writes
 // the Chrome trace-event file (and optionally the OpenMetrics exposition),
-// and prints the telemetry summary plus the critical-path breakdown.
-func tracedRun(path, metricsPath string, scale int, seed int64) error {
-	reg, err := experiments.TraceRun(experiments.Config{Scale: scale, Seed: seed}, 4)
+// and prints the telemetry summary plus the critical-path breakdown. A
+// non-empty fault spec switches to a mirrored node with the schedule
+// replayed against it, so recovery shows up in the trace.
+func tracedRun(path, metricsPath, faultSpec string, scale int, seed int64) error {
+	cfg := experiments.Config{Scale: scale, Seed: seed}
+	var reg *telemetry.Registry
+	var err error
+	if faultSpec != "" {
+		reg, err = experiments.TraceRunFaults(cfg, 2, faultSpec)
+	} else {
+		reg, err = experiments.TraceRun(cfg, 4)
+	}
 	if err != nil {
 		return err
 	}

@@ -1,10 +1,11 @@
 // Command hpbdctl exercises a running hpbd-server: it attaches an area,
 // verifies data integrity with random pages, and measures sequential and
-// random throughput with pipelined requests. The trace and flightrec
-// subcommands need no server: they run the simulated multi-server swap
-// workload, trace writing a Chrome trace-event file plus a metrics
+// random throughput with pipelined requests. The trace, flightrec and
+// faults subcommands need no server: they run the simulated multi-server
+// swap workload, trace writing a Chrome trace-event file plus a metrics
 // summary, flightrec printing the critical-path breakdown and the flight
-// recorder's last-N-requests table.
+// recorder's last-N-requests table, and faults replaying a fault
+// schedule against a mirrored node to show recovery in the trace.
 //
 // Usage:
 //
@@ -12,6 +13,7 @@
 //	hpbdctl -server host:10809 -size 64 -credits 16 bench
 //	hpbdctl -out trace.json -servers 4 trace
 //	hpbdctl -servers 2 flightrec
+//	hpbdctl -out faults.json -spec "crash@8ms=mem0" faults
 package main
 
 import (
@@ -36,6 +38,7 @@ func main() {
 		out     = flag.String("out", "trace.json", "trace: output path for Chrome trace-event JSON")
 		servers = flag.Int("servers", 4, "trace: number of simulated memory servers")
 		scale   = flag.Int("scale", experiments.PaperScale, "trace: scale divisor for paper sizes")
+		spec    = flag.String("spec", "crash@8ms=mem0", "faults: fault schedule spec (see internal/faultsim)")
 	)
 	flag.Parse()
 	cmd := flag.Arg(0)
@@ -54,6 +57,12 @@ func main() {
 	if cmd == "flightrec" {
 		if err := flightrec(*servers, *scale, *seed); err != nil {
 			log.Fatalf("hpbdctl flightrec: %v", err)
+		}
+		return
+	}
+	if cmd == "faults" {
+		if err := faultsRun(*out, *spec, *servers, *scale, *seed); err != nil {
+			log.Fatalf("hpbdctl faults: %v", err)
 		}
 		return
 	}
@@ -80,7 +89,7 @@ func main() {
 	case "bench":
 		bench(c)
 	default:
-		log.Fatalf("hpbdctl: unknown command %q (status|verify|bench|trace|flightrec)", cmd)
+		log.Fatalf("hpbdctl: unknown command %q (status|verify|bench|trace|flightrec|faults)", cmd)
 	}
 }
 
@@ -126,6 +135,37 @@ func flightrec(servers, scale int, seed int64) error {
 	fmt.Print(lc.BreakdownTable())
 	fmt.Println()
 	return lc.Flight().Dump(os.Stdout, "on-demand (hpbdctl flightrec)")
+}
+
+// faultsRun replays a fault schedule against a mirrored simulated node
+// running testswap, writes the Chrome trace (fault injections and
+// recovery appear as instants on the faultsim/device tracks), and prints
+// the metrics summary — recovery counters included — plus the per-stage
+// breakdown of the surviving requests.
+func faultsRun(out, spec string, servers, scale int, seed int64) error {
+	reg, err := experiments.TraceRunFaults(experiments.Config{Scale: scale, Seed: seed}, servers, spec)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := reg.Tracer().WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d events; open at chrome://tracing or ui.perfetto.dev)\n\n",
+		out, reg.Tracer().Len())
+	fmt.Print(reg.Summary())
+	if lc := reg.Lifecycle(); lc != nil {
+		fmt.Println()
+		fmt.Print(lc.BreakdownTable())
+	}
+	return nil
 }
 
 // verify writes random pages across the area and reads them back.

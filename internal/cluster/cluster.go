@@ -8,8 +8,10 @@ import (
 
 	"hpbd/internal/blockdev"
 	"hpbd/internal/disk"
+	"hpbd/internal/faultsim"
 	"hpbd/internal/hpbd"
 	"hpbd/internal/ib"
+	"hpbd/internal/mirror"
 	"hpbd/internal/nbd"
 	"hpbd/internal/netmodel"
 	"hpbd/internal/sim"
@@ -78,6 +80,17 @@ type Config struct {
 	Elevator bool
 	// LogRequests enables per-request logging on the swap queue (Fig. 6).
 	LogRequests bool
+	// Mirror builds two HPBD devices over disjoint server sets and swaps
+	// to a RAID-1 mirror over them, so one server crash loses no pages.
+	// Each side gets Servers servers; SwapBytes is the size of each
+	// replica, not the sum. HPBD only.
+	Mirror bool
+	// Faults, if non-nil, replays a deterministic fault schedule against
+	// the node's servers, devices and fabric. HPBD only.
+	Faults *faultsim.Schedule
+	// FallbackDisk gives each HPBD device a local-disk fallback driver,
+	// the last-resort degraded mode when every server is lost. HPBD only.
+	FallbackDisk bool
 	// Telemetry, if non-nil, is the node-wide metrics registry shared by
 	// the VM, the fabric, the HPBD client and every server. Nil creates
 	// one per node (metrics are always on; tracing stays opt-in via
@@ -100,6 +113,14 @@ type Node struct {
 	NBDServer   *nbd.Server
 	Disk        *disk.Disk
 
+	// HPBD2 and Mirror are set for mirrored configurations: HPBD/HPBD2
+	// are the two replicas and Mirror is the RAID-1 device the swap
+	// queue runs over.
+	HPBD2  *hpbd.Device
+	Mirror *mirror.Device
+	// Faults is the fault injector when Config.Faults was given.
+	Faults *faultsim.Injector
+
 	// Ready triggers when the swap device is attached (the NBD dial
 	// happens in simulated time); workloads should wait on it.
 	Ready *sim.Event
@@ -109,6 +130,9 @@ type Node struct {
 func Build(env *sim.Env, cfg Config) (*Node, error) {
 	if cfg.Servers <= 0 {
 		cfg.Servers = 1
+	}
+	if (cfg.Mirror || cfg.Faults != nil || cfg.FallbackDisk) && cfg.Swap != SwapHPBD {
+		return nil, fmt.Errorf("cluster: Mirror/Faults/FallbackDisk require SwapHPBD, got %s", cfg.Swap)
 	}
 	tel := cfg.Telemetry
 	if tel == nil {
@@ -159,7 +183,15 @@ func Build(env *sim.Env, cfg Config) (*Node, error) {
 		if ccfg.Telemetry == nil {
 			ccfg.Telemetry = tel
 		}
-		dev := hpbd.NewDevice(fabric, "hpbd0", ccfg)
+		// Fault-aware configurations get request recovery by default
+		// unless the caller pinned an explicit client config. The
+		// watchdog timeout matters after a crash: requests already
+		// delivered to the dead server hold credits and would stall the
+		// sender forever without cancel-and-retry.
+		if cfg.Client == nil && (cfg.Mirror || cfg.Faults != nil) {
+			ccfg.MaxRetries = 2
+			ccfg.RequestTimeout = 5 * sim.Millisecond
+		}
 		area := cfg.SwapBytes / int64(cfg.Servers)
 		area -= area % blockdev.SectorSize
 		if area <= 0 {
@@ -169,24 +201,69 @@ func Build(env *sim.Env, cfg Config) (*Node, error) {
 		if cfg.ServerCfg != nil {
 			scfg = cfg.ServerCfg
 		}
-		for i := 0; i < cfg.Servers; i++ {
-			sc := scfg(area)
-			if sc.Telemetry == nil {
-				sc.Telemetry = tel
+		sides := 1
+		if cfg.Mirror {
+			sides = 2
+		}
+		// Server names continue across sides (mem0..memS-1 on the
+		// primary, memS.. on the secondary) so the single-device layout
+		// and its telemetry are byte-identical to earlier revisions.
+		var devs []*hpbd.Device
+		serverIdx := 0
+		for side := 0; side < sides; side++ {
+			sideCfg := ccfg
+			if cfg.FallbackDisk {
+				params := disk.DefaultParams()
+				if cfg.Disk != nil {
+					params = *cfg.Disk
+				}
+				sideCfg.Fallback = disk.New(env, fmt.Sprintf("hda-fb%d", side), area*int64(cfg.Servers), params)
 			}
-			// A doorbell-batching client implies batching servers unless an
-			// explicit server config already decided.
-			if cfg.ServerCfg == nil && ccfg.DoorbellBatch > 1 {
-				sc.DoorbellBatch = ccfg.DoorbellBatch
+			dev := hpbd.NewDevice(fabric, fmt.Sprintf("hpbd%d", side), sideCfg)
+			for i := 0; i < cfg.Servers; i++ {
+				sc := scfg(area)
+				if sc.Telemetry == nil {
+					sc.Telemetry = tel
+				}
+				// A doorbell-batching client implies batching servers unless an
+				// explicit server config already decided.
+				if cfg.ServerCfg == nil && ccfg.DoorbellBatch > 1 {
+					sc.DoorbellBatch = ccfg.DoorbellBatch
+				}
+				srv := hpbd.NewServer(fabric, fmt.Sprintf("mem%d", serverIdx), sc)
+				serverIdx++
+				if err := dev.ConnectServer(srv, area); err != nil {
+					return nil, err
+				}
+				n.HPBDServers = append(n.HPBDServers, srv)
 			}
-			srv := hpbd.NewServer(fabric, fmt.Sprintf("mem%d", i), sc)
-			if err := dev.ConnectServer(srv, area); err != nil {
+			devs = append(devs, dev)
+		}
+		if cfg.Faults != nil {
+			inj := faultsim.New(env, *cfg.Faults, tel)
+			for _, s := range n.HPBDServers {
+				inj.AddServer(s)
+			}
+			for _, d := range devs {
+				inj.AddClient(d)
+			}
+			fabric.SetFaultHook(inj)
+			inj.Start()
+			n.Faults = inj
+		}
+		n.HPBD = devs[0]
+		if cfg.Mirror {
+			n.HPBD2 = devs[1]
+			md, err := mirror.New(env, "md0", devs[0], devs[1])
+			if err != nil {
 				return nil, err
 			}
-			n.HPBDServers = append(n.HPBDServers, srv)
+			md.SetTelemetry(tel)
+			n.Mirror = md
+			n.Queue = blockdev.NewQueue(env, host, md)
+		} else {
+			n.Queue = blockdev.NewQueue(env, host, devs[0])
 		}
-		n.HPBD = dev
-		n.Queue = blockdev.NewQueue(env, host, dev)
 		n.finish(cfg)
 
 	case SwapNBDGigE, SwapNBDIPoIB:

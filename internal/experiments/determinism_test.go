@@ -78,3 +78,38 @@ func TestDeterministicReplayQuicksort(t *testing.T) {
 		t.Errorf("quicksort trace event sequences differ between identical-seed runs (run1 %d bytes, run2 %d bytes)", len(tr1), len(tr2))
 	}
 }
+
+// TestDeterministicReplayFaults extends the determinism contract to the
+// fault injector and the recovery machinery: two runs of the same fault
+// schedule against the same seeded mirrored node must produce
+// byte-identical summaries (recovery counters included) and trace event
+// sequences — retries, backoff timers, link failover and requeue order
+// all replay exactly.
+func TestDeterministicReplayFaults(t *testing.T) {
+	const spec = "crash@2ms=mem0,delay@500us+1ms~50us=mem1,senderr@1msx2=hpbd0"
+	run := func() (string, string) {
+		t.Helper()
+		reg, err := TraceRunFaults(Config{Scale: 512, Seed: 42}, 1, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := reg.Tracer().WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return reg.Summary(), buf.String()
+	}
+	sum1, tr1 := run()
+	sum2, tr2 := run()
+	if sum1 != sum2 {
+		t.Errorf("fault-run telemetry summaries differ between identical runs:\n--- run1\n%s\n--- run2\n%s", sum1, sum2)
+	}
+	if tr1 != tr2 {
+		t.Errorf("fault-run trace event sequences differ between identical runs (run1 %d bytes, run2 %d bytes)", len(tr1), len(tr2))
+	}
+	// The schedule must actually have fired (guards against the diff
+	// trivially passing on a fault-free run).
+	if !strings.Contains(tr1, "fault:crash") {
+		t.Error("trace records no crash injection; schedule did not fire")
+	}
+}

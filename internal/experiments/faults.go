@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hpbd/internal/cluster"
+	"hpbd/internal/faultsim"
+	"hpbd/internal/sim"
+	"hpbd/internal/telemetry"
+	"hpbd/internal/vm"
+	"hpbd/internal/workload"
+)
+
+// TraceRunFaults executes testswap over a mirrored HPBD node (servers
+// per side) while replaying the given fault spec, with event tracing
+// enabled. The returned registry holds the trace — recovery shows up as
+// faultsim/link-failed/retry instants interleaved with the request
+// lifecycle — plus the recovery counters. Spec syntax is
+// faultsim.ParseSpec's, e.g. "crash@8ms=mem0,delay@2ms+4ms~200us=mem1".
+func TraceRunFaults(c Config, servers int, spec string) (*telemetry.Registry, error) {
+	if servers <= 0 {
+		servers = 1
+	}
+	sched, err := faultsim.ParseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	s := c.scale()
+	env := sim.NewEnv()
+	reg := telemetry.New(env)
+	reg.EnableTracing()
+	cfg := cluster.Config{
+		MemBytes:  paperMem / s,
+		Swap:      cluster.SwapHPBD,
+		SwapBytes: paperSwap / s,
+		Servers:   servers,
+		Mirror:    true,
+		Faults:    sched,
+		Telemetry: reg,
+	}
+	node, err := cluster.Build(env, cfg)
+	if err != nil {
+		return nil, err
+	}
+	data := int64(paperData) / s
+	w := workload.NewTestswap(node.VM, data)
+	var runErr error
+	env.Go("workload", func(p *sim.Proc) {
+		node.Ready.Wait(p)
+		runErr = w.Run(p)
+	})
+	env.Run()
+	env.Close()
+	if runErr != nil {
+		return reg, fmt.Errorf("faulted workload: %w", runErr)
+	}
+	return reg, nil
+}
+
+// recoveryStat summarizes a node's recovery activity for a result row.
+func recoveryStat(node *cluster.Node) string {
+	t := node.Tel
+	s := fmt.Sprintf("retries=%d links-lost=%d fallbacks=%d",
+		t.Counter("hpbd.retries").Value(),
+		t.Counter("hpbd.link_failures").Value(),
+		t.Counter("hpbd.fallbacks").Value())
+	if node.Mirror != nil {
+		ms := node.Mirror.Stats()
+		s += fmt.Sprintf(" failovers=%d degraded-writes=%d", ms.ReadFailovers, ms.DegradedWrites)
+	}
+	return s
+}
+
+// SweepDegraded measures degraded-mode cost: testswap on a mirrored
+// two-server node, healthy versus with one server crashed halfway
+// through the healthy run's virtual duration, plus the last-resort
+// local-disk fallback on a single-server device. The crash instant is
+// derived from the healthy run (half its virtual time), so the sweep is
+// fully deterministic without wall-clock input.
+func SweepDegraded(c Config) (*Result, error) {
+	s := c.scale()
+	res := &Result{
+		ID:    "sweep-degraded",
+		Title: fmt.Sprintf("Testswap under server loss (1/%d scale)", s),
+		Unit:  "s",
+		PaperNote: "extension: the paper defers reliability to mirroring " +
+			"(Network RamDisk) — this measures what the failover costs",
+	}
+	data := int64(paperData) / s
+	mkWorkload := func(sys *vm.System, _ *rand.Rand) runnable {
+		return workload.NewTestswap(sys, data)
+	}
+	base := cluster.Config{
+		MemBytes:  paperMem / s,
+		Swap:      cluster.SwapHPBD,
+		SwapBytes: paperSwap / s,
+		Servers:   1,
+		Mirror:    true,
+	}
+
+	healthy, node, err := measure(base, c.Seed, mkWorkload)
+	if err != nil {
+		return nil, fmt.Errorf("%s/healthy: %w", res.ID, err)
+	}
+	p50, p99 := swapLatency(node)
+	res.Rows = append(res.Rows, Row{
+		Label: "mirrored-healthy", Value: healthy.Seconds(),
+		P50ms: p50, P99ms: p99, Stat: recoveryStat(node),
+	})
+
+	crashAt := sim.Duration(healthy) / 2
+	crashed := base
+	sched := faultsim.Schedule{Faults: []faultsim.Fault{
+		{At: crashAt, Kind: faultsim.KindCrash, Target: "mem0"},
+	}}
+	crashed.Faults = &sched
+	elapsed, node, err := measure(crashed, c.Seed, mkWorkload)
+	if err != nil {
+		return nil, fmt.Errorf("%s/crash: %w", res.ID, err)
+	}
+	p50, p99 = swapLatency(node)
+	res.Rows = append(res.Rows, Row{
+		Label: "mirrored-crash-mid-run", Value: elapsed.Seconds(),
+		P50ms: p50, P99ms: p99, Stat: recoveryStat(node),
+	})
+
+	fb := base
+	fb.Mirror = false
+	fb.FallbackDisk = true
+	fb.Faults = &faultsim.Schedule{Faults: []faultsim.Fault{
+		{At: crashAt, Kind: faultsim.KindCrash, Target: "mem0"},
+	}}
+	elapsed, node, err = measure(fb, c.Seed, mkWorkload)
+	if err != nil {
+		return nil, fmt.Errorf("%s/fallback: %w", res.ID, err)
+	}
+	p50, p99 = swapLatency(node)
+	res.Rows = append(res.Rows, Row{
+		Label: "fallback-disk-crash", Value: elapsed.Seconds(),
+		P50ms: p50, P99ms: p99, Stat: recoveryStat(node),
+	})
+	return res, nil
+}

@@ -30,6 +30,7 @@ var Registry = map[string]Runner{
 
 	"sweep-bandwidth": SweepBandwidth,
 	"sweep-credits":   SweepCredits,
+	"sweep-degraded":  SweepDegraded,
 	"sweep-readahead": SweepReadahead,
 	"sweep-elevator":  SweepElevator,
 }

@@ -1,0 +1,41 @@
+package faultsim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzUnmarshalSchedule checks the wire decoder on arbitrary input: it
+// must never panic, and any schedule it accepts must survive a
+// re-marshal/re-decode round trip unchanged (the decoder re-sorts, so
+// the second decode must be a fixed point).
+func FuzzUnmarshalSchedule(f *testing.F) {
+	seed, err := ParseSpec("crash@5ms=mem0,delay@2ms+4ms~200us=mem1,senderr@1msx3=hpbd0")
+	if err != nil {
+		f.Fatal(err)
+	}
+	data, err := seed.Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(data)
+	f.Add([]byte("FS"))
+	f.Add([]byte{'F', 'S', 1, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		out, err := s.Marshal()
+		if err != nil {
+			t.Fatalf("accepted schedule failed to re-marshal: %v", err)
+		}
+		s2, err := Unmarshal(out)
+		if err != nil {
+			t.Fatalf("re-marshal output failed to decode: %v", err)
+		}
+		if !reflect.DeepEqual(s, s2) {
+			t.Fatalf("round trip changed schedule:\n  %+v\nvs\n  %+v", s, s2)
+		}
+	})
+}

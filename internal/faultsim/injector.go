@@ -1,0 +1,182 @@
+package faultsim
+
+import (
+	"sort"
+
+	"hpbd/internal/ib"
+	"hpbd/internal/sim"
+	"hpbd/internal/telemetry"
+)
+
+// Server is the fault surface a memory server exposes to the injector.
+type Server interface {
+	Name() string
+	// Crash kills the server permanently: QPs close, receives flush,
+	// new attaches are refused.
+	Crash()
+	// HangFor delays every reply produced during the next d of sim-time.
+	HangFor(d sim.Duration)
+	// StarveRecv stops receive-buffer reposting for d, draining the
+	// client's credit window.
+	StarveRecv(d sim.Duration)
+}
+
+// Client is the fault surface a block-device client exposes.
+type Client interface {
+	Name() string
+	// ExhaustPool grabs the whole registration pool for d, forcing
+	// allocation stalls and hybrid-path fallbacks.
+	ExhaustPool(d sim.Duration)
+}
+
+// Injector replays a Schedule against registered servers and clients
+// on the sim clock. It also implements ib.FaultHook so send-error and
+// delay faults apply inside the fabric's timing model. All state
+// transitions happen at scheduled sim-times from a single replay
+// process, so runs are deterministic.
+type Injector struct {
+	env   *sim.Env
+	sched Schedule
+
+	servers map[string]Server
+	clients map[string]Client
+
+	// sendErr[hca] is the number of upcoming send WRs from that HCA to
+	// fail; delayUntil/delayExtra describe the active delay window.
+	sendErr    map[string]int
+	delayUntil map[string]sim.Time
+	delayExtra map[string]sim.Duration
+
+	injected *telemetry.Counter
+	skipped  *telemetry.Counter
+	tracer   *telemetry.Tracer
+}
+
+// New builds an injector for sched. The telemetry registry may be nil;
+// when present the injector publishes faultsim.injected /
+// faultsim.skipped counters and emits a trace instant per fault.
+func New(env *sim.Env, sched Schedule, reg *telemetry.Registry) *Injector {
+	sortFaults(sched.Faults)
+	return &Injector{
+		env:        env,
+		sched:      sched,
+		servers:    make(map[string]Server),
+		clients:    make(map[string]Client),
+		sendErr:    make(map[string]int),
+		delayUntil: make(map[string]sim.Time),
+		delayExtra: make(map[string]sim.Duration),
+		injected:   reg.Counter("faultsim.injected"),
+		skipped:    reg.Counter("faultsim.skipped"),
+		tracer:     reg.Tracer(),
+	}
+}
+
+// AddServer registers a crash/hang/starve target.
+func (in *Injector) AddServer(s Server) { in.servers[s.Name()] = s }
+
+// AddClient registers a pool-exhaustion target.
+func (in *Injector) AddClient(c Client) { in.clients[c.Name()] = c }
+
+// Targets returns the sorted names of all registered fault targets.
+func (in *Injector) Targets() []string {
+	var names []string
+	for n := range in.servers {
+		names = append(names, n)
+	}
+	for n := range in.clients {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Start spawns the replay process. Call after all targets are
+// registered and before env.Run.
+func (in *Injector) Start() {
+	if len(in.sched.Faults) == 0 {
+		return
+	}
+	in.env.Go("faultsim", func(p *sim.Proc) {
+		for _, f := range in.sched.Faults {
+			if wait := sim.Time(f.At).Sub(p.Now()); wait > 0 {
+				p.Sleep(wait)
+			}
+			in.apply(p, f)
+		}
+	})
+}
+
+// apply fires one fault at its scheduled instant.
+func (in *Injector) apply(p *sim.Proc, f Fault) {
+	srv, isSrv := in.servers[f.Target]
+	cli, isCli := in.clients[f.Target]
+	ok := true
+	switch f.Kind {
+	case KindCrash:
+		if ok = isSrv; ok {
+			srv.Crash()
+		}
+	case KindHang:
+		if ok = isSrv; ok {
+			srv.HangFor(f.Dur)
+		}
+	case KindStarve:
+		if ok = isSrv; ok {
+			srv.StarveRecv(f.Dur)
+		}
+	case KindSendErr:
+		// Send errors key on the HCA name, which for both servers and
+		// clients equals the registered target name.
+		if ok = isSrv || isCli; ok {
+			n := f.Count
+			if n <= 0 {
+				n = 1
+			}
+			in.sendErr[f.Target] += n
+		}
+	case KindDelay:
+		if ok = isSrv || isCli; ok {
+			until := p.Now().Add(f.Dur)
+			if until > in.delayUntil[f.Target] {
+				in.delayUntil[f.Target] = until
+			}
+			in.delayExtra[f.Target] = f.Extra
+		}
+	case KindPoolExhaust:
+		if ok = isCli; ok {
+			cli.ExhaustPool(f.Dur)
+		}
+	default:
+		ok = false
+	}
+	if !ok {
+		in.skipped.Inc()
+		return
+	}
+	in.injected.Inc()
+	if in.tracer != nil {
+		in.tracer.InstantArgs("faultsim", "fault:"+f.Kind.String(), map[string]any{
+			"target": f.Target, "dur_us": f.Dur.Micros(), "extra_us": f.Extra.Micros(),
+		})
+	}
+}
+
+// SendFault implements ib.FaultHook: one-shot send errors first, then
+// any active delay window. Lookups are by exact HCA name, so state
+// never depends on map iteration order.
+func (in *Injector) SendFault(hca string, op ib.Opcode) (sim.Duration, ib.Status) {
+	if n := in.sendErr[hca]; n > 0 {
+		in.sendErr[hca] = n - 1
+		in.injected.Inc()
+		if in.tracer != nil {
+			in.tracer.InstantArgs("faultsim", "senderr:"+op.String(), map[string]any{"hca": hca})
+		}
+		// RNR is the transient, retryable NAK in this model: the WR
+		// never reached the peer, so a retry is safe.
+		return 0, ib.StatusRNR
+	}
+	if until, active := in.delayUntil[hca]; active && in.env.Now() < until {
+		return in.delayExtra[hca], ib.StatusSuccess
+	}
+	return 0, ib.StatusSuccess
+}

@@ -1,0 +1,343 @@
+// Package faultsim is a deterministic, schedule-driven fault injector
+// for the simulated HPBD stack. A Schedule is an ordered list of faults
+// — server crash/hang, QP send errors, reply delay spikes,
+// receive-credit starvation, registration-pool exhaustion — each
+// pinned to a sim-time instant. The Injector replays the schedule on
+// the sim clock and applies each fault through narrow interfaces on
+// the fabric, servers, and clients, so a given schedule+seed replays
+// byte-identically run-to-run.
+//
+// Schedules have two interchangeable encodings: a human-writable text
+// spec for CLI flags ("crash@5ms=mem0,delay@2ms+4ms~200us=mem1") and a
+// compact binary wire form (Marshal/Unmarshal) for embedding in
+// configs and fuzzing.
+package faultsim
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"hpbd/internal/sim"
+)
+
+// Kind identifies a fault class.
+type Kind uint8
+
+const (
+	// KindCrash permanently kills a server at At: its QPs close, posted
+	// receives flush, and new attaches are refused.
+	KindCrash Kind = iota
+	// KindHang wedges a server for Dur: requests are accepted but no
+	// reply is produced until the hang lifts (the watchdog-visible case).
+	KindHang
+	// KindSendErr makes the next Count send-side work requests posted by
+	// the target HCA complete with an error CQE instead of reaching the
+	// wire (a transient QP failure; the client may retry).
+	KindSendErr
+	// KindDelay adds Extra latency to every send-side work request the
+	// target HCA posts during [At, At+Dur) — a reply/response delay spike.
+	KindDelay
+	// KindStarve makes the target server stop reposting receive buffers
+	// for Dur, so client credits drain and senders stall on flow control.
+	KindStarve
+	// KindPoolExhaust grabs the target client's entire registration pool
+	// for Dur, forcing allocation stalls (and hybrid-path fallbacks).
+	KindPoolExhaust
+	numKinds
+)
+
+var kindTokens = [numKinds]string{"crash", "hang", "senderr", "delay", "starve", "poolx"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindTokens) {
+		return kindTokens[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Fault is one scheduled fault event.
+type Fault struct {
+	// At is the sim-time offset from schedule start when the fault fires.
+	At sim.Duration
+	// Kind selects the fault class.
+	Kind Kind
+	// Target names the victim: a server or HCA name for server/fabric
+	// faults, a device name for client faults.
+	Target string
+	// Dur bounds transient faults (hang, delay window, starvation,
+	// pool exhaustion). Ignored by crash and senderr.
+	Dur sim.Duration
+	// Extra is the added per-operation latency for delay faults.
+	Extra sim.Duration
+	// Count is the number of affected operations for senderr (default 1).
+	Count int
+}
+
+// Schedule is a fault schedule, sorted by At (ties keep input order).
+type Schedule struct {
+	Faults []Fault
+}
+
+// Empty reports whether the schedule contains no faults.
+func (s *Schedule) Empty() bool { return s == nil || len(s.Faults) == 0 }
+
+// sortFaults orders faults by At, keeping the input order of ties so
+// the spec author controls same-instant application order.
+func sortFaults(fs []Fault) {
+	sort.SliceStable(fs, func(i, j int) bool { return fs[i].At < fs[j].At })
+}
+
+// ParseSpec parses the comma-separated text form. Each fault is
+//
+//	kind@at[+dur][~extra][xN]=target
+//
+// where kind is crash|hang|senderr|delay|starve|poolx, at/dur/extra are
+// sim durations ("5ms", "200us"), N is the senderr operation count, and
+// target names the victim. Example:
+//
+//	crash@5ms=mem0,delay@2ms+4ms~200us=mem1,senderr@1msx3=hpbd0
+func ParseSpec(spec string) (*Schedule, error) {
+	var s Schedule
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		f, err := parseFault(part)
+		if err != nil {
+			return nil, err
+		}
+		s.Faults = append(s.Faults, f)
+	}
+	sortFaults(s.Faults)
+	return &s, nil
+}
+
+func parseFault(tok string) (Fault, error) {
+	var f Fault
+	kindStr, rest, ok := strings.Cut(tok, "@")
+	if !ok {
+		return f, fmt.Errorf("faultsim: fault %q missing '@at'", tok)
+	}
+	kind := -1
+	for i, t := range kindTokens {
+		if t == kindStr {
+			kind = i
+			break
+		}
+	}
+	if kind < 0 {
+		return f, fmt.Errorf("faultsim: unknown fault kind %q in %q", kindStr, tok)
+	}
+	f.Kind = Kind(kind)
+	timing, target, ok := strings.Cut(rest, "=")
+	if !ok || target == "" {
+		return f, fmt.Errorf("faultsim: fault %q missing '=target'", tok)
+	}
+	f.Target = target
+	// timing is at[+dur][~extra][xN]; split from the right.
+	if at, n, ok := cutLast(timing, "x"); ok {
+		c, err := strconv.Atoi(n)
+		if err != nil || c <= 0 {
+			return f, fmt.Errorf("faultsim: bad count %q in %q", n, tok)
+		}
+		f.Count = c
+		timing = at
+	}
+	if at, ex, ok := cutLast(timing, "~"); ok {
+		d, err := sim.ParseDuration(ex)
+		if err != nil {
+			return f, fmt.Errorf("faultsim: bad extra in %q: %v", tok, err)
+		}
+		f.Extra = d
+		timing = at
+	}
+	if at, du, ok := cutLast(timing, "+"); ok {
+		d, err := sim.ParseDuration(du)
+		if err != nil {
+			return f, fmt.Errorf("faultsim: bad duration in %q: %v", tok, err)
+		}
+		f.Dur = d
+		timing = at
+	}
+	at, err := sim.ParseDuration(timing)
+	if err != nil {
+		return f, fmt.Errorf("faultsim: bad at-time in %q: %v", tok, err)
+	}
+	f.At = at
+	return f, nil
+}
+
+// cutLast is strings.Cut on the last occurrence of sep.
+func cutLast(s, sep string) (before, after string, found bool) {
+	i := strings.LastIndex(s, sep)
+	if i < 0 {
+		return s, "", false
+	}
+	return s[:i], s[i+len(sep):], true
+}
+
+// Spec renders the schedule back into the text form ParseSpec accepts.
+func (s *Schedule) Spec() string {
+	if s.Empty() {
+		return ""
+	}
+	parts := make([]string, 0, len(s.Faults))
+	for _, f := range s.Faults {
+		var b strings.Builder
+		b.WriteString(f.Kind.String())
+		b.WriteByte('@')
+		b.WriteString(f.At.String())
+		if f.Dur > 0 {
+			b.WriteByte('+')
+			b.WriteString(f.Dur.String())
+		}
+		if f.Extra > 0 {
+			b.WriteByte('~')
+			b.WriteString(f.Extra.String())
+		}
+		if f.Count > 0 {
+			fmt.Fprintf(&b, "x%d", f.Count)
+		}
+		b.WriteByte('=')
+		b.WriteString(f.Target)
+		parts = append(parts, b.String())
+	}
+	return strings.Join(parts, ",")
+}
+
+// Wire encoding: magic "FS" + version byte + u16 fault count, then per
+// fault: kind u8, at/dur/extra u64, count u32, target len u8 + bytes.
+// All integers big-endian.
+const (
+	wireMagic0  = 'F'
+	wireMagic1  = 'S'
+	wireVersion = 1
+	maxFaults   = 1 << 12
+)
+
+// Marshal encodes the schedule into the binary wire form.
+func (s *Schedule) Marshal() ([]byte, error) {
+	n := 0
+	if s != nil {
+		n = len(s.Faults)
+	}
+	if n > maxFaults {
+		return nil, fmt.Errorf("faultsim: %d faults exceeds wire limit %d", n, maxFaults)
+	}
+	buf := make([]byte, 0, 5+n*32)
+	buf = append(buf, wireMagic0, wireMagic1, wireVersion)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(n))
+	for i := 0; i < n; i++ {
+		f := &s.Faults[i]
+		if f.At < 0 || f.Dur < 0 || f.Extra < 0 || f.Count < 0 {
+			return nil, fmt.Errorf("faultsim: fault %d has negative field", i)
+		}
+		if f.Kind >= numKinds {
+			return nil, fmt.Errorf("faultsim: fault %d has unknown kind %d", i, f.Kind)
+		}
+		if len(f.Target) > 255 {
+			return nil, fmt.Errorf("faultsim: fault %d target too long", i)
+		}
+		buf = append(buf, byte(f.Kind))
+		buf = binary.BigEndian.AppendUint64(buf, uint64(f.At))
+		buf = binary.BigEndian.AppendUint64(buf, uint64(f.Dur))
+		buf = binary.BigEndian.AppendUint64(buf, uint64(f.Extra))
+		buf = binary.BigEndian.AppendUint32(buf, uint32(f.Count))
+		buf = append(buf, byte(len(f.Target)))
+		buf = append(buf, f.Target...)
+	}
+	return buf, nil
+}
+
+// Unmarshal decodes the binary wire form. Decoded schedules are
+// re-sorted by At so a hand-built (or fuzzed) encoding cannot smuggle
+// an out-of-order schedule past the injector.
+func Unmarshal(data []byte) (*Schedule, error) {
+	if len(data) < 5 || data[0] != wireMagic0 || data[1] != wireMagic1 {
+		return nil, fmt.Errorf("faultsim: bad schedule magic")
+	}
+	if data[2] != wireVersion {
+		return nil, fmt.Errorf("faultsim: unsupported schedule version %d", data[2])
+	}
+	n := int(binary.BigEndian.Uint16(data[3:5]))
+	if n > maxFaults {
+		return nil, fmt.Errorf("faultsim: fault count %d exceeds limit", n)
+	}
+	var s Schedule
+	off := 5
+	for i := 0; i < n; i++ {
+		if len(data)-off < 30 {
+			return nil, fmt.Errorf("faultsim: truncated fault %d", i)
+		}
+		var f Fault
+		f.Kind = Kind(data[off])
+		if f.Kind >= numKinds {
+			return nil, fmt.Errorf("faultsim: fault %d has unknown kind %d", i, f.Kind)
+		}
+		at := binary.BigEndian.Uint64(data[off+1:])
+		du := binary.BigEndian.Uint64(data[off+9:])
+		ex := binary.BigEndian.Uint64(data[off+17:])
+		if at >= 1<<63 || du >= 1<<63 || ex >= 1<<63 {
+			return nil, fmt.Errorf("faultsim: fault %d duration overflows", i)
+		}
+		f.At, f.Dur, f.Extra = sim.Duration(at), sim.Duration(du), sim.Duration(ex)
+		f.Count = int(binary.BigEndian.Uint32(data[off+25:]))
+		tlen := int(data[off+29])
+		off += 30
+		if len(data)-off < tlen {
+			return nil, fmt.Errorf("faultsim: truncated target in fault %d", i)
+		}
+		f.Target = string(data[off : off+tlen])
+		off += tlen
+		s.Faults = append(s.Faults, f)
+	}
+	if off != len(data) {
+		return nil, fmt.Errorf("faultsim: %d trailing bytes after schedule", len(data)-off)
+	}
+	sortFaults(s.Faults)
+	return &s, nil
+}
+
+// Generate derives a random schedule of n faults over the window
+// [0, horizon) from seed, spread across the named targets (servers for
+// server/fabric faults, clients for pool faults). The same
+// (seed, n, horizon, targets) always yields the same schedule.
+func Generate(seed int64, n int, horizon sim.Duration, servers, clients []string) *Schedule {
+	rnd := rand.New(rand.NewSource(seed))
+	var s Schedule
+	for i := 0; i < n; i++ {
+		var f Fault
+		// Crash is excluded from random generation: a crashed server
+		// never recovers, which would end most scenarios early. Chaos
+		// runs add crashes explicitly.
+		kinds := []Kind{KindHang, KindSendErr, KindDelay, KindStarve}
+		if len(clients) > 0 {
+			kinds = append(kinds, KindPoolExhaust)
+		}
+		f.Kind = kinds[rnd.Intn(len(kinds))]
+		f.At = sim.Duration(rnd.Int63n(int64(horizon)))
+		switch f.Kind {
+		case KindPoolExhaust:
+			f.Target = clients[rnd.Intn(len(clients))]
+			f.Dur = sim.Duration(rnd.Int63n(int64(horizon/8))) + 50*sim.Microsecond
+		case KindSendErr:
+			f.Target = servers[rnd.Intn(len(servers))]
+			f.Count = 1 + rnd.Intn(3)
+		case KindDelay:
+			f.Target = servers[rnd.Intn(len(servers))]
+			f.Dur = sim.Duration(rnd.Int63n(int64(horizon/8))) + 50*sim.Microsecond
+			f.Extra = sim.Duration(rnd.Int63n(int64(500*sim.Microsecond))) + 10*sim.Microsecond
+		default: // hang, starve
+			f.Target = servers[rnd.Intn(len(servers))]
+			f.Dur = sim.Duration(rnd.Int63n(int64(horizon/8))) + 50*sim.Microsecond
+		}
+		s.Faults = append(s.Faults, f)
+	}
+	sortFaults(s.Faults)
+	return &s
+}

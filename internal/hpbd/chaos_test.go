@@ -1,0 +1,405 @@
+package hpbd
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"hpbd/internal/blockdev"
+	"hpbd/internal/disk"
+	"hpbd/internal/faultsim"
+	"hpbd/internal/ib"
+	"hpbd/internal/netmodel"
+	"hpbd/internal/sim"
+	"hpbd/internal/telemetry"
+)
+
+// chaosBed is a testbed with the recovery path armed and a fault
+// schedule replayed against it: a client device (optionally with a
+// local-disk fallback) over nServers servers, with the injector hooked
+// into the fabric.
+type chaosBed struct {
+	*testbed
+	reg *telemetry.Registry
+	inj *faultsim.Injector
+}
+
+func newChaosBed(t *testing.T, nServers int, areaBytes int64, ccfg ClientConfig, fallback bool, spec string) *chaosBed {
+	t.Helper()
+	env := sim.NewEnv()
+	reg := telemetry.New(env)
+	f := ib.NewFabric(env, ib.DefaultConfig())
+	ccfg.Telemetry = reg
+	if fallback {
+		ccfg.Fallback = disk.New(env, "hda-fb", areaBytes*int64(nServers), disk.DefaultParams())
+	}
+	dev := NewDevice(f, "hpbd0", ccfg)
+	tb := &testbed{env: env, fabric: f, dev: dev}
+	for i := 0; i < nServers; i++ {
+		sc := DefaultServerConfig(areaBytes)
+		sc.Telemetry = reg
+		srv := NewServer(f, fmt.Sprintf("mem%d", i), sc)
+		if err := dev.ConnectServer(srv, areaBytes); err != nil {
+			t.Fatalf("ConnectServer: %v", err)
+		}
+		tb.servers = append(tb.servers, srv)
+	}
+	tb.queue = blockdev.NewQueue(env, netmodel.DefaultHost(), dev)
+	cb := &chaosBed{testbed: tb, reg: reg}
+	if spec != "" {
+		sched, err := faultsim.ParseSpec(spec)
+		if err != nil {
+			t.Fatalf("ParseSpec: %v", err)
+		}
+		cb.inj = faultsim.New(env, *sched, reg)
+		for _, s := range tb.servers {
+			cb.inj.AddServer(s)
+		}
+		cb.inj.AddClient(dev)
+		f.SetFaultHook(cb.inj)
+		cb.inj.Start()
+	}
+	return cb
+}
+
+// writeBlocks writes count blocks of blockBytes each, sequentially, with
+// a per-block pattern derived from seed, and returns the first error.
+func (cb *chaosBed) writeBlocks(p *sim.Proc, count, blockBytes int, seed byte) error {
+	secPerBlock := int64(blockBytes / blockdev.SectorSize)
+	for i := 0; i < count; i++ {
+		w, err := cb.queue.Submit(true, int64(i)*secPerBlock, pattern(blockBytes, seed+byte(i)))
+		if err != nil {
+			return fmt.Errorf("submit write %d: %w", i, err)
+		}
+		cb.queue.Unplug()
+		if err := w.Wait(p); err != nil {
+			return fmt.Errorf("write %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// verifyBlocks reads every block back and compares against the seed
+// pattern, failing the test on any mismatch (the corruption check).
+func (cb *chaosBed) verifyBlocks(t *testing.T, p *sim.Proc, count, blockBytes int, seed byte) {
+	t.Helper()
+	secPerBlock := int64(blockBytes / blockdev.SectorSize)
+	for i := 0; i < count; i++ {
+		buf := make([]byte, blockBytes)
+		r, err := cb.queue.Submit(false, int64(i)*secPerBlock, buf)
+		if err != nil {
+			t.Errorf("submit read %d: %v", i, err)
+			return
+		}
+		cb.queue.Unplug()
+		if err := r.Wait(p); err != nil {
+			t.Errorf("read %d: %v", i, err)
+			return
+		}
+		if !bytes.Equal(buf, pattern(blockBytes, seed+byte(i))) {
+			t.Errorf("block %d corrupted after recovery", i)
+		}
+	}
+}
+
+// assertExactPartition checks the lifecycle invariant on every recorded
+// request — degraded and retried ones included: the stages must sum to
+// the end-to-end latency exactly.
+func assertExactPartition(t *testing.T, dev *Device) {
+	t.Helper()
+	lc := dev.Lifecycle()
+	if lc == nil {
+		t.Fatal("lifecycle analyzer disabled")
+	}
+	for _, rec := range lc.Flight().Records() {
+		var sum sim.Duration
+		for s := telemetry.Stage(0); s < telemetry.NumStages; s++ {
+			if rec.Stages[s] < 0 {
+				t.Errorf("req %d: stage %v negative: %v", rec.ID, s, rec.Stages[s])
+			}
+			sum += rec.Stages[s]
+		}
+		if sum != rec.Total() {
+			t.Errorf("req %d (server=%s retries=%d): stages sum to %v, end-to-end is %v",
+				rec.ID, rec.Server, rec.Retries, sum, rec.Total())
+		}
+	}
+}
+
+// recoveryConfig arms retries and the watchdog at test-friendly scales.
+func recoveryConfig() ClientConfig {
+	ccfg := DefaultClientConfig()
+	ccfg.MaxRetries = 2
+	ccfg.RequestTimeout = 500 * sim.Microsecond
+	return ccfg
+}
+
+// TestChaosTable drives the fault-kind matrix: each case runs a write
+// stream while its schedule fires, optionally rewrites everything (so
+// ranges lost with a crashed single-copy server regain an authoritative
+// copy), reads all data back and compares byte-for-byte, then checks
+// the lifecycle partition and the expected recovery counters.
+func TestChaosTable(t *testing.T) {
+	const blockBytes = 4096
+	cases := []struct {
+		name       string
+		servers    int
+		fallback   bool
+		hybrid     bool
+		blockBytes int
+		blocks     int
+		spec       string
+		rewrite    bool // second write pass after the faults
+		check      func(t *testing.T, cb *chaosBed)
+	}{
+		{
+			// Server dies mid swap-out stream; the fallback disk absorbs
+			// the rest. The rewrite pass gives every range an
+			// authoritative copy (pre-crash ranges lived only on the
+			// dead server, as in the paper's single-copy deployment).
+			name: "crash-during-swap-out", servers: 1, fallback: true,
+			blockBytes: blockBytes, blocks: 24,
+			spec: "crash@400us=mem0", rewrite: true,
+			check: func(t *testing.T, cb *chaosBed) {
+				st := cb.dev.Stats()
+				if st.LinkFailures != 1 {
+					t.Errorf("LinkFailures = %d, want 1", st.LinkFailures)
+				}
+				if st.Fallbacks == 0 {
+					t.Error("no requests absorbed by the fallback")
+				}
+				if cb.dev.Failed() {
+					t.Error("device failed despite fallback")
+				}
+			},
+		},
+		{
+			// Crash while 128 KB hybrid-path requests are in flight: the
+			// large-transfer RDMA path must recover, not just the pool path.
+			name: "crash-during-rdma", servers: 1, fallback: true, hybrid: true,
+			blockBytes: 128 << 10, blocks: 12,
+			spec: "crash@400us=mem0", rewrite: true,
+			check: func(t *testing.T, cb *chaosBed) {
+				st := cb.dev.Stats()
+				if st.HybridLarge == 0 {
+					t.Error("hybrid path never used; case mis-configured")
+				}
+				if st.LinkFailures != 1 {
+					t.Errorf("LinkFailures = %d, want 1", st.LinkFailures)
+				}
+				if cb.dev.Failed() {
+					t.Error("device failed despite fallback")
+				}
+			},
+		},
+		{
+			// Double fault: both striped servers die at different times.
+			name: "double-fault", servers: 2, fallback: true,
+			blockBytes: blockBytes, blocks: 24,
+			spec: "crash@300us=mem0,crash@700us=mem1", rewrite: true,
+			check: func(t *testing.T, cb *chaosBed) {
+				st := cb.dev.Stats()
+				if st.LinkFailures != 2 {
+					t.Errorf("LinkFailures = %d, want 2", st.LinkFailures)
+				}
+				if cb.dev.DownLinks() != 2 {
+					t.Errorf("DownLinks = %d, want 2", cb.dev.DownLinks())
+				}
+				if cb.dev.Failed() {
+					t.Error("device failed despite fallback")
+				}
+			},
+		},
+		{
+			// Transient send errors burst, then clean air: requests must
+			// retry through and steady state must resume with no data
+			// loss and no degradation.
+			// The burst is two errors: with sequential traffic both land
+			// on the same request, which survives exactly because
+			// MaxRetries is 2 (attempts 1 and 2 fail, attempt 3 clears).
+			name: "recovery-then-steady-state", servers: 1, fallback: false,
+			blockBytes: blockBytes, blocks: 24,
+			spec: "senderr@200usx2=hpbd0",
+			check: func(t *testing.T, cb *chaosBed) {
+				st := cb.dev.Stats()
+				if st.Retries == 0 {
+					t.Error("send-error burst caused no retries")
+				}
+				if st.LinkFailures != 0 || st.Fallbacks != 0 {
+					t.Errorf("transient errors escalated: links=%d fallbacks=%d",
+						st.LinkFailures, st.Fallbacks)
+				}
+				if cb.dev.Failed() {
+					t.Error("device failed on transient errors")
+				}
+			},
+		},
+		{
+			// Receive-credit starvation: the server withholds buffers,
+			// credits drain, senders stall — and everything completes
+			// once the window lifts.
+			name: "recv-starvation", servers: 1, fallback: false,
+			blockBytes: blockBytes, blocks: 24,
+			spec: "starve@200us+1ms=mem0",
+			check: func(t *testing.T, cb *chaosBed) {
+				if cb.dev.Failed() {
+					t.Error("device failed under starvation")
+				}
+				if got := cb.dev.Stats().LinkFailures; got != 0 {
+					t.Errorf("starvation escalated to %d link failures", got)
+				}
+			},
+		},
+		{
+			// Registration-pool exhaustion: allocations stall until the
+			// injector frees the pool; no errors, no data loss.
+			name: "pool-exhaustion", servers: 1, fallback: false,
+			blockBytes: blockBytes, blocks: 24,
+			spec: "poolx@200us+1ms=hpbd0",
+			check: func(t *testing.T, cb *chaosBed) {
+				if cb.dev.Failed() {
+					t.Error("device failed under pool exhaustion")
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ccfg := recoveryConfig()
+			if tc.hybrid {
+				ccfg.HybridDataPath = true
+			}
+			area := int64(tc.blocks*tc.blockBytes)/int64(tc.servers) + 1<<20
+			cb := newChaosBed(t, tc.servers, area, ccfg, tc.fallback, tc.spec)
+			cb.run(func(p *sim.Proc) {
+				if err := cb.writeBlocks(p, tc.blocks, tc.blockBytes, 3); err != nil {
+					t.Errorf("write pass: %v", err)
+					return
+				}
+				seed := byte(3)
+				if tc.rewrite {
+					seed = 11
+					if err := cb.writeBlocks(p, tc.blocks, tc.blockBytes, seed); err != nil {
+						t.Errorf("rewrite pass: %v", err)
+						return
+					}
+				}
+				cb.verifyBlocks(t, p, tc.blocks, tc.blockBytes, seed)
+			})
+			assertExactPartition(t, cb.dev)
+			if cb.inj != nil {
+				if got := cb.reg.Counter("faultsim.injected").Value(); got == 0 {
+					t.Error("schedule injected no faults; case timing is off")
+				}
+				if got := cb.reg.Counter("faultsim.skipped").Value(); got != 0 {
+					t.Errorf("schedule skipped %d faults (bad target?)", got)
+				}
+			}
+			if leak := cb.dev.Pool().InUse(); leak != 0 {
+				t.Errorf("pool leak after chaos: %d bytes", leak)
+			}
+		})
+	}
+}
+
+// TestWedgedServerRecovers covers the watchdog fix: a server hang longer
+// than the request timeout must not wedge the device. With a fallback
+// the stalled writes are cancelled, retried, and finally absorbed; the
+// device stays alive and the data reads back intact.
+func TestWedgedServerRecovers(t *testing.T) {
+	ccfg := recoveryConfig()
+	cb := newChaosBed(t, 1, 1<<20, ccfg, true, "hang@100us+20ms=mem0")
+	const blocks = 8
+	cb.run(func(p *sim.Proc) {
+		if err := cb.writeBlocks(p, blocks, 4096, 7); err != nil {
+			t.Errorf("writes under hang: %v", err)
+			return
+		}
+		cb.verifyBlocks(t, p, blocks, 4096, 7)
+	})
+	if got := cb.reg.Counter("hpbd.timeout_cancels").Value(); got == 0 {
+		t.Error("watchdog cancelled nothing; the hang went unnoticed")
+	}
+	if cb.dev.Failed() {
+		t.Error("device failed on a hung (not dead) server")
+	}
+	assertExactPartition(t, cb.dev)
+}
+
+// TestWedgedServerNoFallback is the same hang without a fallback: the
+// stalled requests must eventually error (per-request, after retries)
+// instead of hanging forever, the device must stay alive, and service
+// must resume once the hang lifts.
+func TestWedgedServerNoFallback(t *testing.T) {
+	ccfg := recoveryConfig()
+	cb := newChaosBed(t, 1, 1<<20, ccfg, false, "hang@100us+10ms=mem0")
+	var errs, oks int
+	cb.run(func(p *sim.Proc) {
+		var ios []*blockdev.IO
+		for i := 0; i < 4; i++ {
+			io, err := cb.queue.Submit(true, int64(i*8), pattern(4096, 9))
+			if err != nil {
+				t.Fatalf("submit: %v", err)
+			}
+			cb.queue.Unplug()
+			ios = append(ios, io)
+		}
+		for _, io := range ios {
+			if io.Wait(p) != nil {
+				errs++
+			} else {
+				oks++
+			}
+		}
+		// Outlast the hang, then prove steady state resumed.
+		p.Sleep(15 * sim.Millisecond)
+		if err := cb.writeBlocks(p, 4, 4096, 21); err != nil {
+			t.Errorf("post-hang writes: %v", err)
+			return
+		}
+		cb.verifyBlocks(t, p, 4, 4096, 21)
+	})
+	if errs == 0 && cb.reg.Counter("hpbd.timeout_cancels").Value() == 0 {
+		t.Error("hang neither errored nor cancelled any request (watchdog dead?)")
+	}
+	if cb.dev.Failed() {
+		t.Error("a wedged server must not kill the device")
+	}
+	assertExactPartition(t, cb.dev)
+}
+
+// TestDefaultConfigStillFailStop pins the compatibility contract: with
+// recovery disabled (the default config) a lost server still fails the
+// whole device, exactly as before this package grew a recovery path.
+func TestDefaultConfigStillFailStop(t *testing.T) {
+	cb := newChaosBed(t, 1, 1<<20, DefaultClientConfig(), false, "crash@300us=mem0")
+	var failed int
+	cb.run(func(p *sim.Proc) {
+		w, err := cb.queue.Submit(true, 0, pattern(4096, 5))
+		if err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+		cb.queue.Unplug()
+		if err := w.Wait(p); err != nil {
+			t.Fatalf("pre-crash write: %v", err)
+		}
+		p.Sleep(400 * sim.Microsecond) // outlast the scheduled crash
+		for i := 0; i < 4; i++ {
+			io, err := cb.queue.Submit(true, int64(i*8), pattern(4096, 5))
+			if err != nil {
+				failed++
+				continue
+			}
+			cb.queue.Unplug()
+			if io.Wait(p) != nil {
+				failed++
+			}
+		}
+	})
+	if failed == 0 {
+		t.Error("crash before traffic end produced no failures under fail-stop config")
+	}
+	if !cb.dev.Failed() {
+		t.Error("fail-stop device did not fail on server loss")
+	}
+}

@@ -21,6 +21,12 @@ var ErrDeviceFailed = errors.New("hpbd: device failed (server connection lost)")
 // ErrRemote reports a non-OK reply status from a server.
 var ErrRemote = errors.New("hpbd: remote error")
 
+// ErrServerLost reports that a request's server connection died, retries
+// were exhausted or impossible, and no fallback driver could absorb the
+// request. Unlike ErrDeviceFailed it is per-request: the device keeps
+// serving ranges whose servers survive.
+var ErrServerLost = errors.New("hpbd: server lost")
+
 // ClientConfig parameterizes the client block device driver.
 type ClientConfig struct {
 	// PoolBytes is the registration buffer pool size (paper default 1 MB,
@@ -68,7 +74,25 @@ type ClientConfig struct {
 	// requests outstanding longer than this, counts them in
 	// hpbd.timeouts, and dumps the flight recorder. Zero (the default)
 	// spawns no watchdog, leaving the simulation schedule untouched.
+	// With recovery enabled (MaxRetries/Fallback) the watchdog also
+	// cancels each overdue request and re-routes it (retry or fallback),
+	// so a wedged server cannot wedge the device forever.
 	RequestTimeout sim.Duration
+
+	// MaxRetries enables the recovery path: a physical request that
+	// fails transiently (send error) or times out is retried up to this
+	// many times with exponential backoff before degrading. Zero (the
+	// default) keeps the paper's fail-stop behavior: any completion
+	// error fails the whole device.
+	MaxRetries int
+	// RetryBackoff is the first retry's delay; attempt k waits
+	// RetryBackoff << (k-1). Zero defaults to 50us when MaxRetries > 0.
+	RetryBackoff sim.Duration
+	// Fallback, if non-nil, is a last-resort block driver (the paper's
+	// local-disk swap device): requests whose server is gone and whose
+	// retries are exhausted are absorbed here instead of failing.
+	// Setting Fallback also enables the recovery path.
+	Fallback blockdev.Driver
 
 	// The remaining fields flip the paper's design choices for ablation
 	// studies; all default to the paper's design (false/zero).
@@ -113,6 +137,9 @@ type DeviceStats struct {
 	RecvWakeups  int64 // receiver sleep->wakeup transitions
 	HybridLarge  int64 // requests routed to the register-on-the-fly fast path
 	Timeouts     int64 // requests the watchdog flagged as overdue
+	Retries      int64 // physical requests re-sent by the recovery path
+	LinkFailures int64 // server connections declared dead
+	Fallbacks    int64 // requests absorbed by the fallback driver
 }
 
 // deviceMetrics are the driver's registry handles, resolved once at
@@ -132,6 +159,26 @@ type deviceMetrics struct {
 	queueWait    *telemetry.Histogram // Submit enqueue -> sender dequeue
 	opWrite      *telemetry.Histogram // send posted -> reply handled
 	opRead       *telemetry.Histogram
+}
+
+// recoveryMetrics are the recovery path's registry handles. They are
+// resolved only when recovery is enabled so that a default-configured
+// device registers no extra metrics and its Summary() output stays
+// byte-identical to the fail-stop driver (the handles are nil-safe).
+type recoveryMetrics struct {
+	retries   *telemetry.Counter
+	linkFails *telemetry.Counter
+	fallbacks *telemetry.Counter
+	cancels   *telemetry.Counter
+}
+
+func newRecoveryMetrics(reg *telemetry.Registry) recoveryMetrics {
+	return recoveryMetrics{
+		retries:   reg.Counter("hpbd.retries"),
+		linkFails: reg.Counter("hpbd.link_failures"),
+		fallbacks: reg.Counter("hpbd.fallbacks"),
+		cancels:   reg.Counter("hpbd.timeout_cancels"),
+	}
 }
 
 func newDeviceMetrics(reg *telemetry.Registry) deviceMetrics {
@@ -163,6 +210,7 @@ type serverLink struct {
 	reqMR     *ib.MR // Credits control-message staging slots
 	recvMR    *ib.MR // Credits reply buffers
 	slot      int    // next reqMR slot (round-robin)
+	down      bool   // the recovery path declared this server dead
 }
 
 // parentReq tracks one block-layer request across its physical requests.
@@ -185,6 +233,8 @@ type phys struct {
 	mr      *ib.MR // hybrid path: per-request registered payload buffer
 	handle  uint64
 	sent    bool
+	devByte int64 // absolute device byte offset (fallback addressing)
+	attempt int   // recovery re-sends already performed
 
 	timedOut bool     // the watchdog already flagged this request
 	flowID   uint64   // block-layer request id, threads the causal flow
@@ -216,11 +266,17 @@ type Device struct {
 	pending map[uint64]*phys
 	nextH   uint64
 	sleepQ  *sim.WaitQueue
-	failed  bool
-	tel     *telemetry.Registry
-	met     deviceMetrics
-	tracer  *telemetry.Tracer
-	lc      *telemetry.Lifecycle
+	// wdQ parks the watchdog while no requests are in flight.
+	wdQ    *sim.WaitQueue
+	failed bool
+	tel    *telemetry.Registry
+	met    deviceMetrics
+	rmet   recoveryMetrics
+	tracer *telemetry.Tracer
+	lc     *telemetry.Lifecycle
+
+	downLinks int            // count of links the recovery path failed
+	fbHeld    map[int64]bool // sectors whose authoritative copy is on Fallback
 
 	hybridThr     int      // requests >= this register on the fly (0: hybrid off)
 	mrc           *mrCache // nil unless HybridDataPath
@@ -255,10 +311,17 @@ func NewDevice(f *ib.Fabric, name string, cfg ClientConfig) *Device {
 		sendQ:   sim.NewChan[*phys](env, 0),
 		pending: make(map[uint64]*phys),
 		sleepQ:  sim.NewWaitQueue(env),
+		wdQ:     sim.NewWaitQueue(env),
 	}
 	d.doorbellBatch = cfg.DoorbellBatch
 	if d.doorbellBatch > cfg.Credits {
 		d.doorbellBatch = cfg.Credits
+	}
+	if d.recovery() {
+		d.rmet = newRecoveryMetrics(tel)
+		if d.cfg.Fallback != nil {
+			d.fbHeld = make(map[int64]bool)
+		}
 	}
 	if cfg.HybridDataPath {
 		d.hybridThr = cfg.HybridThresholdBytes
@@ -315,8 +378,21 @@ func (d *Device) Stats() DeviceStats {
 		RecvWakeups:  d.met.recvWakeups.Value(),
 		HybridLarge:  d.met.hybridLarge.Value(),
 		Timeouts:     d.met.timeouts.Value(),
+		Retries:      d.rmet.retries.Value(),
+		LinkFailures: d.rmet.linkFails.Value(),
+		Fallbacks:    d.rmet.fallbacks.Value(),
 	}
 }
+
+// recovery reports whether the device runs the recovery path (retries,
+// per-link failover, fallback) instead of the paper's fail-stop design.
+func (d *Device) recovery() bool {
+	return d.cfg.MaxRetries > 0 || d.cfg.Fallback != nil
+}
+
+// DownLinks returns the number of server connections the recovery path
+// has declared dead.
+func (d *Device) DownLinks() int { return d.downLinks }
 
 // Lifecycle returns the device's request-lifecycle analyzer (nil when
 // disabled via FlightRecEntries < 0).
@@ -369,10 +445,11 @@ func (d *Device) ConnectServer(srv *Server, areaBytes int64) error {
 
 // seg is one piece of a split request.
 type seg struct {
-	link   *serverLink
-	offset int64 // within the server area
-	off    int   // within the parent request
-	length int
+	link    *serverLink
+	offset  int64 // within the server area
+	off     int   // within the parent request
+	length  int
+	devByte int64 // absolute device byte offset of this piece
 }
 
 // split maps a contiguous byte range of the device onto server areas
@@ -399,7 +476,7 @@ func (d *Device) split(start int64, n int) []seg {
 		if take > avail {
 			take = avail
 		}
-		out = append(out, seg{link: link, offset: start - link.startByte, off: reqOff, length: take})
+		out = append(out, seg{link: link, offset: start - link.startByte, off: reqOff, length: take, devByte: start})
 		start += int64(take)
 		reqOff += take
 		n -= take
@@ -427,7 +504,7 @@ func (d *Device) splitStriped(start int64, n int) []seg {
 		if areaOff+int64(take) > link.size {
 			return nil
 		}
-		out = append(out, seg{link: link, offset: areaOff, off: reqOff, length: take})
+		out = append(out, seg{link: link, offset: areaOff, off: reqOff, length: take, devByte: start})
 		start += int64(take)
 		reqOff += take
 		n -= take
@@ -469,9 +546,34 @@ func (d *Device) Submit(p *sim.Proc, r *blockdev.Request) {
 			offset:   sg.offset,
 			off:      sg.off,
 			length:   sg.length,
+			devByte:  sg.devByte,
 			flowID:   r.ID(),
 			blkAt:    r.QueuedAt(),
 			submitAt: p.Now(),
+		}
+		if sg.link.down {
+			// The server backing this range is gone: skip the pool and
+			// the wire entirely and degrade immediately (fallback driver
+			// or per-request error). poolOff -1 marks "no payload held".
+			ph.poolOff = -1
+			var data []byte
+			if r.Write {
+				data = wdata[sg.off : sg.off+sg.length]
+			}
+			d.routeDegraded(ph, data)
+			continue
+		}
+		if !r.Write && d.fallbackCovers(sg.devByte, sg.length) {
+			// The authoritative copy lives on the fallback: a write was
+			// absorbed there while the server was unreachable or wedged,
+			// so the server's copy (if any) is stale even though the
+			// link is up. Served from the fallback until a fresh server
+			// write clears the hold. Swap I/O is page-granular, so a
+			// read either matches an absorbed write's range exactly or
+			// not at all — partial coverage does not arise.
+			ph.poolOff = -1
+			d.routeDegraded(ph, nil)
+			continue
 		}
 		if d.mrc != nil && sg.length >= d.hybridThr {
 			// Hybrid fast path: at or above the Fig. 3 crossover the
@@ -513,6 +615,9 @@ func (d *Device) Submit(p *sim.Proc, r *blockdev.Request) {
 		d.pending[ph.handle] = ph
 		d.sendQ.Send(p, ph)
 	}
+	// An armed watchdog parks while nothing is in flight; wake it now
+	// that pending is (possibly) non-empty.
+	d.wdQ.WakeAll()
 }
 
 // releasePayload returns a request's payload buffer to its source: the MR
@@ -598,6 +703,14 @@ func (d *Device) sendOne(p *sim.Proc, ph *phys) {
 		}
 		return
 	}
+	if ph.link.down {
+		// The link died while this request sat in the send queue.
+		if _, pending := d.pending[ph.handle]; pending {
+			delete(d.pending, ph.handle)
+			d.retryOrRoute(ph)
+		}
+		return
+	}
 	ph.deqAt = p.Now()
 	d.met.queueWait.Observe(ph.deqAt.Sub(ph.enqAt))
 	if !ph.link.credits.TryAcquire(1) {
@@ -607,12 +720,27 @@ func (d *Device) sendOne(p *sim.Proc, ph *phys) {
 		stall.End()
 	}
 	ph.creditAt = p.Now()
+	if ph.link.down {
+		// The link died during the credit stall.
+		ph.link.credits.Release(1)
+		if _, pending := d.pending[ph.handle]; pending {
+			delete(d.pending, ph.handle)
+			d.retryOrRoute(ph)
+		}
+		return
+	}
 	seg := d.marshalReq(ph)
 	// Mark in flight before posting: a failure during the post must
 	// not leave the request unaccounted.
 	ph.sent = true
 	err := ph.link.qp.PostSend(p, ib.SendWR{ID: ph.handle, Op: ib.OpSend, Local: seg, Flow: ph.flowID})
 	if err != nil {
+		if d.recovery() {
+			// A rejected post means the QP is gone; failLink requeues
+			// this request (it is sent+pending) with the others.
+			d.failLink(ph.link)
+			return
+		}
 		if _, pending := d.pending[ph.handle]; pending {
 			delete(d.pending, ph.handle)
 			d.releasePayload(p, ph)
@@ -653,6 +781,13 @@ func (d *Device) sendChained(p *sim.Proc, batch []*phys) {
 			}
 			continue
 		}
+		if ph.link.down {
+			if _, pending := d.pending[ph.handle]; pending {
+				delete(d.pending, ph.handle)
+				d.retryOrRoute(ph)
+			}
+			continue
+		}
 		ph.deqAt = p.Now()
 		d.met.queueWait.Observe(ph.deqAt.Sub(ph.enqAt))
 		live = append(live, ph)
@@ -662,6 +797,14 @@ func (d *Device) sendChained(p *sim.Proc, batch []*phys) {
 		var items []*phys
 		for _, ph := range live {
 			if ph.link != link {
+				continue
+			}
+			if link.down {
+				// The link died mid-batch (during an earlier credit stall).
+				if _, pending := d.pending[ph.handle]; pending {
+					delete(d.pending, ph.handle)
+					d.retryOrRoute(ph)
+				}
 				continue
 			}
 			if !link.credits.TryAcquire(1) {
@@ -680,6 +823,12 @@ func (d *Device) sendChained(p *sim.Proc, batch []*phys) {
 		}
 		err := link.qp.PostSendBatch(p, wrs)
 		if err != nil {
+			if d.recovery() {
+				// The QP is gone; failLink requeues every chained request
+				// (each is sent+pending) and releases its credit.
+				d.failLink(link)
+				continue
+			}
 			for _, ph := range items {
 				if _, pending := d.pending[ph.handle]; pending {
 					delete(d.pending, ph.handle)
@@ -726,8 +875,7 @@ func (d *Device) receiver(p *sim.Proc) {
 			}
 		}
 		if e.Status != ib.StatusSuccess {
-			// A failed send or flushed receive means a server is gone.
-			d.fail()
+			d.handleErrorCQE(e)
 			continue
 		}
 		if e.Op != ib.OpRecv {
@@ -735,6 +883,36 @@ func (d *Device) receiver(p *sim.Proc) {
 		}
 		d.handleReply(p, e)
 	}
+}
+
+// handleErrorCQE classifies a completion error. Without recovery it is
+// the paper's fail-stop design: any error fails the device. With
+// recovery, a flushed completion means the peer is gone (fail only that
+// link and requeue its in-flight requests) while a transient send error
+// (RNR or an injected QP fault — the request never reached the server)
+// releases the credit and retries the request with backoff.
+func (d *Device) handleErrorCQE(e ib.CQE) {
+	if !d.recovery() {
+		// A failed send or flushed receive means a server is gone.
+		d.fail()
+		return
+	}
+	link := d.byQP[e.QP]
+	if link == nil {
+		d.fail()
+		return
+	}
+	if e.Op == ib.OpRecv || e.Status == ib.StatusFlushErr {
+		d.failLink(link)
+		return
+	}
+	ph, ok := d.pending[e.WRID]
+	if !ok || ph.link != link {
+		return // already canceled or rerouted
+	}
+	delete(d.pending, e.WRID)
+	link.credits.Release(1)
+	d.retryOrRoute(ph)
 }
 
 func (d *Device) handleReply(p *sim.Proc, e ib.CQE) {
@@ -797,6 +975,10 @@ func (d *Device) handleReply(p *sim.Proc, e ib.CQE) {
 			p.Sleep(d.mem.Deregister())
 		}
 		d.met.bytesWritten.Add(int64(ph.length))
+		// A server-acknowledged write makes the server copy authoritative
+		// again for this range; drop any fallback hold left by an earlier
+		// absorbed write.
+		d.clearFallbackHold(ph.devByte, ph.length)
 	}
 	if d.tracer != nil {
 		name := "read"
@@ -827,14 +1009,15 @@ func (d *Device) recordLifecycle(p *sim.Proc, ph *phys, replyAt sim.Time, ferr e
 	}
 	now := p.Now()
 	rec := telemetry.ReqRecord{
-		ID:     ph.handle,
-		Flow:   ph.flowID,
-		Write:  ph.write,
-		Err:    ferr != nil,
-		Bytes:  ph.length,
-		Server: ph.link.srv.Name(),
-		Start:  ph.blkAt,
-		End:    now,
+		ID:      ph.handle,
+		Flow:    ph.flowID,
+		Write:   ph.write,
+		Err:     ferr != nil,
+		Bytes:   ph.length,
+		Server:  ph.link.srv.Name(),
+		Start:   ph.blkAt,
+		End:     now,
+		Retries: retryCount(ph.attempt),
 	}
 	// Queueing is two segments: block layer -> driver dispatch, and the
 	// driver's own send queue. Only the sum must partition.
@@ -880,15 +1063,25 @@ func (d *Device) finishPhys(ph *phys, err error) {
 // watchdog periodically scans the pending table for overdue requests
 // (outstanding longer than RequestTimeout): each is counted once in
 // hpbd.timeouts and triggers one flight-recorder dump, so a wedged server
-// leaves the last N request records in the log. It only reads the virtual
-// clock and never completes requests itself, so arming it does not change
-// request timing; it is only spawned when RequestTimeout > 0.
+// leaves the last N request records in the log. Without recovery it only
+// reads the virtual clock and never completes requests, so arming it does
+// not change request timing; with recovery enabled it also cancels each
+// overdue in-flight request — releasing its credit and handing it to
+// retryOrRoute — so a wedged server no longer wedges the device forever.
+// It is only spawned when RequestTimeout > 0.
 func (d *Device) watchdog(p *sim.Proc) {
 	period := d.cfg.RequestTimeout / 2
 	if period <= 0 {
 		period = d.cfg.RequestTimeout
 	}
 	for {
+		// Park event-free while nothing is in flight (or the device is
+		// dead): a sleeping loop would keep the simulation's event queue
+		// non-empty forever and Env.Run would never drain. Submit wakes
+		// the queue when requests appear.
+		for len(d.pending) == 0 || d.failed {
+			d.wdQ.Wait(p)
+		}
 		p.Sleep(period)
 		if d.failed {
 			continue
@@ -911,8 +1104,265 @@ func (d *Device) watchdog(p *sim.Proc) {
 			d.lc.Flight().DumpOnEvent(fmt.Sprintf(
 				"request timeout: handle=%d flow=%d server=%s age=%v",
 				ph.handle, ph.flowID, ph.link.srv.Name(), age))
+			if d.recovery() && ph.sent {
+				// Cancel and re-route. A late reply to the old handle is
+				// ignored by handleReply's pending-miss path (which also
+				// leaves the credit alone — it is released here).
+				delete(d.pending, h)
+				ph.link.credits.Release(1)
+				d.rmet.cancels.Inc()
+				d.tracer.InstantArgs(d.name, "timeout-cancel", map[string]any{
+					"handle": h, "server": ph.link.srv.Name(),
+				})
+				d.retryOrRoute(ph)
+			}
 		}
 	}
+}
+
+// failLink declares one server connection dead: in-flight requests on it
+// are requeued through retryOrRoute (which degrades them, since the link
+// is down) and future Submits route around it. When every link is down
+// and there is no fallback, the whole device fails. Idempotent — flushed
+// completions from the closed QP funnel back here.
+func (d *Device) failLink(link *serverLink) {
+	if link.down || d.failed {
+		return
+	}
+	link.down = true
+	d.downLinks++
+	d.rmet.linkFails.Inc()
+	d.tracer.InstantArgs(d.name, "link-failed", map[string]any{"server": link.srv.Name()})
+	d.lc.Flight().DumpOnEvent(fmt.Sprintf(
+		"server %s lost: %d link(s) down, rerouting in-flight requests",
+		link.srv.Name(), d.downLinks))
+	if !link.qp.Closed() {
+		link.qp.Close()
+	}
+	if d.downLinks == len(d.links) && d.cfg.Fallback == nil {
+		d.fail()
+		return
+	}
+	// Requeue the sent in-flight requests of this link in handle order
+	// (completing a phys can complete its parent and wake its issuer, so
+	// the order must not inherit map order). Unsent queued requests are
+	// cleaned up by the sender on dequeue.
+	handles := make([]uint64, 0, len(d.pending))
+	for h, ph := range d.pending {
+		if ph.link == link && ph.sent {
+			handles = append(handles, h)
+		}
+	}
+	sort.Slice(handles, func(i, j int) bool { return handles[i] < handles[j] })
+	for _, h := range handles {
+		ph := d.pending[h]
+		delete(d.pending, h)
+		link.credits.Release(1)
+		d.retryOrRoute(ph)
+	}
+}
+
+// retryOrRoute decides what happens to a request that failed in flight:
+// retry with exponential backoff on its own (live) link while attempts
+// remain, otherwise degrade to the fallback driver / per-request error.
+// The caller has already removed ph from pending and released its
+// credit; the payload buffer is still held (a retry re-sends it).
+func (d *Device) retryOrRoute(ph *phys) {
+	if !ph.link.down && ph.attempt < d.cfg.MaxRetries {
+		ph.attempt++
+		d.rmet.retries.Inc()
+		backoff := d.cfg.RetryBackoff
+		if backoff <= 0 {
+			backoff = 50 * sim.Microsecond
+		}
+		backoff <<= uint(ph.attempt - 1)
+		d.tracer.InstantArgs(d.name, "retry", map[string]any{
+			"handle": ph.handle, "attempt": ph.attempt, "backoff_us": backoff.Micros(),
+		})
+		// A fresh handle isolates this attempt from any late reply to the
+		// previous one (handleReply drops unknown handles on the floor).
+		d.nextH++
+		ph.handle = d.nextH
+		ph.sent = false
+		ph.timedOut = false
+		d.env.After(backoff, func() {
+			if d.failed {
+				d.releasePayload(nil, ph)
+				d.finishPhys(ph, ErrDeviceFailed)
+				return
+			}
+			if ph.link.down {
+				data := d.extractPayload(ph)
+				d.routeDegraded(ph, data)
+				return
+			}
+			ph.enqAt = d.env.Now()
+			d.pending[ph.handle] = ph
+			d.sendQ.TrySend(ph)
+			d.wdQ.WakeAll()
+		})
+		return
+	}
+	data := d.extractPayload(ph)
+	d.routeDegraded(ph, data)
+}
+
+// extractPayload copies a write's payload out of the pool/MR and returns
+// the buffers; the returned slice backs the degraded-path write. Reads
+// just release (their data was never produced).
+func (d *Device) extractPayload(ph *phys) []byte {
+	var data []byte
+	if ph.write {
+		data = make([]byte, ph.length)
+		if ph.mr != nil {
+			copy(data, ph.mr.Buf[:ph.length])
+		} else {
+			copy(data, d.poolMR.Buf[ph.poolOff:ph.poolOff+ph.length])
+		}
+	}
+	d.releasePayload(nil, ph)
+	ph.poolOff = -1
+	return data
+}
+
+// routeDegraded completes ph outside the RDMA path: through the fallback
+// driver when it can absorb the request, otherwise with ErrServerLost.
+// The payload buffer must already be released (data carries a write's
+// bytes). Runs from proc or scheduler context; fallback I/O happens in a
+// spawned process so no caller ever blocks on the fallback device.
+func (d *Device) routeDegraded(ph *phys, data []byte) {
+	fb := d.cfg.Fallback
+	if ph.write {
+		if fb != nil {
+			d.rmet.fallbacks.Inc()
+			d.tracer.InstantArgs(d.name, "fallback-write", map[string]any{"bytes": ph.length})
+			d.env.Go(d.name+"-fbw", func(p *sim.Proc) {
+				fr := blockdev.NewRequest(d.env, true, ph.devByte/blockdev.SectorSize, data)
+				fb.Submit(p, fr)
+				err := fr.Wait(p)
+				if err == nil {
+					d.holdOnFallback(ph.devByte, ph.length)
+				}
+				d.finishDegraded(ph, err, "fallback")
+			})
+			return
+		}
+		d.finishDegraded(ph, ErrServerLost, ph.link.srv.Name())
+		return
+	}
+	if fb != nil && d.fallbackCovers(ph.devByte, ph.length) {
+		d.rmet.fallbacks.Inc()
+		d.tracer.InstantArgs(d.name, "fallback-read", map[string]any{"bytes": ph.length})
+		d.env.Go(d.name+"-fbr", func(p *sim.Proc) {
+			buf := make([]byte, ph.length)
+			fr := blockdev.NewRequest(d.env, false, ph.devByte/blockdev.SectorSize, buf)
+			fb.Submit(p, fr)
+			err := fr.Wait(p)
+			if err == nil {
+				// The fallback driver scattered into buf (the standalone
+				// request's only IO buffer).
+				copy(ph.parent.readBuf[ph.off:], buf)
+			}
+			d.finishDegraded(ph, err, "fallback")
+		})
+		return
+	}
+	// The authoritative copy died with the server (single-copy device;
+	// mirrored cluster configurations mask this at the RAID layer).
+	d.finishDegraded(ph, ErrServerLost, ph.link.srv.Name())
+}
+
+// holdOnFallback marks the sectors of [devByte, devByte+n) as living on
+// the fallback device, making them readable through routeDegraded.
+func (d *Device) holdOnFallback(devByte int64, n int) {
+	for s := devByte / blockdev.SectorSize; s < (devByte+int64(n))/blockdev.SectorSize; s++ {
+		d.fbHeld[s] = true
+	}
+}
+
+// clearFallbackHold removes the fallback-authority marks for
+// [devByte, devByte+n) after the range was successfully rewritten on a
+// server.
+func (d *Device) clearFallbackHold(devByte int64, n int) {
+	if len(d.fbHeld) == 0 {
+		return
+	}
+	for s := devByte / blockdev.SectorSize; s < (devByte+int64(n))/blockdev.SectorSize; s++ {
+		delete(d.fbHeld, s)
+	}
+}
+
+// fallbackCovers reports whether every sector of [devByte, devByte+n)
+// has its authoritative copy on the fallback device.
+func (d *Device) fallbackCovers(devByte int64, n int) bool {
+	if d.fbHeld == nil {
+		return false
+	}
+	for s := devByte / blockdev.SectorSize; s < (devByte+int64(n))/blockdev.SectorSize; s++ {
+		if !d.fbHeld[s] {
+			return false
+		}
+	}
+	return true
+}
+
+// finishDegraded records a degraded-path lifecycle record (stages still
+// partition [Start, End] exactly: everything after dispatch is drain
+// time) and completes the physical request.
+func (d *Device) finishDegraded(ph *phys, err error, server string) {
+	now := d.env.Now()
+	if d.lc != nil {
+		rec := telemetry.ReqRecord{
+			ID:      ph.handle,
+			Flow:    ph.flowID,
+			Write:   ph.write,
+			Err:     err != nil,
+			Bytes:   ph.length,
+			Server:  server,
+			Start:   ph.blkAt,
+			End:     now,
+			Retries: retryCount(ph.attempt),
+		}
+		rec.Stages[telemetry.StageQueue] = ph.submitAt.Sub(ph.blkAt)
+		rec.Stages[telemetry.StageDrain] = now.Sub(ph.submitAt)
+		d.lc.Record(&rec)
+	}
+	d.finishPhys(ph, err)
+}
+
+// retryCount clamps an attempt count into the record's uint8.
+func retryCount(n int) uint8 {
+	if n > 255 {
+		return 255
+	}
+	return uint8(n)
+}
+
+// ExhaustPool implements the faultsim client fault surface: it grabs the
+// entire registration pool for dur, so arriving requests stall on the
+// allocator (and hybrid-path devices cut over to on-the-fly MRs). The
+// allocations are returned in one burst when the window closes.
+func (d *Device) ExhaustPool(dur sim.Duration) {
+	var offs []int
+	for {
+		n := d.pool.LargestFree()
+		if n <= 0 {
+			break
+		}
+		off, err := d.pool.TryAlloc(n)
+		if err != nil {
+			break
+		}
+		offs = append(offs, off)
+	}
+	d.tracer.InstantArgs(d.name, "pool-exhaust", map[string]any{
+		"grabbed": len(offs), "dur_us": dur.Micros(),
+	})
+	d.env.After(dur, func() {
+		for _, off := range offs {
+			d.pool.Free(off)
+		}
+	})
 }
 
 // fail moves the device to the failed state and errors out all pending

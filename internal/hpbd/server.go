@@ -140,6 +140,20 @@ type Server struct {
 	met       serverMetrics
 	tracer    *telemetry.Tracer
 	lc        *telemetry.Lifecycle
+
+	// Fault-injection state (driven by internal/faultsim).
+	crashed     bool
+	hangUntil   sim.Time
+	starveUntil sim.Time
+	starved     []starvedRecv // receive buffers withheld during starvation
+}
+
+// starvedRecv records one receive buffer whose repost was withheld by an
+// active StarveRecv fault.
+type starvedRecv struct {
+	conn *clientConn
+	wrid uint64
+	slot int
 }
 
 // NewServer creates a memory server on the fabric and starts its daemon
@@ -237,10 +251,71 @@ func (s *Server) DropClients() {
 	}
 }
 
+// Crash kills the server permanently: every client QP closes (posted
+// receives flush into the clients) and subsequent attaches are refused.
+// Idempotent, so a schedule may crash an already-crashed server.
+func (s *Server) Crash() {
+	if s.crashed {
+		return
+	}
+	s.crashed = true
+	s.tracer.Instant(s.name, "crash")
+	s.DropClients()
+}
+
+// Crashed reports whether the server has been crashed.
+func (s *Server) Crashed() bool { return s.crashed }
+
+// HangFor wedges the server for d of sim-time: requests keep being
+// accepted and processed, but no reply leaves until the hang lifts.
+// Overlapping hangs extend to the latest deadline.
+func (s *Server) HangFor(d sim.Duration) {
+	until := s.env.Now().Add(d)
+	if until > s.hangUntil {
+		s.hangUntil = until
+	}
+	s.tracer.InstantArgs(s.name, "hang", map[string]any{"dur_us": d.Micros()})
+}
+
+// StarveRecv stops receive-buffer reposting for d: arriving requests
+// are still served, but their buffers are withheld, so the client's
+// credit window drains and its senders stall on flow control.
+func (s *Server) StarveRecv(d sim.Duration) {
+	until := s.env.Now().Add(d)
+	if until > s.starveUntil {
+		s.starveUntil = until
+	}
+	s.tracer.InstantArgs(s.name, "starve-recv", map[string]any{"dur_us": d.Micros()})
+	s.env.After(d, s.repostStarved)
+}
+
+// repostStarved returns withheld receive buffers once the starvation
+// window has passed (a later StarveRecv extends the window; the earlier
+// callback then finds it still active and leaves the work to the later
+// one). Reposts happen in withholding order, never map order.
+func (s *Server) repostStarved() {
+	if s.env.Now() < s.starveUntil {
+		return
+	}
+	for _, sr := range s.starved {
+		if sr.conn.qp.Closed() {
+			continue
+		}
+		_ = sr.conn.qp.PostRecv(ib.RecvWR{
+			ID:    sr.wrid,
+			Local: ib.Segment{MR: sr.conn.recvMR, Off: sr.slot * wire.RequestSize, Len: wire.RequestSize},
+		})
+	}
+	s.starved = s.starved[:0]
+}
+
 // attach allocates an area of size bytes for a client and wires a QP; it
 // is called by the client's ConnectServer during device setup (standing in
 // for the paper's socket-based QP information exchange).
 func (s *Server) attach(clientQP *ib.QP, size int64) (*ib.QP, int64, error) {
+	if s.crashed {
+		return nil, 0, fmt.Errorf("hpbd: server %s is down", s.name)
+	}
 	if s.nextArea+size > s.cfg.StoreBytes {
 		return nil, 0, fmt.Errorf("hpbd: server %s cannot export %d bytes (%d free)", s.name, size, s.FreeBytes())
 	}
@@ -301,7 +376,11 @@ func (s *Server) handleRecvCQE(p *sim.Proc, e ib.CQE) {
 	buf := conn.recvMR.Buf[slot*wire.RequestSize : (slot+1)*wire.RequestSize]
 	req, err := wire.UnmarshalRequest(buf)
 	// Repost the receive buffer immediately; the request is decoded out.
-	if perr := conn.qp.PostRecv(ib.RecvWR{
+	// Under an active receive-starvation fault the repost is withheld
+	// instead (the request is still served), draining client credits.
+	if s.env.Now() < s.starveUntil {
+		s.starved = append(s.starved, starvedRecv{conn: conn, wrid: e.WRID, slot: slot})
+	} else if perr := conn.qp.PostRecv(ib.RecvWR{
 		ID:    e.WRID,
 		Local: ib.Segment{MR: conn.recvMR, Off: slot * wire.RequestSize, Len: wire.RequestSize},
 	}); perr != nil {
@@ -462,6 +541,13 @@ func (s *Server) worker(p *sim.Proc, wname string) {
 			s.tracer.FlowStep(wname, "req", flow)
 		}
 		reply := func(st wire.Status) {
+			// An active hang fault wedges the reply (and its stamp) until
+			// the deadline; sleeping before StampServer keeps the client's
+			// exact stage partition intact — the hang shows up as server
+			// time, which is where it was actually spent.
+			if s.hangUntil > p.Now() {
+				p.Sleep(s.hangUntil.Sub(p.Now()))
+			}
 			lc.StampServer(req.Handle, telemetry.ServerStamp{
 				Start: wstart, Reply: p.Now(), Copy: copyNs,
 			})

@@ -120,12 +120,29 @@ func DefaultConfig() Config {
 	}
 }
 
+// FaultHook lets a fault injector intercept send-side work requests as
+// they issue. SendFault is consulted once per WR with the posting HCA's
+// name and the opcode; it returns an extra latency to add to the
+// operation and a status. A non-success status aborts the operation:
+// the peer never sees it and the sender's CQ receives an error CQE
+// after EventDelay+extra — modeling a local QP/send failure (NAK,
+// retry-exhausted timeout) deterministically in sim-time.
+type FaultHook interface {
+	SendFault(hca string, op Opcode) (extra sim.Duration, st Status)
+}
+
 // Fabric is a switched InfiniBand network.
 type Fabric struct {
-	env  *sim.Env
-	cfg  Config
-	hcas []*HCA
+	env   *sim.Env
+	cfg   Config
+	hcas  []*HCA
+	fault FaultHook
 }
+
+// SetFaultHook installs h as the fabric's fault injector (nil removes
+// it). With no hook installed the data path is byte-identical to an
+// un-instrumented fabric.
+func (f *Fabric) SetFaultHook(h FaultHook) { f.fault = h }
 
 // NewFabric creates a fabric on env with the given configuration.
 func NewFabric(env *sim.Env, cfg Config) *Fabric {

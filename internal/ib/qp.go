@@ -192,12 +192,29 @@ func (q *QP) issue(wr SendWR) {
 	src, dst := q.hca, q.peer.hca
 	now := env.Now()
 
+	// Fault injection point: every send-side WR passes through the hook
+	// before any timing state mutates, so an aborted WR leaves the
+	// egress/ingress serialization clocks untouched.
+	var extra sim.Duration
+	if h := q.hca.fabric.fault; h != nil {
+		var st Status
+		extra, st = h.SendFault(src.name, wr.Op)
+		if st != StatusSuccess {
+			n := wr.Local.Len
+			env.After(cfg.EventDelay+extra, func() {
+				q.sendCQ.push(CQE{WRID: wr.ID, Op: wr.Op, Status: st, QP: q, ByteLen: n})
+				q.traceComplete(wr.Op, now, n, wr.Flow)
+			})
+			return
+		}
+	}
+
 	switch wr.Op {
 	case OpSend, OpRDMAWrite:
 		payload := clone(wr.Local.bytes())
 		n := len(payload)
 		// QP context fetch penalties on both adapters.
-		start := now.Add(src.qpPenalty(q))
+		start := now.Add(src.qpPenalty(q)).Add(extra)
 		egStart := maxTime(start, src.egressFree)
 		egDone := egStart.Add(cfg.Link.BW.Over(n))
 		src.egressFree = egDone
@@ -224,7 +241,7 @@ func (q *QP) issue(wr SendWR) {
 	case OpRDMARead:
 		// Request travels to the responder, then data streams back.
 		n := wr.Local.Len
-		start := now.Add(src.qpPenalty(q))
+		start := now.Add(src.qpPenalty(q)).Add(extra)
 		reqArrive := maxTime(start, src.egressFree).Add(cfg.Link.BW.Over(32)).Add(cfg.Link.Prop)
 		peer := q.peer
 		env.After(reqArrive.Sub(now), func() {

@@ -20,6 +20,7 @@ func TestFixtures(t *testing.T) {
 		fixture string
 	}{
 		{lint.Walltime, "walltime"},
+		{lint.Walltime, "faultsimtime"},
 		{lint.Globalrand, "globalrand"},
 		{lint.Mapiter, "mapiter"},
 		{lint.Simblock, "simblock"},

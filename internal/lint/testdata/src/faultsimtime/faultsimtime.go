@@ -1,0 +1,53 @@
+// Fixture pinning the determinism contract for fault injection: a fault
+// injector must schedule and measure on virtual sim-time only. Wall-clock
+// reads anywhere in the injection or recovery path would make fault
+// replays non-reproducible, so they are flagged; the injector-shaped
+// sim-time code below must stay silent.
+package faultsimtime
+
+import (
+	"time"
+
+	"hpbd/internal/sim"
+)
+
+// fault mirrors the shape of faultsim.Fault: everything is sim-typed.
+type fault struct {
+	at  sim.Duration
+	dur sim.Duration
+}
+
+// badInjector schedules faults off the wall clock — every read flagged.
+func badInjector(faults []fault) {
+	start := time.Now() // want "wall-clock call time.Now"
+	for range faults {
+		time.Sleep(time.Millisecond) // want "wall-clock call time.Sleep"
+	}
+	_ = time.Since(start)          // want "wall-clock call time.Since"
+	<-time.After(time.Millisecond) // want "wall-clock call time.After"
+}
+
+// goodInjector is the real shape: a sim proc sleeps virtual durations
+// between injections and stamps everything with the virtual clock.
+func goodInjector(env *sim.Env, faults []fault) {
+	env.Go("faultsim", func(p *sim.Proc) {
+		var now sim.Duration
+		for _, f := range faults {
+			if f.at > now {
+				p.Sleep(f.at - now) // virtual sleep: fine
+				now = f.at
+			}
+			_ = p.Now()   // virtual clock: fine
+			_ = env.Now() // virtual clock: fine
+			_ = f.dur
+		}
+	})
+}
+
+// goodTypes shows time *types* and constants remain usable (the wire
+// format and CLI flags parse durations); only wall-clock *reads* are
+// contraband.
+func goodTypes() time.Duration {
+	const horizon = 10 * time.Millisecond
+	return horizon
+}

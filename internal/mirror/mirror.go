@@ -13,6 +13,7 @@ import (
 
 	"hpbd/internal/blockdev"
 	"hpbd/internal/sim"
+	"hpbd/internal/telemetry"
 )
 
 // Errors.
@@ -39,6 +40,14 @@ type Device struct {
 	primaryDown   bool
 	secondaryDown bool
 	stats         Stats
+
+	// Optional telemetry, wired by SetTelemetry. All handles are nil-safe
+	// so the default (untelemetered) mirror emits nothing.
+	mWrites    *telemetry.Counter
+	mReads     *telemetry.Counter
+	mFailovers *telemetry.Counter
+	mDegraded  *telemetry.Counter
+	tracer     *telemetry.Tracer
 }
 
 // New builds a mirror over two equally sized children.
@@ -47,6 +56,21 @@ func New(env *sim.Env, name string, primary, secondary blockdev.Driver) (*Device
 		return nil, fmt.Errorf("%w: %d vs %d sectors", ErrSizeMismatch, primary.Sectors(), secondary.Sectors())
 	}
 	return &Device{env: env, name: name, primary: primary, secondary: secondary}, nil
+}
+
+// SetTelemetry registers the mirror's counters with reg and routes
+// replica-loss events to its tracer. Only fault-aware configurations
+// call this, so default summaries are unchanged. A nil registry is a
+// no-op.
+func (m *Device) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	m.mWrites = reg.Counter("mirror.writes")
+	m.mReads = reg.Counter("mirror.reads")
+	m.mFailovers = reg.Counter("mirror.read_failovers")
+	m.mDegraded = reg.Counter("mirror.degraded_writes")
+	m.tracer = reg.Tracer()
 }
 
 // Name implements blockdev.Driver.
@@ -75,6 +99,7 @@ func (m *Device) Submit(p *sim.Proc, r *blockdev.Request) {
 // degraded), and fails only when both are gone.
 func (m *Device) submitWrite(p *sim.Proc, r *blockdev.Request) {
 	m.stats.Writes++
+	m.mWrites.Inc()
 	data := r.Data()
 	var reqs [2]*blockdev.Request
 	var down [2]*bool
@@ -110,7 +135,10 @@ func (m *Device) submitWrite(p *sim.Proc, r *blockdev.Request) {
 			continue
 		}
 		if err := req.Wait(p); err != nil {
-			*down[i] = true
+			if !*down[i] {
+				*down[i] = true
+				m.markReplicaDown(i, "write")
+			}
 		} else {
 			okCount++
 		}
@@ -121,13 +149,28 @@ func (m *Device) submitWrite(p *sim.Proc, r *blockdev.Request) {
 	}
 	if m.Degraded() {
 		m.stats.DegradedWrites++
+		m.mDegraded.Inc()
 	}
 	r.Complete(nil)
+}
+
+// markReplicaDown emits the replica-loss trace instant; side is 0 for
+// the primary and 1 for the secondary.
+func (m *Device) markReplicaDown(side int, op string) {
+	if m.tracer == nil {
+		return
+	}
+	which := "primary"
+	if side == 1 {
+		which = "secondary"
+	}
+	m.tracer.InstantArgs(m.name, "replica-down", map[string]any{"replica": which, "op": op})
 }
 
 // submitRead serves from the primary and fails over to the secondary.
 func (m *Device) submitRead(p *sim.Proc, r *blockdev.Request) {
 	m.stats.Reads++
+	m.mReads.Inc()
 	order := []struct {
 		drv  blockdev.Driver
 		down *bool
@@ -143,9 +186,13 @@ func (m *Device) submitRead(p *sim.Proc, r *blockdev.Request) {
 		req := blockdev.NewRequest(m.env, false, r.Sector, buf)
 		c.drv.Submit(p, req)
 		if err := req.Wait(p); err != nil {
-			*c.down = true
+			if !*c.down {
+				*c.down = true
+				m.markReplicaDown(i, "read")
+			}
 			if i == 0 {
 				m.stats.ReadFailovers++
+				m.mFailovers.Inc()
 			}
 			continue
 		}

@@ -53,3 +53,58 @@ func (d Duration) String() string {
 }
 
 func (t Time) String() string { return Duration(t).String() }
+
+// ParseDuration parses a decimal number with a unit suffix ("ns", "us",
+// "ms", "s") into a Duration, e.g. "500us", "1.5ms", "2s". It is the
+// inverse of the formats String produces and exists so fault schedules
+// and CLI flags can express sim-time without importing package time.
+func ParseDuration(s string) (Duration, error) {
+	var unit Duration
+	var num string
+	switch {
+	case len(s) > 2 && s[len(s)-2:] == "ns":
+		unit, num = Nanosecond, s[:len(s)-2]
+	case len(s) > 2 && s[len(s)-2:] == "us":
+		unit, num = Microsecond, s[:len(s)-2]
+	case len(s) > 2 && s[len(s)-2:] == "ms":
+		unit, num = Millisecond, s[:len(s)-2]
+	case len(s) > 1 && s[len(s)-1:] == "s":
+		unit, num = Second, s[:len(s)-1]
+	default:
+		return 0, fmt.Errorf("sim: duration %q needs a ns/us/ms/s suffix", s)
+	}
+	// Parse "<int>[.<frac>]" by hand: the integer part scales by the whole
+	// unit, the fractional digits by successively smaller powers of ten.
+	// Avoids float rounding so ParseDuration(d.String()) round-trips.
+	intPart, fracPart := num, ""
+	for i := 0; i < len(num); i++ {
+		if num[i] == '.' {
+			intPart, fracPart = num[:i], num[i+1:]
+			break
+		}
+	}
+	if intPart == "" && fracPart == "" {
+		return 0, fmt.Errorf("sim: empty duration %q", s)
+	}
+	var d Duration
+	for i := 0; i < len(intPart); i++ {
+		c := intPart[i]
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("sim: bad duration %q", s)
+		}
+		d = d*10 + Duration(c-'0')*unit
+		if d < 0 {
+			return 0, fmt.Errorf("sim: duration %q overflows", s)
+		}
+	}
+	scale := unit
+	for i := 0; i < len(fracPart); i++ {
+		c := fracPart[i]
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("sim: bad duration %q", s)
+		}
+		scale /= 10
+		d += Duration(c-'0') * scale
+	}
+	return d, nil
+}

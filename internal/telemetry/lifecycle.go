@@ -64,15 +64,16 @@ func (s Stage) String() string {
 // exact per-stage latency partition. Records are fixed-size values so the
 // flight recorder can retain them with zero steady-state allocation.
 type ReqRecord struct {
-	ID     uint64 // wire handle of the request
-	Flow   uint64 // causal flow id (block-layer request id); 0 if untraced
-	Write  bool
-	Err    bool // completed with an error status
-	Bytes  int
-	Server string   // serving host, "" if unknown
-	Start  sim.Time // block-layer submission
-	End    sim.Time // completion delivered
-	Stages [NumStages]sim.Duration
+	ID      uint64 // wire handle of the request
+	Flow    uint64 // causal flow id (block-layer request id); 0 if untraced
+	Write   bool
+	Err     bool  // completed with an error status
+	Retries uint8 // recovery re-sends this request survived
+	Bytes   int
+	Server  string   // serving host, "" if unknown
+	Start   sim.Time // block-layer submission
+	End     sim.Time // completion delivered
+	Stages  [NumStages]sim.Duration
 }
 
 // Total returns the end-to-end latency (== the sum of Stages).
@@ -448,7 +449,7 @@ func (f *FlightRecorder) Dump(w io.Writer, reason string) error {
 			return err
 		}
 	}
-	if _, err := fmt.Fprintln(w, " err"); err != nil {
+	if _, err := fmt.Fprintln(w, " rty err"); err != nil {
 		return err
 	}
 	for _, rec := range f.Records() {
@@ -470,7 +471,7 @@ func (f *FlightRecorder) Dump(w io.Writer, reason string) error {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, " %3s\n", errMark); err != nil {
+		if _, err := fmt.Fprintf(w, " %3d %3s\n", rec.Retries, errMark); err != nil {
 			return err
 		}
 	}

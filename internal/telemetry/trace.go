@@ -128,6 +128,15 @@ func (t *Tracer) Instant(comp, name string) {
 	t.events = append(t.events, traceEvent{comp: comp, name: name, ph: phaseInstant, start: t.now()})
 }
 
+// InstantArgs records a point event carrying key/value arguments (the
+// fault injector and recovery path annotate their events this way).
+func (t *Tracer) InstantArgs(comp, name string, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, traceEvent{comp: comp, name: name, ph: phaseInstant, start: t.now(), args: args})
+}
+
 // FlowBegin starts a causal flow arrow on the component's track. All
 // events of one flow share the name and id (the viewer binds arrows on
 // category+name+id); the HPBD stack uses the block-layer request id.

@@ -5,7 +5,10 @@
 // swap workload, trace writing a Chrome trace-event file plus a metrics
 // summary, flightrec printing the critical-path breakdown and the flight
 // recorder's last-N-requests table, and faults replaying a fault
-// schedule against a mirrored node to show recovery in the trace.
+// schedule against a mirrored node to show recovery in the trace. The
+// placement subcommand runs an elastic node through a mid-run fleet grow
+// and pretty-prints the resulting placement directory (deterministic for
+// a given seed and scale).
 //
 // Usage:
 //
@@ -14,6 +17,7 @@
 //	hpbdctl -out trace.json -servers 4 trace
 //	hpbdctl -servers 2 flightrec
 //	hpbdctl -out faults.json -spec "crash@8ms=mem0" faults
+//	hpbdctl -servers 2 placement
 package main
 
 import (
@@ -66,6 +70,14 @@ func main() {
 		}
 		return
 	}
+	if cmd == "placement" {
+		dump, err := experiments.PlacementDump(experiments.Config{Scale: *scale, Seed: *seed}, *servers)
+		if err != nil {
+			log.Fatalf("hpbdctl placement: %v", err)
+		}
+		fmt.Print(dump)
+		return
+	}
 
 	c, err := netblock.Dial(*server, *sizeMB<<20, *credits)
 	if err != nil {
@@ -89,7 +101,7 @@ func main() {
 	case "bench":
 		bench(c)
 	default:
-		log.Fatalf("hpbdctl: unknown command %q (status|verify|bench|trace|flightrec|faults)", cmd)
+		log.Fatalf("hpbdctl: unknown command %q (status|verify|bench|trace|flightrec|faults|placement)", cmd)
 	}
 }
 

@@ -91,6 +91,12 @@ type Config struct {
 	// FallbackDisk gives each HPBD device a local-disk fallback driver,
 	// the last-resort degraded mode when every server is lost. HPBD only.
 	FallbackDisk bool
+	// Elastic enables runtime membership on the HPBD device(s): the node
+	// can grow the fleet, drain and decommission servers while swap I/O
+	// keeps flowing (see membership.go). Until the first membership
+	// operation the node behaves byte-identically to a static one. HPBD
+	// only.
+	Elastic bool
 	// Telemetry, if non-nil, is the node-wide metrics registry shared by
 	// the VM, the fabric, the HPBD client and every server. Nil creates
 	// one per node (metrics are always on; tracing stays opt-in via
@@ -124,6 +130,12 @@ type Node struct {
 	// Ready triggers when the swap device is attached (the NBD dial
 	// happens in simulated time); workloads should wait on it.
 	Ready *sim.Event
+
+	// Membership-controller state (HPBD nodes; see membership.go).
+	fabric   *ib.Fabric
+	scfg     func(storeBytes int64) hpbd.ServerConfig
+	srvBatch int // doorbell batch inherited by spawned servers (0: default)
+	nextSrv  int // next memN server name
 }
 
 // Build assembles a node on env.
@@ -131,8 +143,8 @@ func Build(env *sim.Env, cfg Config) (*Node, error) {
 	if cfg.Servers <= 0 {
 		cfg.Servers = 1
 	}
-	if (cfg.Mirror || cfg.Faults != nil || cfg.FallbackDisk) && cfg.Swap != SwapHPBD {
-		return nil, fmt.Errorf("cluster: Mirror/Faults/FallbackDisk require SwapHPBD, got %s", cfg.Swap)
+	if (cfg.Mirror || cfg.Faults != nil || cfg.FallbackDisk || cfg.Elastic) && cfg.Swap != SwapHPBD {
+		return nil, fmt.Errorf("cluster: Mirror/Faults/FallbackDisk/Elastic require SwapHPBD, got %s", cfg.Swap)
 	}
 	tel := cfg.Telemetry
 	if tel == nil {
@@ -191,6 +203,9 @@ func Build(env *sim.Env, cfg Config) (*Node, error) {
 		if cfg.Client == nil && (cfg.Mirror || cfg.Faults != nil) {
 			ccfg.MaxRetries = 2
 			ccfg.RequestTimeout = 5 * sim.Millisecond
+		}
+		if cfg.Elastic {
+			ccfg.Elastic = true
 		}
 		area := cfg.SwapBytes / int64(cfg.Servers)
 		area -= area % blockdev.SectorSize
@@ -251,6 +266,12 @@ func Build(env *sim.Env, cfg Config) (*Node, error) {
 			inj.Start()
 			n.Faults = inj
 		}
+		n.fabric = fabric
+		n.scfg = scfg
+		if cfg.ServerCfg == nil && ccfg.DoorbellBatch > 1 {
+			n.srvBatch = ccfg.DoorbellBatch
+		}
+		n.nextSrv = serverIdx
 		n.HPBD = devs[0]
 		if cfg.Mirror {
 			n.HPBD2 = devs[1]

@@ -31,6 +31,7 @@ var Registry = map[string]Runner{
 	"sweep-bandwidth": SweepBandwidth,
 	"sweep-credits":   SweepCredits,
 	"sweep-degraded":  SweepDegraded,
+	"sweep-elastic":   SweepElastic,
 	"sweep-readahead": SweepReadahead,
 	"sweep-elevator":  SweepElevator,
 }

@@ -9,6 +9,7 @@ import (
 	"hpbd/internal/blockdev"
 	"hpbd/internal/ib"
 	"hpbd/internal/netmodel"
+	"hpbd/internal/placement"
 	"hpbd/internal/sim"
 	"hpbd/internal/telemetry"
 	"hpbd/internal/wire"
@@ -93,6 +94,22 @@ type ClientConfig struct {
 	// retries are exhausted are absorbed here instead of failing.
 	// Setting Fallback also enables the recovery path.
 	Fallback blockdev.Driver
+
+	// Elastic enables dynamic membership: AddServerLive, DrainServer and
+	// RemoveServer become available, and the first membership operation
+	// switches the sector→server mapping from the static blocked layout
+	// to the placement directory (until then the device behaves — and
+	// reports — bit-identically to a static one). Requires the blocked
+	// layout (StripeBytes must be 0).
+	Elastic bool
+	// MigrationChunkBytes is the live-migration copy granularity (zero:
+	// 64 KB; clamped to the 128 KB server staging bound).
+	MigrationChunkBytes int
+	// MigrationMBps caps the migration engine's background copy rate in
+	// MB/s: each chunk is stretched to at least its fair-share duration,
+	// bounding migration/foreground interference. Zero leaves migration
+	// unpaced (throttled only by credits and fabric contention).
+	MigrationMBps float64
 
 	// The remaining fields flip the paper's design choices for ablation
 	// studies; all default to the paper's design (false/zero).
@@ -211,6 +228,7 @@ type serverLink struct {
 	recvMR    *ib.MR // Credits reply buffers
 	slot      int    // next reqMR slot (round-robin)
 	down      bool   // the recovery path declared this server dead
+	removed   bool   // decommissioned by RemoveServer (drained, QP closed)
 }
 
 // parentReq tracks one block-layer request across its physical requests.
@@ -235,6 +253,9 @@ type phys struct {
 	sent    bool
 	devByte int64 // absolute device byte offset (fallback addressing)
 	attempt int   // recovery re-sends already performed
+
+	mig    bool      // a migration engine transfer (shared staging MR)
+	mtrack *migState // in-range foreground write tracked by a live move
 
 	timedOut bool     // the watchdog already flagged this request
 	flowID   uint64   // block-layer request id, threads the causal flow
@@ -261,6 +282,7 @@ type Device struct {
 
 	links   []*serverLink
 	byQP    map[*ib.QP]*serverLink
+	areas   []placement.Area // legacy-layout view of the links
 	total   int64
 	sendQ   *sim.Chan[*phys]
 	pending map[uint64]*phys
@@ -281,6 +303,16 @@ type Device struct {
 	hybridThr     int      // requests >= this register on the fly (0: hybrid off)
 	mrc           *mrCache // nil unless HybridDataPath
 	doorbellBatch int      // effective batch limit (clamped to Credits)
+
+	// Elastic-mode state (see elastic.go). All nil/zero until the first
+	// membership operation, so a static topology — even with
+	// cfg.Elastic set — runs the legacy layout byte-identically.
+	dir      *placement.Directory
+	memberMu *sim.Mutex // serializes membership operations
+	mig      *migState  // the in-progress move, nil when idle
+	migMR    *ib.MR     // long-lived migration staging MR
+	migBuf   []byte     // host-side chunk scratch buffer
+	emet     elasticMetrics
 }
 
 // NewDevice creates an HPBD client on the fabric. Connect servers with
@@ -316,6 +348,9 @@ func NewDevice(f *ib.Fabric, name string, cfg ClientConfig) *Device {
 	d.doorbellBatch = cfg.DoorbellBatch
 	if d.doorbellBatch > cfg.Credits {
 		d.doorbellBatch = cfg.Credits
+	}
+	if cfg.Elastic {
+		d.memberMu = sim.NewMutex(env)
 	}
 	if d.recovery() {
 		d.rmet = newRecoveryMetrics(tel)
@@ -439,77 +474,23 @@ func (d *Device) ConnectServer(srv *Server, areaBytes int64) error {
 	}
 	d.links = append(d.links, link)
 	d.byQP[qp] = link
+	d.areas = append(d.areas, placement.Area{Start: d.total, Size: areaBytes})
 	d.total += areaBytes
 	return nil
 }
 
-// seg is one piece of a split request.
-type seg struct {
-	link    *serverLink
-	offset  int64 // within the server area
-	off     int   // within the parent request
-	length  int
-	devByte int64 // absolute device byte offset of this piece
-}
-
-// split maps a contiguous byte range of the device onto server areas
-// using the blocked layout (or the striped layout under ablation).
-func (d *Device) split(start int64, n int) []seg {
+// split maps a contiguous byte range of the device onto server areas:
+// through the placement directory once the device has gone elastic,
+// otherwise via the legacy blocked policy (or striped under ablation).
+// The range math itself lives in internal/placement.
+func (d *Device) split(start int64, n int) []placement.Segment {
+	if d.dir != nil {
+		return d.dir.Split(start, n)
+	}
 	if d.cfg.StripeBytes > 0 {
-		return d.splitStriped(start, n)
+		return placement.Striped(d.areas, d.cfg.StripeBytes, start, n)
 	}
-	var out []seg
-	reqOff := 0
-	for n > 0 {
-		var link *serverLink
-		for _, l := range d.links {
-			if start >= l.startByte && start < l.startByte+l.size {
-				link = l
-				break
-			}
-		}
-		if link == nil {
-			return nil
-		}
-		avail := int(link.startByte + link.size - start)
-		take := n
-		if take > avail {
-			take = avail
-		}
-		out = append(out, seg{link: link, offset: start - link.startByte, off: reqOff, length: take, devByte: start})
-		start += int64(take)
-		reqOff += take
-		n -= take
-	}
-	return out
-}
-
-// splitStriped distributes the range round-robin in StripeBytes chunks.
-func (d *Device) splitStriped(start int64, n int) []seg {
-	stripe := d.cfg.StripeBytes
-	nl := int64(len(d.links))
-	reqOff := 0
-	var out []seg
-	for n > 0 {
-		chunk := start / stripe
-		li := chunk % nl
-		row := chunk / nl
-		link := d.links[li]
-		inChunk := start % stripe
-		take := int(stripe - inChunk)
-		if take > n {
-			take = n
-		}
-		areaOff := row*stripe + inChunk
-		if areaOff+int64(take) > link.size {
-			return nil
-		}
-		out = append(out, seg{link: link, offset: areaOff, off: reqOff, length: take, devByte: start})
-		start += int64(take)
-		reqOff += take
-		n -= take
-	}
-	return out
+	return placement.Blocked(d.areas, start, n)
 }
 
 // Submit implements blockdev.Driver: it splits the request across servers,
@@ -520,6 +501,10 @@ func (d *Device) Submit(p *sim.Proc, r *blockdev.Request) {
 	if d.failed {
 		r.Complete(ErrDeviceFailed)
 		return
+	}
+	if d.mig != nil && r.Write {
+		// A frozen migrating range parks in-range writes until cutover.
+		d.migGate(p, r)
 	}
 	start := r.Sector * blockdev.SectorSize
 	n := r.Bytes()
@@ -539,31 +524,32 @@ func (d *Device) Submit(p *sim.Proc, r *blockdev.Request) {
 		parent.readBuf = make([]byte, n)
 	}
 	for _, sg := range segs {
+		link := d.links[sg.Server]
 		ph := &phys{
 			parent:   parent,
-			link:     sg.link,
+			link:     link,
 			write:    r.Write,
-			offset:   sg.offset,
-			off:      sg.off,
-			length:   sg.length,
-			devByte:  sg.devByte,
+			offset:   sg.Offset,
+			off:      sg.Off,
+			length:   sg.Length,
+			devByte:  sg.DevByte,
 			flowID:   r.ID(),
 			blkAt:    r.QueuedAt(),
 			submitAt: p.Now(),
 		}
-		if sg.link.down {
+		if link.down {
 			// The server backing this range is gone: skip the pool and
 			// the wire entirely and degrade immediately (fallback driver
 			// or per-request error). poolOff -1 marks "no payload held".
 			ph.poolOff = -1
 			var data []byte
 			if r.Write {
-				data = wdata[sg.off : sg.off+sg.length]
+				data = wdata[sg.Off : sg.Off+sg.Length]
 			}
 			d.routeDegraded(ph, data)
 			continue
 		}
-		if !r.Write && d.fallbackCovers(sg.devByte, sg.length) {
+		if !r.Write && d.fallbackCovers(sg.DevByte, sg.Length) {
 			// The authoritative copy lives on the fallback: a write was
 			// absorbed there while the server was unreachable or wedged,
 			// so the server's copy (if any) is stale even though the
@@ -575,21 +561,21 @@ func (d *Device) Submit(p *sim.Proc, r *blockdev.Request) {
 			d.routeDegraded(ph, nil)
 			continue
 		}
-		if d.mrc != nil && sg.length >= d.hybridThr {
+		if d.mrc != nil && sg.Length >= d.hybridThr {
 			// Hybrid fast path: at or above the Fig. 3 crossover the
 			// request skips the pool and the server RDMAs against a
 			// per-request MR from the reuse cache. A cache miss charges
 			// the registration cost here; a hit charges nothing — the
 			// payload pages are (in the modeled driver) registered in
 			// place, so no copy is charged either.
-			ph.mr = d.mrc.get(p, sg.length)
+			ph.mr = d.mrc.get(p, sg.Length)
 			ph.poolOff = -1
 			if r.Write {
-				copy(ph.mr.Buf[:sg.length], wdata[sg.off:sg.off+sg.length])
+				copy(ph.mr.Buf[:sg.Length], wdata[sg.Off:sg.Off+sg.Length])
 			}
 			d.met.hybridLarge.Inc()
 		} else {
-			poolOff, err := d.pool.Alloc(p, sg.length)
+			poolOff, err := d.pool.Alloc(p, sg.Length)
 			if err != nil {
 				d.finishPhys(&phys{parent: parent}, err)
 				continue
@@ -599,15 +585,22 @@ func (d *Device) Submit(p *sim.Proc, r *blockdev.Request) {
 				// Ablation: pay the registration cost the pool design avoids
 				// (the data still flows through pool space so the RDMA path
 				// is unchanged; only the cost model differs).
-				p.Sleep(d.mem.Register(sg.length))
+				p.Sleep(d.mem.Register(sg.Length))
 				if r.Write {
-					copy(d.poolMR.Buf[poolOff:], wdata[sg.off:sg.off+sg.length])
+					copy(d.poolMR.Buf[poolOff:], wdata[sg.Off:sg.Off+sg.Length])
 				}
 			} else if r.Write {
 				// The copy that replaces on-the-fly registration (§4.2.2).
-				p.Sleep(d.mem.Memcpy(sg.length))
-				copy(d.poolMR.Buf[poolOff:], wdata[sg.off:sg.off+sg.length])
+				p.Sleep(d.mem.Memcpy(sg.Length))
+				copy(d.poolMR.Buf[poolOff:], wdata[sg.Off:sg.Off+sg.Length])
 			}
+		}
+		if m := d.mig; m != nil && r.Write && m.overlaps(sg.DevByte, sg.Length) {
+			// A live move covers this write: its completion re-dirties
+			// the copied sectors (write-forwarding) and cutover waits
+			// for it to land.
+			ph.mtrack = m
+			m.inflight++
 		}
 		d.nextH++
 		ph.handle = d.nextH
@@ -625,6 +618,9 @@ func (d *Device) Submit(p *sim.Proc, r *blockdev.Request) {
 // be nil on failure paths (a cache eviction then skips the deregistration
 // charge — there is no process to bill).
 func (d *Device) releasePayload(p *sim.Proc, ph *phys) {
+	if ph.mig {
+		return // the migration staging MR is device-owned and long-lived
+	}
 	if ph.mr != nil {
 		d.mrc.put(p, ph.mr)
 		ph.mr = nil
@@ -892,12 +888,17 @@ func (d *Device) receiver(p *sim.Proc) {
 // (RNR or an injected QP fault — the request never reached the server)
 // releases the credit and retries the request with backoff.
 func (d *Device) handleErrorCQE(e ib.CQE) {
+	link := d.byQP[e.QP]
+	if link != nil && link.removed {
+		// Closing a decommissioned server's QP flushes its posted
+		// receives; those CQEs are expected, not a failure.
+		return
+	}
 	if !d.recovery() {
 		// A failed send or flushed receive means a server is gone.
 		d.fail()
 		return
 	}
-	link := d.byQP[e.QP]
 	if link == nil {
 		d.fail()
 		return
@@ -977,8 +978,12 @@ func (d *Device) handleReply(p *sim.Proc, e ib.CQE) {
 		d.met.bytesWritten.Add(int64(ph.length))
 		// A server-acknowledged write makes the server copy authoritative
 		// again for this range; drop any fallback hold left by an earlier
-		// absorbed write.
-		d.clearFallbackHold(ph.devByte, ph.length)
+		// absorbed write. Migration copies are an exception: they move
+		// whatever bytes the source holds — stale for held sectors — so
+		// the fallback must stay authoritative across the cutover.
+		if !ph.mig {
+			d.clearFallbackHold(ph.devByte, ph.length)
+		}
 	}
 	if d.tracer != nil {
 		name := "read"
@@ -1046,6 +1051,10 @@ func (d *Device) recordLifecycle(p *sim.Proc, ph *phys, replyAt sim.Time, ferr e
 // finishPhys records one physical completion and completes the parent
 // when all pieces are done.
 func (d *Device) finishPhys(ph *phys, err error) {
+	if m := ph.mtrack; m != nil {
+		ph.mtrack = nil
+		m.noteDone(ph, err)
+	}
 	parent := ph.parent
 	if err != nil && parent.err == nil {
 		parent.err = err
@@ -1192,6 +1201,10 @@ func (d *Device) retryOrRoute(ph *phys) {
 				return
 			}
 			if ph.link.down {
+				if ph.mig {
+					d.finishPhys(ph, ErrServerLost)
+					return
+				}
 				data := d.extractPayload(ph)
 				d.routeDegraded(ph, data)
 				return
@@ -1201,6 +1214,14 @@ func (d *Device) retryOrRoute(ph *phys) {
 			d.sendQ.TrySend(ph)
 			d.wdQ.WakeAll()
 		})
+		return
+	}
+	if ph.mig {
+		// Out of retries (or the link is down): a migration transfer is
+		// never degraded to the fallback — the engine observes the error
+		// and aborts the move, leaving the range on its source. Nothing
+		// is lost; the move just did not happen.
+		d.finishPhys(ph, ErrServerLost)
 		return
 	}
 	data := d.extractPayload(ph)

@@ -5,27 +5,29 @@ import (
 	"testing"
 
 	"hpbd/internal/blockdev"
+	"hpbd/internal/placement"
 	"hpbd/internal/sim"
 )
 
 // checkSegs validates the shared split invariants: segments cover the
 // request contiguously, in order, with no overlap and no spill past a
 // server area.
-func checkSegs(t *testing.T, segs []seg, n int) {
+func checkSegs(t *testing.T, d *Device, segs []placement.Segment, n int) {
 	t.Helper()
 	off := 0
 	for i, sg := range segs {
-		if sg.off != off {
-			t.Errorf("seg %d starts at request offset %d, want %d", i, sg.off, off)
+		if sg.Off != off {
+			t.Errorf("seg %d starts at request offset %d, want %d", i, sg.Off, off)
 		}
-		if sg.length <= 0 {
-			t.Errorf("seg %d has length %d", i, sg.length)
+		if sg.Length <= 0 {
+			t.Errorf("seg %d has length %d", i, sg.Length)
 		}
-		if sg.offset < 0 || sg.offset+int64(sg.length) > sg.link.size {
+		size := d.links[sg.Server].size
+		if sg.Offset < 0 || sg.Offset+int64(sg.Length) > size {
 			t.Errorf("seg %d [%d,+%d) spills out of its %d-byte area",
-				i, sg.offset, sg.length, sg.link.size)
+				i, sg.Offset, sg.Length, size)
 		}
-		off += sg.length
+		off += sg.Length
 	}
 	if off != n {
 		t.Errorf("segments cover %d bytes, want %d", off, n)
@@ -43,25 +45,25 @@ func TestSplitExactBoundaries(t *testing.T) {
 
 	// 8 KB centred on the boundary: exactly 4 KB to each server.
 	segs := d.split(area-4096, 8192)
-	checkSegs(t, segs, 8192)
+	checkSegs(t, d, segs, 8192)
 	if len(segs) != 2 {
 		t.Fatalf("straddle split into %d segments, want 2", len(segs))
 	}
-	if segs[0].link != d.links[0] || segs[0].offset != area-4096 || segs[0].length != 4096 {
-		t.Errorf("left piece = {link%v off %d len %d}, want {0, %d, 4096}",
-			segs[0].link != d.links[0], segs[0].offset, segs[0].length, area-4096)
+	if segs[0].Server != 0 || segs[0].Offset != area-4096 || segs[0].Length != 4096 {
+		t.Errorf("left piece = {server %d off %d len %d}, want {0, %d, 4096}",
+			segs[0].Server, segs[0].Offset, segs[0].Length, area-4096)
 	}
-	if segs[1].link != d.links[1] || segs[1].offset != 0 || segs[1].length != 4096 {
-		t.Errorf("right piece = {off %d len %d}, want {0, 4096}", segs[1].offset, segs[1].length)
+	if segs[1].Server != 1 || segs[1].Offset != 0 || segs[1].Length != 4096 {
+		t.Errorf("right piece = {off %d len %d}, want {0, 4096}", segs[1].Offset, segs[1].Length)
 	}
 
 	// One sector each side of the edge must not split.
 	last := d.split(area-blockdev.SectorSize, blockdev.SectorSize)
-	if len(last) != 1 || last[0].link != d.links[0] || last[0].offset != area-blockdev.SectorSize {
+	if len(last) != 1 || last[0].Server != 0 || last[0].Offset != area-blockdev.SectorSize {
 		t.Errorf("last sector of range 0 split wrong: %+v", last)
 	}
 	first := d.split(area, blockdev.SectorSize)
-	if len(first) != 1 || first[0].link != d.links[1] || first[0].offset != 0 {
+	if len(first) != 1 || first[0].Server != 1 || first[0].Offset != 0 {
 		t.Errorf("first sector of range 1 split wrong: %+v", first)
 	}
 
@@ -83,14 +85,14 @@ func TestSplitSixteenServerLayout(t *testing.T) {
 	d := tb.dev
 
 	segs := d.split(0, 16*area)
-	checkSegs(t, segs, 16*area)
+	checkSegs(t, d, segs, 16*area)
 	if len(segs) != 16 {
 		t.Fatalf("full-device split into %d segments, want 16", len(segs))
 	}
 	for i, sg := range segs {
-		if sg.link != d.links[i] || sg.offset != 0 || sg.length != area {
+		if sg.Server != i || sg.Offset != 0 || sg.Length != area {
 			t.Errorf("seg %d = {offset %d len %d}, want full area %d on server %d",
-				i, sg.offset, sg.length, area, i)
+				i, sg.Offset, sg.Length, area, i)
 		}
 	}
 
@@ -139,28 +141,28 @@ func TestSplitStripedBoundaries(t *testing.T) {
 
 	// Two full stripes starting at a stripe boundary alternate servers.
 	segs := d.split(0, 2*stripe)
-	checkSegs(t, segs, 2*stripe)
-	if len(segs) != 2 || segs[0].link != d.links[0] || segs[1].link != d.links[1] {
+	checkSegs(t, d, segs, 2*stripe)
+	if len(segs) != 2 || segs[0].Server != 0 || segs[1].Server != 1 {
 		t.Fatalf("striped split = %+v, want chunk 0 on server 0, chunk 1 on server 1", segs)
 	}
 
 	// A straddle of the stripe edge splits there; the second chunk of a
 	// round maps to server 1 at the same row offset.
 	segs = d.split(stripe-4096, 8192)
-	checkSegs(t, segs, 8192)
+	checkSegs(t, d, segs, 8192)
 	if len(segs) != 2 {
 		t.Fatalf("stripe straddle split into %d segments, want 2", len(segs))
 	}
-	if segs[0].link != d.links[0] || segs[0].offset != stripe-4096 {
-		t.Errorf("left piece offset %d on wrong server", segs[0].offset)
+	if segs[0].Server != 0 || segs[0].Offset != stripe-4096 {
+		t.Errorf("left piece offset %d on wrong server", segs[0].Offset)
 	}
-	if segs[1].link != d.links[1] || segs[1].offset != 0 {
-		t.Errorf("right piece offset %d on wrong server", segs[1].offset)
+	if segs[1].Server != 1 || segs[1].Offset != 0 {
+		t.Errorf("right piece offset %d on wrong server", segs[1].Offset)
 	}
 
 	// Chunk 2 wraps to server 0, row 1: area offset stripe.
 	segs = d.split(2*stripe, 4096)
-	if len(segs) != 1 || segs[0].link != d.links[0] || segs[0].offset != stripe {
+	if len(segs) != 1 || segs[0].Server != 0 || segs[0].Offset != stripe {
 		t.Errorf("round-robin wrap = %+v, want server 0 at area offset %d", segs, stripe)
 	}
 }

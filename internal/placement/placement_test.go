@@ -1,0 +1,156 @@
+package placement
+
+import (
+	"reflect"
+	"testing"
+)
+
+// areas builds n equal areas laid out contiguously — the blocked layout
+// the client constructs at ConnectServer time.
+func areas(n int, size int64) []Area {
+	out := make([]Area, n)
+	for i := range out {
+		out[i] = Area{Start: int64(i) * size, Size: size}
+	}
+	return out
+}
+
+// The legacy blocked policy must reproduce the seed client's split math
+// exactly: these tables are the segment lists the original
+// client.go split produced for the Figure 10 sixteen-server layout and
+// the boundary cases.
+func TestBlockedGoldenSixteenServers(t *testing.T) {
+	const area = 256 * 1024
+	as := areas(16, area)
+
+	// A device-spanning request: one full-area segment per server, in
+	// address order.
+	got := Blocked(as, 0, 16*area)
+	if len(got) != 16 {
+		t.Fatalf("full-device split into %d segments, want 16", len(got))
+	}
+	for i, sg := range got {
+		want := Segment{Server: i, Offset: 0, Off: i * area, Length: area, DevByte: int64(i) * area}
+		if sg != want {
+			t.Errorf("seg %d = %+v, want %+v", i, sg, want)
+		}
+	}
+
+	// The last page of every server's range stays whole and lands at the
+	// area tail.
+	for i := 0; i < 16; i++ {
+		start := int64(i+1)*area - 4096
+		segs := Blocked(as, start, 4096)
+		want := []Segment{{Server: i, Offset: area - 4096, Off: 0, Length: 4096, DevByte: start}}
+		if !reflect.DeepEqual(segs, want) {
+			t.Errorf("tail page of server %d = %+v, want %+v", i, segs, want)
+		}
+	}
+}
+
+func TestBlockedGoldenBoundaries(t *testing.T) {
+	const area = 1 << 20
+	as := areas(2, area)
+
+	cases := []struct {
+		name  string
+		start int64
+		n     int
+		want  []Segment
+	}{
+		{
+			"straddle split at the area edge",
+			area - 4096, 8192,
+			[]Segment{
+				{Server: 0, Offset: area - 4096, Off: 0, Length: 4096, DevByte: area - 4096},
+				{Server: 1, Offset: 0, Off: 4096, Length: 4096, DevByte: area},
+			},
+		},
+		{
+			"last sector of area 0",
+			area - SectorSize, SectorSize,
+			[]Segment{{Server: 0, Offset: area - SectorSize, Off: 0, Length: SectorSize, DevByte: area - SectorSize}},
+		},
+		{
+			"first sector of area 1",
+			area, SectorSize,
+			[]Segment{{Server: 1, Offset: 0, Off: 0, Length: SectorSize, DevByte: area}},
+		},
+		{
+			"device tail sector",
+			2*area - SectorSize, SectorSize,
+			[]Segment{{Server: 1, Offset: area - SectorSize, Off: 0, Length: SectorSize, DevByte: 2*area - SectorSize}},
+		},
+		{"past the device end", 2*area - SectorSize, 2 * SectorSize, nil},
+		{"entirely out of range", 2 * area, SectorSize, nil},
+	}
+	for _, c := range cases {
+		if got := Blocked(as, c.start, c.n); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("%s: got %+v, want %+v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestStripedGolden(t *testing.T) {
+	const area = 1 << 20
+	const stripe = 64 * 1024
+	as := areas(2, area)
+
+	cases := []struct {
+		name  string
+		start int64
+		n     int
+		want  []Segment
+	}{
+		{
+			"two full stripes alternate servers",
+			0, 2 * stripe,
+			[]Segment{
+				{Server: 0, Offset: 0, Off: 0, Length: stripe, DevByte: 0},
+				{Server: 1, Offset: 0, Off: stripe, Length: stripe, DevByte: stripe},
+			},
+		},
+		{
+			"straddle splits at the stripe edge",
+			stripe - 4096, 8192,
+			[]Segment{
+				{Server: 0, Offset: stripe - 4096, Off: 0, Length: 4096, DevByte: stripe - 4096},
+				{Server: 1, Offset: 0, Off: 4096, Length: 4096, DevByte: stripe},
+			},
+		},
+		{
+			"chunk 2 wraps to server 0 row 1",
+			2 * stripe, 4096,
+			[]Segment{{Server: 0, Offset: stripe, Off: 0, Length: 4096, DevByte: 2 * stripe}},
+		},
+		{"past the last row", 2 * area, SectorSize, nil},
+	}
+	for _, c := range cases {
+		if got := Striped(as, stripe, c.start, c.n); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("%s: got %+v, want %+v", c.name, got, c.want)
+		}
+	}
+}
+
+// A directory bootstrapped from the legacy areas must split identically
+// to the blocked policy across the whole device.
+func TestDirectoryMatchesBlockedAtBootstrap(t *testing.T) {
+	const area = 256 * 1024
+	as := areas(16, area)
+	d := NewDirectory()
+	for i := 0; i < 16; i++ {
+		d.Bootstrap("s", area)
+	}
+	if d.Epoch() != 0 {
+		t.Errorf("bootstrap epoch = %d, want 0", d.Epoch())
+	}
+	for start := int64(0); start < 16*area; start += 37 * SectorSize {
+		n := 8192
+		if start+int64(n) > 16*area {
+			n = int(16*area - start)
+		}
+		if got, want := d.Split(start, n), Blocked(as, start, n); !reflect.DeepEqual(got, want) {
+			t.Fatalf("Split(%d, %d) = %+v, want %+v", start, n, got, want)
+		}
+	}
+}

@@ -7,21 +7,39 @@
 // It prints one line per finding and exits non-zero if any survive the
 // //hpbd:allow directives. Run it from the module root (it shells out to
 // `go list` in the working directory).
+//
+// With -json the findings are emitted as one stable, position-sorted JSON
+// array on stdout (empty array when clean), so CI can attach per-line
+// annotations instead of grepping the human output.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"hpbd/internal/lint"
 	"hpbd/internal/lint/load"
 )
 
+// jsonFinding is the machine-readable finding shape. Field order and
+// names are part of the CI contract; keep them stable.
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array on stdout")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: hpbd-vet [packages]\n\nAnalyzers:\n%s\nOpt out of a finding with `//hpbd:allow <analyzer> -- <reason>` on or above the line.\n", lint.Doc())
+		fmt.Fprintf(os.Stderr, "usage: hpbd-vet [-json] [packages]\n\nAnalyzers:\n%s\nOpt out of a finding with `//hpbd:allow <analyzer> -- <reason>` on or above the line.\n", lint.Doc())
 	}
 	flag.Parse()
 	if *list {
@@ -49,8 +67,31 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	for _, f := range findings {
-		fmt.Println(f)
+	if *asJSON {
+		out := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			// Working-directory-relative paths: what CI annotations want.
+			file := f.Pos.Filename
+			if rel, relErr := filepath.Rel(cwd, file); relErr == nil && !strings.HasPrefix(rel, "..") {
+				file = rel
+			}
+			out = append(out, jsonFinding{
+				Analyzer: f.Analyzer,
+				File:     file,
+				Line:     f.Pos.Line,
+				Col:      f.Pos.Column,
+				Message:  f.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "hpbd-vet: %d finding(s)\n", len(findings))

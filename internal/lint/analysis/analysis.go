@@ -49,6 +49,14 @@ type Diagnostic struct {
 	End      token.Pos // optional: end of the offending region
 	Category string    // optional: sub-category within the analyzer
 	Message  string
+
+	// Related lists other positions that participate in the finding —
+	// for a flow-sensitive analyzer, typically the position where the
+	// leaked resource was acquired while Pos is the exit that leaks it.
+	// A //hpbd:allow directive covering ANY related position suppresses
+	// the diagnostic, so an allowance can sit on the acquire line even
+	// though the report lands on a distant return.
+	Related []token.Pos
 }
 
 // Reportf reports a formatted diagnostic at pos.

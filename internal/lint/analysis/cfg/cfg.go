@@ -1,0 +1,381 @@
+// Package cfg builds intraprocedural control-flow graphs over go/ast
+// function bodies, mirroring a (deliberately small) subset of
+// golang.org/x/tools/go/cfg using only the standard library.
+//
+// A CFG is a list of basic blocks; Blocks[0] is the entry. Each block
+// holds the statements and condition expressions that execute in it, in
+// order, and edges to its successors. Conventions:
+//
+//   - A block whose last node is an if/for condition expression has
+//     Succs[0] = the true/then branch and Succs[1] = the false/else
+//     branch (loops: Succs[0] = body, Succs[1] = done).
+//   - A range header block holds the ranged-over expression and has
+//     Succs[0] = body, Succs[1] = done.
+//   - switch/type-switch/select heads have one successor per clause (in
+//     source order) plus the done block when no default/empty clause
+//     exists.
+//   - A reachable block with no successors is a function exit: either
+//     its last node is a *ast.ReturnStmt, or control falls off the end
+//     of the body. Blocks terminated by a call to panic (or an empty
+//     select) are marked Panics and are not return exits.
+//   - After a terminator (return, branch, panic) construction continues
+//     in a fresh unreachable block, so unreachable code does not
+//     corrupt reachable states; dataflow never visits such blocks.
+//
+// Composite statements are decomposed: only condition/tag expressions
+// and leaf statements appear in Nodes, never a node whose children span
+// other blocks. The one deliberate exception is that leaf statements may
+// contain *ast.FuncLit values; a function literal's body is NOT part of
+// this function's flow, and analyzers walking block nodes must not
+// descend into one implicitly.
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	// Blocks lists every basic block; Blocks[0] is the entry. Blocks
+	// unreachable from the entry may be present (dead code after
+	// terminators); a dataflow pass seeded at the entry never visits
+	// them.
+	Blocks []*Block
+}
+
+// Block is one basic block.
+type Block struct {
+	Index int        // position in CFG.Blocks
+	Nodes []ast.Node // statements and condition expressions, in order
+	Succs []*Block   // successor edges (see package comment for order)
+
+	// Panics marks a block terminated by a call to the panic builtin or
+	// by an empty select: control leaves the function abnormally (or
+	// never), so the block is not a return exit.
+	Panics bool
+}
+
+// Return returns the block's trailing *ast.ReturnStmt, or nil if the
+// block does not end in an explicit return.
+func (b *Block) Return() *ast.ReturnStmt {
+	if len(b.Nodes) == 0 {
+		return nil
+	}
+	r, _ := b.Nodes[len(b.Nodes)-1].(*ast.ReturnStmt)
+	return r
+}
+
+// New builds the CFG of one function body.
+func New(body *ast.BlockStmt) *CFG {
+	b := &builder{cfg: &CFG{}, lblocks: map[string]*lblock{}}
+	b.current = b.newBlock()
+	b.stmtList(body.List)
+	return b.cfg
+}
+
+// lblock records the blocks a label can transfer control to.
+type lblock struct {
+	gotoBlock     *Block // the labeled statement itself
+	breakBlock    *Block // after the labeled loop/switch/select
+	continueBlock *Block // the labeled loop's post/header
+}
+
+// targets is the stack of enclosing break/continue/fallthrough targets.
+type targets struct {
+	tail             *targets
+	breakBlock       *Block
+	continueBlock    *Block
+	fallthroughBlock *Block
+}
+
+type builder struct {
+	cfg      *CFG
+	current  *Block
+	targets  *targets
+	lblocks  map[string]*lblock
+	curLabel *lblock // pending label for the next loop/switch/select
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *builder) add(n ast.Node) { b.current.Nodes = append(b.current.Nodes, n) }
+
+// link adds an edge current -> to without changing the current block.
+func (b *builder) link(to *Block) { b.current.Succs = append(b.current.Succs, to) }
+
+// terminate ends the current block (its successors are already set) and
+// continues construction in a fresh, unreachable block.
+func (b *builder) terminate() { b.current = b.newBlock() }
+
+func (b *builder) labeledBlock(name string) *lblock {
+	lb := b.lblocks[name]
+	if lb == nil {
+		lb = &lblock{gotoBlock: b.newBlock()}
+		b.lblocks[name] = lb
+	}
+	return lb
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	// Any statement other than the one a label is attached to clears the
+	// pending label (e.g. a label on a plain statement).
+	label := b.curLabel
+	b.curLabel = nil
+
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		lb := b.labeledBlock(s.Label.Name)
+		b.link(lb.gotoBlock)
+		b.current = lb.gotoBlock
+		b.curLabel = lb
+		b.stmt(s.Stmt)
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.terminate()
+
+	case *ast.BranchStmt:
+		b.add(s)
+		var target *Block
+		switch s.Tok {
+		case token.BREAK:
+			if s.Label != nil {
+				target = b.labeledBlock(s.Label.Name).breakBlock
+			} else {
+				for t := b.targets; t != nil; t = t.tail {
+					if t.breakBlock != nil {
+						target = t.breakBlock
+						break
+					}
+				}
+			}
+		case token.CONTINUE:
+			if s.Label != nil {
+				target = b.labeledBlock(s.Label.Name).continueBlock
+			} else {
+				for t := b.targets; t != nil; t = t.tail {
+					if t.continueBlock != nil {
+						target = t.continueBlock
+						break
+					}
+				}
+			}
+		case token.FALLTHROUGH:
+			for t := b.targets; t != nil; t = t.tail {
+				if t.fallthroughBlock != nil {
+					target = t.fallthroughBlock
+					break
+				}
+			}
+		case token.GOTO:
+			target = b.labeledBlock(s.Label.Name).gotoBlock
+		}
+		if target != nil {
+			b.link(target)
+		}
+		b.terminate()
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Cond)
+		head := b.current
+		then := b.newBlock()
+		done := b.newBlock()
+		els := done
+		if s.Else != nil {
+			els = b.newBlock()
+		}
+		head.Succs = []*Block{then, els}
+		b.current = then
+		b.stmt(s.Body)
+		b.link(done)
+		if s.Else != nil {
+			b.current = els
+			b.stmt(s.Else)
+			b.link(done)
+		}
+		b.current = done
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		header := b.newBlock()
+		body := b.newBlock()
+		done := b.newBlock()
+		post := header
+		if s.Post != nil {
+			post = b.newBlock()
+		}
+		b.link(header)
+		b.current = header
+		if s.Cond != nil {
+			b.add(s.Cond)
+			header.Succs = []*Block{body, done}
+		} else {
+			header.Succs = []*Block{body}
+		}
+		b.takeLabelFrom(label, done, post)
+		b.targets = &targets{tail: b.targets, breakBlock: done, continueBlock: post}
+		b.current = body
+		b.stmt(s.Body)
+		b.targets = b.targets.tail
+		if s.Post != nil {
+			b.link(post)
+			b.current = post
+			b.stmt(s.Post)
+		}
+		b.link(header)
+		b.current = done
+
+	case *ast.RangeStmt:
+		header := b.newBlock()
+		body := b.newBlock()
+		done := b.newBlock()
+		b.link(header)
+		b.current = header
+		b.add(s.X)
+		header.Succs = []*Block{body, done}
+		b.takeLabelFrom(label, done, header)
+		b.targets = &targets{tail: b.targets, breakBlock: done, continueBlock: header}
+		b.current = body
+		b.stmt(s.Body)
+		b.targets = b.targets.tail
+		b.link(header)
+		b.current = done
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		head := b.current
+		done := b.newBlock()
+		b.takeLabelFrom(label, done, nil)
+		bodies := make([]*Block, len(s.Body.List))
+		for i := range s.Body.List {
+			bodies[i] = b.newBlock()
+		}
+		hasDefault := false
+		for i, cl := range s.Body.List {
+			cc := cl.(*ast.CaseClause)
+			if cc.List == nil {
+				hasDefault = true
+			}
+			head.Succs = append(head.Succs, bodies[i])
+			b.current = bodies[i]
+			for _, e := range cc.List {
+				b.add(e)
+			}
+			var ft *Block
+			if i+1 < len(bodies) {
+				ft = bodies[i+1]
+			}
+			b.targets = &targets{tail: b.targets, breakBlock: done, fallthroughBlock: ft}
+			b.stmtList(cc.Body)
+			b.targets = b.targets.tail
+			b.link(done)
+		}
+		if !hasDefault {
+			head.Succs = append(head.Succs, done)
+		}
+		b.current = done
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Assign)
+		head := b.current
+		done := b.newBlock()
+		b.takeLabelFrom(label, done, nil)
+		hasDefault := false
+		for _, cl := range s.Body.List {
+			cc := cl.(*ast.CaseClause)
+			if cc.List == nil {
+				hasDefault = true
+			}
+			blk := b.newBlock()
+			head.Succs = append(head.Succs, blk)
+			b.current = blk
+			b.targets = &targets{tail: b.targets, breakBlock: done}
+			b.stmtList(cc.Body)
+			b.targets = b.targets.tail
+			b.link(done)
+		}
+		if !hasDefault {
+			head.Succs = append(head.Succs, done)
+		}
+		b.current = done
+
+	case *ast.SelectStmt:
+		head := b.current
+		if len(s.Body.List) == 0 {
+			// select{} blocks forever; control never continues.
+			head.Panics = true
+			b.terminate()
+			return
+		}
+		done := b.newBlock()
+		b.takeLabelFrom(label, done, nil)
+		for _, cl := range s.Body.List {
+			cc := cl.(*ast.CommClause)
+			blk := b.newBlock()
+			head.Succs = append(head.Succs, blk)
+			b.current = blk
+			if cc.Comm != nil {
+				b.stmt(cc.Comm)
+			}
+			b.targets = &targets{tail: b.targets, breakBlock: done}
+			b.stmtList(cc.Body)
+			b.targets = b.targets.tail
+			b.link(done)
+		}
+		b.current = done
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				b.current.Panics = true
+				b.terminate()
+			}
+		}
+
+	case *ast.EmptyStmt:
+		// nothing
+
+	default:
+		// Leaf statements: assignments, declarations, inc/dec, defer, go,
+		// channel sends.
+		b.add(s)
+	}
+}
+
+// takeLabelFrom binds a label (captured before the statement dispatch
+// cleared it) to the given break/continue blocks.
+func (b *builder) takeLabelFrom(lb *lblock, breakBlock, continueBlock *Block) {
+	if lb == nil {
+		return
+	}
+	lb.breakBlock = breakBlock
+	lb.continueBlock = continueBlock
+}

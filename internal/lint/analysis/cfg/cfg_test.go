@@ -1,0 +1,189 @@
+package cfg_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"hpbd/internal/lint/analysis/cfg"
+)
+
+// build parses a function body and returns its CFG.
+func build(t *testing.T, body string) *cfg.CFG {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := f.Decls[0].(*ast.FuncDecl)
+	return cfg.New(fd.Body)
+}
+
+// exits returns the reachable blocks with no successors.
+func exits(g *cfg.CFG) []*cfg.Block {
+	reachable := map[*cfg.Block]bool{}
+	var walk func(b *cfg.Block)
+	walk = func(b *cfg.Block) {
+		if reachable[b] {
+			return
+		}
+		reachable[b] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(g.Blocks[0])
+	var out []*cfg.Block
+	for _, b := range g.Blocks {
+		if reachable[b] && len(b.Succs) == 0 {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+func TestStraightLine(t *testing.T) {
+	g := build(t, "x := 1\n_ = x\nreturn")
+	if len(g.Blocks) == 0 {
+		t.Fatal("no blocks")
+	}
+	ex := exits(g)
+	if len(ex) != 1 {
+		t.Fatalf("want 1 exit, got %d", len(ex))
+	}
+	if ex[0].Return() == nil {
+		t.Error("exit block should end in a return statement")
+	}
+}
+
+// If: successor 0 is the then branch, successor 1 the else/done branch,
+// and the condition is the head block's trailing node.
+func TestIfEdges(t *testing.T) {
+	g := build(t, "x := 1\nif x > 0 {\nx = 2\n} else {\nx = 3\n}\n_ = x")
+	head := g.Blocks[0]
+	if len(head.Succs) != 2 {
+		t.Fatalf("if head: want 2 successors, got %d", len(head.Succs))
+	}
+	cond, ok := head.Nodes[len(head.Nodes)-1].(ast.Expr)
+	if !ok {
+		t.Fatalf("if head should end with the condition expression, got %T", head.Nodes[len(head.Nodes)-1])
+	}
+	if _, isBin := cond.(*ast.BinaryExpr); !isBin {
+		t.Errorf("condition should be the x > 0 expression, got %T", cond)
+	}
+	// Both branches converge: exactly one exit.
+	if ex := exits(g); len(ex) != 1 {
+		t.Errorf("want 1 exit after join, got %d", len(ex))
+	}
+}
+
+// A return inside a branch leaves two reachable exits.
+func TestEarlyReturn(t *testing.T) {
+	g := build(t, "x := 1\nif x > 0 {\nreturn\n}\n_ = x")
+	ex := exits(g)
+	if len(ex) != 2 {
+		t.Fatalf("want 2 exits (early return + fall off end), got %d", len(ex))
+	}
+	withReturn := 0
+	for _, b := range ex {
+		if b.Return() != nil {
+			withReturn++
+		}
+	}
+	if withReturn != 1 {
+		t.Errorf("want exactly 1 exit ending in return, got %d", withReturn)
+	}
+}
+
+// A for loop has a back edge; break reaches the done block.
+func TestForLoop(t *testing.T) {
+	g := build(t, "for i := 0; i < 3; i++ {\nif i == 1 {\nbreak\n}\n}\n_ = 0")
+	ex := exits(g)
+	if len(ex) != 1 {
+		t.Fatalf("want 1 exit, got %d", len(ex))
+	}
+	// The loop head must be its own successor transitively (a cycle).
+	var head *cfg.Block
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if s.Index <= b.Index && len(s.Succs) == 2 {
+				head = s
+			}
+		}
+	}
+	if head == nil {
+		t.Error("no back edge to a two-successor loop head found")
+	}
+}
+
+// An infinite loop with no break has no reachable exit.
+func TestInfiniteLoop(t *testing.T) {
+	g := build(t, "for {\n_ = 0\n}")
+	if ex := exits(g); len(ex) != 0 {
+		t.Fatalf("infinite loop: want 0 reachable exits, got %d", len(ex))
+	}
+}
+
+// panic() marks its block so analyzers skip obligation checks there.
+func TestPanicBlock(t *testing.T) {
+	g := build(t, "x := 1\nif x > 0 {\npanic(\"no\")\n}\n_ = x")
+	found := false
+	for _, b := range g.Blocks {
+		if b.Panics {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no block marked Panics")
+	}
+	// The panic exit is excluded, the normal fall-off exit remains.
+	normal := 0
+	for _, b := range exits(g) {
+		if !b.Panics {
+			normal++
+		}
+	}
+	if normal != 1 {
+		t.Errorf("want 1 non-panicking exit, got %d", normal)
+	}
+}
+
+// Switch: every case body is reachable from the head; a missing
+// default adds a fall-through edge to done.
+func TestSwitch(t *testing.T) {
+	g := build(t, "x := 1\nswitch x {\ncase 1:\nx = 2\ncase 2:\nx = 3\n}\n_ = x")
+	if ex := exits(g); len(ex) != 1 {
+		t.Fatalf("want 1 exit, got %d", len(ex))
+	}
+}
+
+// The range header holds only the ranged expression, not the whole
+// statement, so analyzers see the operand once.
+func TestRangeHeader(t *testing.T) {
+	g := build(t, "s := []int{1}\nfor _, v := range s {\n_ = v\n}")
+	var rangeHead *cfg.Block
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if _, isRange := n.(*ast.RangeStmt); isRange {
+				t.Fatalf("block %d holds a whole *ast.RangeStmt", b.Index)
+			}
+			if id, isIdent := n.(*ast.Ident); isIdent && id.Name == "s" && len(b.Succs) == 2 {
+				rangeHead = b
+			}
+		}
+	}
+	if rangeHead == nil {
+		t.Error("no two-successor block holding the ranged operand found")
+	}
+}
+
+// Labeled break exits the outer loop.
+func TestLabeledBreak(t *testing.T) {
+	g := build(t, "outer:\nfor {\nfor {\nbreak outer\n}\n}\n_ = 0")
+	if ex := exits(g); len(ex) != 1 {
+		t.Fatalf("labeled break: want 1 reachable exit, got %d", len(ex))
+	}
+}

@@ -1,0 +1,94 @@
+// Package dataflow is a generic forward worklist solver over
+// internal/lint/analysis/cfg graphs.
+//
+// A client supplies a Flow: the entry state, a per-block transfer
+// function, a join, an equality test, and (optionally) an edge refiner
+// that specializes the state flowing along a particular successor edge —
+// the hook that makes a trailing condition like `if sem.TryAcquire(1)`
+// mean different things on the true and false edges.
+//
+// States must be treated as immutable values: Transfer, Edge and Join
+// must return fresh states rather than mutating their arguments, because
+// the solver retains and compares states across iterations. Termination
+// is the client's responsibility in the usual way — Join must be
+// monotone over a finite-height lattice.
+//
+// The worklist is deterministic: among queued blocks the lowest block
+// index runs first, so analyzer output order never depends on map
+// iteration.
+package dataflow
+
+import "hpbd/internal/lint/analysis/cfg"
+
+// Flow defines one forward dataflow problem over states of type S.
+type Flow[S any] struct {
+	// Entry is the state on entry to Blocks[0].
+	Entry S
+
+	// Transfer applies the block's effects to the incoming state.
+	Transfer func(b *cfg.Block, in S) S
+
+	// Edge, if non-nil, refines the block's output state for the edge to
+	// its succIdx'th successor (cfg convention: for a block ending in a
+	// condition, succ 0 is the true edge and succ 1 the false edge).
+	Edge func(b *cfg.Block, succIdx int, out S) S
+
+	// Join merges the states of two incoming edges.
+	Join func(a, b S) S
+
+	// Equal reports whether two states are equal (fixpoint test).
+	Equal func(a, b S) bool
+}
+
+// Result holds the solved per-block states. Blocks unreachable from the
+// entry are absent from both maps.
+type Result[S any] struct {
+	In  map[*cfg.Block]S
+	Out map[*cfg.Block]S
+}
+
+// Forward solves the dataflow problem to fixpoint.
+func Forward[S any](g *cfg.CFG, f Flow[S]) *Result[S] {
+	res := &Result[S]{In: map[*cfg.Block]S{}, Out: map[*cfg.Block]S{}}
+	if len(g.Blocks) == 0 {
+		return res
+	}
+	entry := g.Blocks[0]
+	res.In[entry] = f.Entry
+	queued := make([]bool, len(g.Blocks))
+	queued[entry.Index] = true
+	pending := 1
+	for pending > 0 {
+		idx := -1
+		for i, q := range queued {
+			if q {
+				idx = i
+				break
+			}
+		}
+		queued[idx] = false
+		pending--
+		b := g.Blocks[idx]
+		out := f.Transfer(b, res.In[b])
+		res.Out[b] = out
+		for si, succ := range b.Succs {
+			e := out
+			if f.Edge != nil {
+				e = f.Edge(b, si, out)
+			}
+			old, seen := res.In[succ]
+			next := e
+			if seen {
+				next = f.Join(old, e)
+			}
+			if !seen || !f.Equal(old, next) {
+				res.In[succ] = next
+				if !queued[succ.Index] {
+					queued[succ.Index] = true
+					pending++
+				}
+			}
+		}
+	}
+	return res
+}

@@ -1,0 +1,467 @@
+package lint
+
+// The creditbalance analyzer: every sim.Semaphore acquisition must be
+// released on every path out of the acquiring function — or explicitly
+// handed off. The HPBD flow-control protocol (DESIGN.md, "credit
+// (water-mark) flow control") acquires a credit before posting a request
+// and releases it when the reply (or the failure path) settles the
+// request; a leaked credit silently throttles the device forever, and a
+// double release breaks the guarantee that at most Credits requests are
+// outstanding against the pre-posted receives.
+//
+// The analysis is a forward dataflow over the function's CFG. Each
+// textual acquire site (Acquire or TryAcquire call) is an obligation
+// with a three-point lattice:
+//
+//	held        acquired on some path and not yet discharged
+//	transferred ownership handed to the in-flight request or a callee
+//	released    discharged by a Release on this path
+//
+// joined pointwise with held > transferred > released (absence is the
+// identity: a site not reached on a path stays unconstrained). The
+// discharging events are:
+//
+//   - sem.Release(n): every site of the same semaphore becomes released.
+//     If every reached site is already released the call is reported as
+//     a double release.
+//   - qp.PostSend / qp.PostSendBatch (internal/ib): every held site
+//     becomes transferred — once the request is on the wire the credit
+//     belongs to the in-flight request, and the receive path
+//     (handleReply / handleErrorCQE / watchdog / failLink) releases it.
+//     This is the protocol's ownership-transfer point; a missing
+//     compensation on the post-error path is out of this analyzer's
+//     scope.
+//   - a call to a same-package function whose (transitive, memoized)
+//     summary may release the semaphore — cross-call reasoning for
+//     helpers like failLink and requeueRange.
+//   - a function literal anywhere in the function whose body releases
+//     the semaphore (a scheduled retry callback carries the obligation).
+//   - defer sem.Release(n) discharges the semaphore's sites at every
+//     exit.
+//
+// TryAcquire in the immediate `if` condition is handled edge-sensitively
+// (the credit is held only along the success edge, on either side of a
+// `!`); anywhere else its result is conservatively treated as acquired.
+// At each reachable return, any site still held is reported — at the
+// return, with the acquire site attached as a related position, so an
+// //hpbd:allow on either line suppresses the finding.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"hpbd/internal/lint/analysis"
+	"hpbd/internal/lint/analysis/cfg"
+	"hpbd/internal/lint/analysis/dataflow"
+)
+
+// Creditbalance reports sim.Semaphore credits that leak on some path.
+var Creditbalance = &analysis.Analyzer{
+	Name: "creditbalance",
+	Doc:  "sim.Semaphore acquires must be released or transferred on every path",
+	Run:  runCreditbalance,
+}
+
+// Obligation lattice values; join takes the maximum.
+const (
+	credReleased uint8 = iota + 1
+	credTransferred
+	credHeld
+)
+
+type credState map[token.Pos]uint8
+
+func (s credState) clone() credState {
+	n := make(credState, len(s))
+	for k, v := range s {
+		n[k] = v
+	}
+	return n
+}
+
+func credJoin(a, b credState) credState {
+	n := a.clone()
+	for k, v := range b {
+		if v > n[k] {
+			n[k] = v
+		}
+	}
+	return n
+}
+
+func credEqual(a, b credState) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// credCond describes a block whose trailing condition is a TryAcquire.
+type credCond struct {
+	site    token.Pos
+	negated bool
+}
+
+func runCreditbalance(pass *analysis.Pass) (interface{}, error) {
+	fi := newFuncIndex(pass)
+	cb := &creditbalance{fi: fi, pass: pass, summaries: map[*ast.FuncDecl]*credSummary{}}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				cb.checkFunc(fd)
+			}
+		}
+	}
+	cb.emit()
+	return nil, nil
+}
+
+type creditbalance struct {
+	fi        *funcIndex
+	pass      *analysis.Pass
+	summaries map[*ast.FuncDecl]*credSummary
+	diags     []analysis.Diagnostic
+	seen      map[string]bool
+}
+
+// report deduplicates across fixpoint re-runs of the transfer function.
+func (cb *creditbalance) report(d analysis.Diagnostic) {
+	if cb.seen == nil {
+		cb.seen = map[string]bool{}
+	}
+	key := fmt.Sprintf("%d:%s", d.Pos, d.Message)
+	if cb.seen[key] {
+		return
+	}
+	cb.seen[key] = true
+	cb.diags = append(cb.diags, d)
+}
+
+func (cb *creditbalance) emit() {
+	sort.Slice(cb.diags, func(i, j int) bool {
+		if cb.diags[i].Pos != cb.diags[j].Pos {
+			return cb.diags[i].Pos < cb.diags[j].Pos
+		}
+		return cb.diags[i].Message < cb.diags[j].Message
+	})
+	for _, d := range cb.diags {
+		cb.pass.Report(d)
+	}
+}
+
+// semCall matches a method call on a sim.Semaphore value.
+func (cb *creditbalance) semCall(call *ast.CallExpr) (group types.Object, method string, ok bool) {
+	recv, m, isSem := methodOn(cb.fi.info, call, "internal/sim", "Semaphore")
+	if !isSem {
+		return nil, "", false
+	}
+	return resourceID(cb.fi.info, recv), m, true
+}
+
+func (cb *creditbalance) checkFunc(fd *ast.FuncDecl) {
+	// Acquire sites, up front: site position -> semaphore identity.
+	sites := map[token.Pos]types.Object{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false // a literal's acquires belong to its own run
+		}
+		if call, isCall := n.(*ast.CallExpr); isCall {
+			if g, m, isSem := cb.semCall(call); isSem && g != nil && (m == "Acquire" || m == "TryAcquire") {
+				sites[call.Pos()] = g
+			}
+		}
+		return true
+	})
+	if len(sites) == 0 {
+		return
+	}
+	g := cb.fi.cfgOf(fd)
+
+	// Deferred releases discharge their semaphore's sites at every exit.
+	deferred := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if ds, isDefer := n.(*ast.DeferStmt); isDefer {
+			for gr := range cb.releasedIn(ds.Call) {
+				deferred[gr] = true
+			}
+		}
+		return true
+	})
+
+	// Blocks whose trailing condition is a (possibly negated) TryAcquire
+	// get edge-sensitive treatment; their sites are skipped by Transfer.
+	conds := map[*cfg.Block]credCond{}
+	condSites := map[token.Pos]bool{}
+	for _, b := range g.Blocks {
+		if len(b.Nodes) == 0 || len(b.Succs) != 2 {
+			continue
+		}
+		e, isExpr := b.Nodes[len(b.Nodes)-1].(ast.Expr)
+		if !isExpr {
+			continue
+		}
+		neg := false
+		e = ast.Unparen(e)
+		if u, isU := e.(*ast.UnaryExpr); isU && u.Op == token.NOT {
+			neg = true
+			e = ast.Unparen(u.X)
+		}
+		call, isCall := e.(*ast.CallExpr)
+		if !isCall {
+			continue
+		}
+		if gr, m, isSem := cb.semCall(call); isSem && gr != nil && m == "TryAcquire" {
+			conds[b] = credCond{site: call.Pos(), negated: neg}
+			condSites[call.Pos()] = true
+		}
+	}
+
+	flow := dataflow.Flow[credState]{
+		Entry: credState{},
+		Transfer: func(b *cfg.Block, in credState) credState {
+			out := in.clone()
+			for _, n := range b.Nodes {
+				cb.transferNode(n, sites, condSites, out)
+			}
+			return out
+		},
+		Edge: func(b *cfg.Block, succIdx int, out credState) credState {
+			c, isCond := conds[b]
+			if !isCond {
+				return out
+			}
+			// succ 0 is the true edge. TryAcquire holds the credit on its
+			// success edge: true when unnegated, false under a `!`.
+			acquired := (succIdx == 0) != c.negated
+			if !acquired {
+				return out
+			}
+			n := out.clone()
+			n[c.site] = credHeld
+			return n
+		},
+		Join:  credJoin,
+		Equal: credEqual,
+	}
+	res := dataflow.Forward(g, flow)
+
+	for _, b := range g.Blocks {
+		if len(b.Succs) != 0 || b.Panics {
+			continue
+		}
+		out, reached := res.Out[b]
+		if !reached {
+			continue
+		}
+		pos := exitPos(b, fd.Body)
+		for site, st := range out {
+			if st != credHeld || deferred[sites[site]] {
+				continue
+			}
+			cb.report(analysis.Diagnostic{
+				Pos: pos,
+				Message: fmt.Sprintf("credit on %q acquired at line %d may not be released on every path to this return",
+					sites[site].Name(), cb.fi.fset.Position(site).Line),
+				Related: []token.Pos{site},
+			})
+		}
+	}
+}
+
+// transferNode applies one leaf node's credit effects to the state.
+func (cb *creditbalance) transferNode(node ast.Node, sites map[token.Pos]types.Object, condSites map[token.Pos]bool, out credState) {
+	inspectLeaf(node, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			return false // discharged at exits, not at the defer statement
+		case *ast.FuncLit:
+			// A literal that releases the semaphore carries the obligation
+			// (scheduled retry callbacks); its sites become transferred.
+			for gr := range cb.releasedIn(n.Body) {
+				transferGroup(out, sites, gr)
+			}
+			return true // pruned by inspectLeaf anyway
+		case *ast.CallExpr:
+			if gr, m, isSem := cb.semCall(n); isSem {
+				switch m {
+				case "Acquire":
+					if gr != nil {
+						out[n.Pos()] = credHeld
+					}
+				case "TryAcquire":
+					// Outside an if-condition the result is conservatively
+					// treated as acquired.
+					if gr != nil && !condSites[n.Pos()] {
+						out[n.Pos()] = credHeld
+					}
+				case "Release":
+					if gr == nil {
+						return true
+					}
+					fired, allReleased := groupSites(out, sites, gr)
+					if len(fired) > 0 && allReleased {
+						cb.report(analysis.Diagnostic{
+							Pos:     n.Pos(),
+							Message: fmt.Sprintf("credit on %q is already released on every path reaching this Release (double release)", gr.Name()),
+						})
+					}
+					for _, site := range fired {
+						out[site] = credReleased
+					}
+				}
+				return true
+			}
+			if _, m, isQP := methodOn(cb.fi.info, n, "internal/ib", "QP"); isQP && (m == "PostSend" || m == "PostSendBatch") {
+				// Ownership transfer: the posted request carries the credit.
+				for site, st := range out {
+					if st == credHeld {
+						out[site] = credTransferred
+					}
+				}
+				return true
+			}
+			if _, fd := cb.fi.staticCallee(n); fd != nil {
+				sum := cb.summary(fd)
+				for gr := range sum.objs {
+					transferGroup(out, sites, gr)
+				}
+				for idx := range sum.params {
+					if idx < len(n.Args) {
+						if gr := resourceID(cb.fi.info, n.Args[idx]); gr != nil {
+							transferGroup(out, sites, gr)
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// groupSites lists the reached sites of one semaphore and whether all of
+// them are already released.
+func groupSites(s credState, sites map[token.Pos]types.Object, gr types.Object) (fired []token.Pos, allReleased bool) {
+	allReleased = true
+	for site, st := range s {
+		if sites[site] != gr {
+			continue
+		}
+		fired = append(fired, site)
+		if st != credReleased {
+			allReleased = false
+		}
+	}
+	return fired, allReleased
+}
+
+// transferGroup moves the semaphore's held sites to transferred: a
+// callee (or captured literal) that may release it now owns them.
+func transferGroup(s credState, sites map[token.Pos]types.Object, gr types.Object) {
+	for site, st := range s {
+		if st == credHeld && sites[site] == gr {
+			s[site] = credTransferred
+		}
+	}
+}
+
+// credSummary records which semaphores a function may release: package
+// or field identities, and parameter indices for semaphore-typed params.
+type credSummary struct {
+	objs   map[types.Object]bool
+	params map[int]bool
+}
+
+// summary computes (memoized, recursion-guarded) the may-release summary
+// of a same-package function, including its literals and same-package
+// transitive callees.
+func (cb *creditbalance) summary(fd *ast.FuncDecl) *credSummary {
+	if s, done := cb.summaries[fd]; done {
+		if s == nil {
+			return &credSummary{} // recursion in progress: assume nothing
+		}
+		return s
+	}
+	cb.summaries[fd] = nil
+	s := &credSummary{objs: map[types.Object]bool{}, params: map[int]bool{}}
+
+	paramIdx := map[types.Object]int{}
+	if fn, isFn := cb.fi.info.Defs[fd.Name].(*types.Func); isFn {
+		sig := fn.Type().(*types.Signature)
+		for i := 0; i < sig.Params().Len(); i++ {
+			paramIdx[sig.Params().At(i)] = i
+		}
+	}
+	record := func(gr types.Object) {
+		if gr == nil {
+			return
+		}
+		if i, isParam := paramIdx[gr]; isParam {
+			s.params[i] = true
+		} else {
+			s.objs[gr] = true
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, isCall := n.(*ast.CallExpr)
+		if !isCall {
+			return true
+		}
+		if gr, m, isSem := cb.semCall(call); isSem && m == "Release" {
+			record(gr)
+			return true
+		}
+		if _, callee := cb.fi.staticCallee(call); callee != nil && callee != fd {
+			sub := cb.summary(callee)
+			for gr := range sub.objs {
+				record(gr)
+			}
+			for idx := range sub.params {
+				if idx < len(call.Args) {
+					record(resourceID(cb.fi.info, call.Args[idx]))
+				}
+			}
+		}
+		return true
+	})
+	cb.summaries[fd] = s
+	return s
+}
+
+// releasedIn collects the semaphore identities released anywhere inside
+// n (including nested literals and same-package callees).
+func (cb *creditbalance) releasedIn(n ast.Node) map[types.Object]bool {
+	groups := map[types.Object]bool{}
+	ast.Inspect(n, func(x ast.Node) bool {
+		call, isCall := x.(*ast.CallExpr)
+		if !isCall {
+			return true
+		}
+		if gr, m, isSem := cb.semCall(call); isSem && m == "Release" && gr != nil {
+			groups[gr] = true
+			return true
+		}
+		if _, callee := cb.fi.staticCallee(call); callee != nil {
+			sum := cb.summary(callee)
+			for gr := range sum.objs {
+				groups[gr] = true
+			}
+			for idx := range sum.params {
+				if idx < len(call.Args) {
+					if gr := resourceID(cb.fi.info, call.Args[idx]); gr != nil {
+						groups[gr] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return groups
+}

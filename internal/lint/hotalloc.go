@@ -1,0 +1,315 @@
+package lint
+
+// The hotalloc analyzer: functions marked //hpbd:hotpath in their doc
+// comment must not allocate. The flight recorder and the lifecycle
+// tracer promise zero allocations per recorded request (PR 4's overhead
+// benchmark measures it; this makes it a build failure), and the
+// per-request marshalling path inherits the same budget.
+//
+// This is an escape-style approximation, not the compiler's escape
+// analysis. Flagged in a marked function:
+//
+//   - make / new / append and map or slice composite literals
+//   - &CompositeLit, UNLESS it is directly a call argument (the callee
+//     gets a pointer to a stack temporary; the paired benchmark is the
+//     backstop for callees that retain it)
+//   - function literals (closure capture) and go statements
+//   - string concatenation (+ / +=) and the allocating conversions
+//     []byte(s), []rune(s), string(b)
+//   - an implicit interface conversion at a call site when the argument
+//     is a concrete non-pointer value (fmt-style APIs, map[string]any
+//     arguments); pointers box without allocating
+//   - a call to a same-package function that allocates by these rules
+//     (transitive, memoized), reported at the call site — unless the
+//     callee is itself marked //hpbd:hotpath, in which case it is
+//     checked on its own
+//
+// Deliberately allowed: value struct composites, &localVar (taking the
+// address of a variable does not by itself allocate a new object; if it
+// escapes, the benchmark catches it), map index assignment (amortized),
+// defer (open-coded), and calls into other packages (invisible here;
+// the zero-alloc contract of a cross-package callee is enforced where
+// that callee is marked).
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"hpbd/internal/lint/analysis"
+)
+
+// hotpathMarker tags a function whose body must not allocate.
+const hotpathMarker = "//hpbd:hotpath"
+
+// Hotalloc reports heap allocations in //hpbd:hotpath functions.
+var Hotalloc = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc:  "functions marked //hpbd:hotpath must not allocate",
+	Run:  runHotalloc,
+}
+
+func runHotalloc(pass *analysis.Pass) (interface{}, error) {
+	ha := &hotalloc{
+		fi:         newFuncIndex(pass),
+		pass:       pass,
+		summaries:  map[*ast.FuncDecl]token.Pos{},
+		inProgress: map[*ast.FuncDecl]bool{},
+		marked:     map[*ast.FuncDecl]bool{},
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil && funcDocHas(fd, hotpathMarker) {
+				ha.marked[fd] = true
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && ha.marked[fd] {
+				ha.checkBody(fd)
+			}
+		}
+	}
+	return nil, nil
+}
+
+type hotalloc struct {
+	fi         *funcIndex
+	pass       *analysis.Pass
+	marked     map[*ast.FuncDecl]bool
+	summaries  map[*ast.FuncDecl]token.Pos // first allocation site, or NoPos
+	inProgress map[*ast.FuncDecl]bool
+}
+
+func (ha *hotalloc) checkBody(fd *ast.FuncDecl) {
+	ast.Walk(&hotWalker{ha: ha, report: true}, fd.Body)
+}
+
+// hotWalker flags allocation sites. allowAddr marks the immediate
+// children that are direct call arguments, where &composite / &var are
+// allowed.
+type hotWalker struct {
+	ha        *hotalloc
+	report    bool
+	allowAddr bool
+
+	// firstAlloc records the first allocation found when report is
+	// false (summary mode).
+	firstAlloc token.Pos
+}
+
+func (w *hotWalker) found(pos token.Pos, format string, args ...interface{}) {
+	if w.report {
+		w.ha.pass.Report(analysis.Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+		return
+	}
+	if !w.firstAlloc.IsValid() {
+		w.firstAlloc = pos
+	}
+}
+
+// Visit implements ast.Visitor.
+func (w *hotWalker) Visit(n ast.Node) ast.Visitor {
+	if n == nil {
+		return nil
+	}
+	allowAddr := w.allowAddr
+	w.allowAddr = false // the permission applies to one level only
+	info := w.ha.fi.info
+
+	switch n := n.(type) {
+	case *ast.FuncLit:
+		w.found(n.Pos(), "function literal allocates a closure on the hot path")
+		return nil
+
+	case *ast.GoStmt:
+		w.found(n.Pos(), "starting a goroutine allocates on the hot path")
+		return nil
+
+	case *ast.UnaryExpr:
+		if n.Op == token.AND {
+			switch x := ast.Unparen(n.X).(type) {
+			case *ast.CompositeLit:
+				if !allowAddr {
+					w.found(n.Pos(), "&composite literal escapes to the heap on the hot path (allowed only as a direct call argument)")
+				}
+				// Walk the literal's elements either way.
+				for _, e := range x.Elts {
+					ast.Walk(w, e)
+				}
+				return nil
+			case *ast.Ident:
+				return nil // &localVar: no allocation by itself
+			}
+		}
+
+	case *ast.CompositeLit:
+		if t := info.TypeOf(n); t != nil {
+			switch t.Underlying().(type) {
+			case *types.Map:
+				w.found(n.Pos(), "map literal allocates on the hot path")
+				return nil
+			case *types.Slice:
+				w.found(n.Pos(), "slice literal allocates on the hot path")
+				return nil
+			}
+		}
+		// Value struct/array composites stay on the stack: keep walking.
+
+	case *ast.BinaryExpr:
+		if n.Op == token.ADD {
+			if t := info.TypeOf(n); t != nil && isString(t) {
+				w.found(n.Pos(), "string concatenation allocates on the hot path")
+			}
+		}
+
+	case *ast.AssignStmt:
+		if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 {
+			if t := info.TypeOf(n.Lhs[0]); t != nil && isString(t) {
+				w.found(n.Pos(), "string concatenation allocates on the hot path")
+			}
+		}
+
+	case *ast.CallExpr:
+		return w.call(n)
+	}
+	return w
+}
+
+func (w *hotWalker) call(n *ast.CallExpr) ast.Visitor {
+	info := w.ha.fi.info
+
+	// Type conversion?
+	if tv, ok := info.Types[n.Fun]; ok && tv.IsType() && len(n.Args) == 1 {
+		target := tv.Type
+		argT := info.TypeOf(n.Args[0])
+		switch target.Underlying().(type) {
+		case *types.Slice:
+			// []byte(s), []rune(s): allocates unless converting a slice.
+			if argT != nil && isString(argT) {
+				w.found(n.Pos(), "string-to-slice conversion allocates on the hot path")
+			}
+		default:
+			if isString(target) && argT != nil {
+				if _, isSlice := argT.Underlying().(*types.Slice); isSlice {
+					w.found(n.Pos(), "slice-to-string conversion allocates on the hot path")
+				}
+			}
+		}
+		ast.Walk(w, n.Args[0])
+		return nil
+	}
+
+	// Builtins.
+	if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make", "new":
+				w.found(n.Pos(), "%s allocates on the hot path", id.Name)
+			case "append":
+				w.found(n.Pos(), "append may grow its backing array on the hot path")
+			}
+			for _, a := range n.Args {
+				ast.Walk(w, a)
+			}
+			return nil
+		}
+	}
+
+	// Implicit interface conversions at the call boundary.
+	if sigT := info.TypeOf(n.Fun); sigT != nil {
+		if sig, ok := sigT.Underlying().(*types.Signature); ok {
+			for i, a := range n.Args {
+				pt := paramType(sig, i)
+				if pt == nil || !types.IsInterface(pt) {
+					continue
+				}
+				at := info.TypeOf(a)
+				if at == nil || types.IsInterface(at) || isUntypedNil(at) {
+					continue
+				}
+				if _, isPtr := at.Underlying().(*types.Pointer); isPtr {
+					continue // pointers box without allocating
+				}
+				w.found(a.Pos(), "implicit conversion to interface allocates on the hot path")
+			}
+		}
+	}
+
+	// A same-package callee that allocates taints the call site; marked
+	// callees are verified on their own.
+	if _, callee := w.ha.fi.staticCallee(n); callee != nil && !w.ha.marked[callee] {
+		if pos := w.ha.allocSite(callee); pos.IsValid() {
+			w.found(n.Pos(), "calls %s, which allocates at %s (mark it //hpbd:hotpath or lift the allocation)",
+				callee.Name.Name, w.ha.fi.fset.Position(pos))
+		}
+	}
+
+	// Walk callee expression and arguments; direct arguments may take
+	// addresses without allocating.
+	ast.Walk(w, n.Fun)
+	for _, a := range n.Args {
+		ast.Walk(&allowAddrWalker{w: w}, a)
+	}
+	return nil
+}
+
+// allowAddrWalker grants the one-level &composite/&var allowance to a
+// direct call argument, then delegates to the normal walker.
+type allowAddrWalker struct{ w *hotWalker }
+
+func (aw *allowAddrWalker) Visit(n ast.Node) ast.Visitor {
+	if n == nil {
+		return nil
+	}
+	aw.w.allowAddr = true
+	return aw.w.Visit(n)
+}
+
+// allocSite reports the first allocation site in a (non-marked)
+// same-package function, memoized and recursion-guarded.
+func (ha *hotalloc) allocSite(fd *ast.FuncDecl) token.Pos {
+	if pos, done := ha.summaries[fd]; done {
+		return pos
+	}
+	if ha.inProgress[fd] {
+		return token.NoPos
+	}
+	ha.inProgress[fd] = true
+	defer func() { ha.inProgress[fd] = false }()
+	w := &hotWalker{ha: ha, report: false}
+	ast.Walk(w, fd.Body)
+	ha.summaries[fd] = w.firstAlloc
+	return w.firstAlloc
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isUntypedNil(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+// paramType returns the type of the i'th argument's parameter,
+// unwrapping the variadic tail.
+func paramType(sig *types.Signature, i int) types.Type {
+	np := sig.Params().Len()
+	if np == 0 {
+		return nil
+	}
+	if sig.Variadic() && i >= np-1 {
+		if sl, ok := sig.Params().At(np - 1).Type().(*types.Slice); ok {
+			return sl.Elem()
+		}
+		return nil
+	}
+	if i < np {
+		return sig.Params().At(i).Type()
+	}
+	return nil
+}

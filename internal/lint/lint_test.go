@@ -3,6 +3,7 @@ package lint_test
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"hpbd/internal/lint"
@@ -25,6 +26,10 @@ func TestFixtures(t *testing.T) {
 		{lint.Mapiter, "mapiter"},
 		{lint.Simblock, "simblock"},
 		{lint.Telemetrynil, "telemetrynil"},
+		{lint.Creditbalance, "creditbalance"},
+		{lint.Handleonce, "handleonce"},
+		{lint.Lockorder, "lockorder"},
+		{lint.Hotalloc, "hotalloc"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.fixture, func(t *testing.T) {
@@ -99,6 +104,143 @@ func TestMalformedDirectives(t *testing.T) {
 		if !found {
 			t.Errorf("expected a %q finding, got %v", w, msgs)
 		}
+	}
+}
+
+// checkScratch type-checks src as a throwaway fixture package and runs
+// one analyzer over it.
+func checkScratch(t *testing.T, a *analysis.Analyzer, src string) []lint.Finding {
+	t.Helper()
+	root := moduleRoot(t)
+	env, err := load.List(root, "./internal/sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "scratch.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := env.CheckDir("hpbd/lintfixture/scratch", dir)
+	if err != nil {
+		t.Fatalf("scratch fixture: %v\n%s", err, src)
+	}
+	findings, err := lint.RunAnalyzer(a, pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return findings
+}
+
+// dropLine removes the (single) source line containing marker —
+// the seeded-mutation knife.
+func dropLine(t *testing.T, src, marker string) string {
+	t.Helper()
+	lines := strings.Split(src, "\n")
+	var out []string
+	dropped := 0
+	for _, l := range lines {
+		if strings.Contains(l, marker) {
+			dropped++
+			continue
+		}
+		out = append(out, l)
+	}
+	if dropped != 1 {
+		t.Fatalf("dropLine(%q): dropped %d lines, want 1", marker, dropped)
+	}
+	return strings.Join(out, "\n")
+}
+
+const creditScratch = `package scratch
+
+import "hpbd/internal/sim"
+
+func send(p *sim.Proc, sem *sim.Semaphore, fail bool) {
+	sem.Acquire(p, 1)
+	if fail {
+		sem.Release(1) // compensate
+		return
+	}
+	sem.Release(1)
+}
+`
+
+const handleScratch = `package scratch
+
+type req struct{ id uint64 }
+
+func (r *req) Complete() {}
+
+type dev struct{ pending map[uint64]*req }
+
+func (d *dev) track(h uint64, r *req) {
+	d.pending[h] = r
+}
+
+func (d *dev) requeue(h, nh uint64) {
+	r, ok := d.pending[h]
+	if !ok {
+		return
+	}
+	delete(d.pending, h)
+	_ = r
+	d.pending[nh] = r // resettle
+}
+`
+
+// TestSeededMutations pins that the protocol analyzers catch the bug
+// classes they exist for: hand-deleting the compensating Release from
+// a balanced credit flow, or the re-insertion after a tracked-map
+// delete, must produce a finding — and the unmutated code must not.
+func TestSeededMutations(t *testing.T) {
+	if fs := checkScratch(t, lint.Creditbalance, creditScratch); len(fs) != 0 {
+		t.Errorf("unmutated credit scratch: unexpected findings %v", fs)
+	}
+	mutated := dropLine(t, creditScratch, "// compensate")
+	fs := checkScratch(t, lint.Creditbalance, mutated)
+	if len(fs) == 0 {
+		t.Error("creditbalance missed the deleted Release")
+	}
+	for _, f := range fs {
+		if !strings.Contains(f.Message, "may not be released on every path") {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+
+	if fs := checkScratch(t, lint.Handleonce, handleScratch); len(fs) != 0 {
+		t.Errorf("unmutated handle scratch: unexpected findings %v", fs)
+	}
+	mutated = dropLine(t, handleScratch, "// resettle")
+	fs = checkScratch(t, lint.Handleonce, mutated)
+	if len(fs) == 0 {
+		t.Error("handleonce missed the deleted re-insertion")
+	}
+	for _, f := range fs {
+		if !strings.Contains(f.Message, "may reach this return") {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+}
+
+// TestAllowOnAcquireLine pins the chosen suppression semantics for
+// flow-sensitive findings: the leak diagnostic lands on the exit line,
+// but it carries the acquire site as a related position, and a
+// //hpbd:allow directive covering EITHER line suppresses it. The
+// directive belongs on the acquire line — that is where the protocol
+// knowledge ("this credit is settled elsewhere") lives.
+func TestAllowOnAcquireLine(t *testing.T) {
+	leaky := dropLine(t, creditScratch, "// compensate")
+	if fs := checkScratch(t, lint.Creditbalance, leaky); len(fs) != 1 {
+		t.Fatalf("baseline leak: want 1 finding, got %v", fs)
+	}
+	annotated := strings.Replace(leaky,
+		"\tsem.Acquire(p, 1)",
+		"\t//hpbd:allow creditbalance -- test: settled elsewhere\n\tsem.Acquire(p, 1)", 1)
+	if annotated == leaky {
+		t.Fatal("annotation not applied")
+	}
+	if fs := checkScratch(t, lint.Creditbalance, annotated); len(fs) != 0 {
+		t.Errorf("directive on the acquire line should suppress the exit-line report, got %v", fs)
 	}
 }
 

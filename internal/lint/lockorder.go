@@ -1,0 +1,357 @@
+package lint
+
+// The lockorder analyzer: mutex acquisitions in one package must follow
+// a single partial order. Deadlock needs a cycle in the
+// acquired-while-holding relation; the protocol layers (hpbd's
+// membership mutex, netblock's write/pending/stage mutexes) are supposed
+// to nest the same way on every path, and an inversion introduced on a
+// rarely taken path is exactly the kind of bug no test tier reproduces
+// deterministically.
+//
+// Locks are identified by access path (resourceID), so every instance
+// of a field mutex is one lock — the conservative choice for ordering.
+// Handled primitives: sync.Mutex / sync.RWMutex (Lock and RLock
+// acquire, Unlock/RUnlock release) and the simulator's sim.Mutex
+// (Lock(p) / Unlock).
+//
+// Per function, a forward must-hold dataflow (join = set intersection)
+// tracks the held set. Acquiring B while holding A records the edge
+// A -> B at the acquisition site; acquiring a lock already held is
+// reported immediately as a recursive acquisition (both mutex types
+// self-deadlock). Calling a same-package function while holding H adds
+// H x mayAcquire(callee) edges at the call site, where mayAcquire is a
+// transitive, memoized summary — cross-call nesting counts.
+//
+// The package's edges are then deduplicated (first occurrence in
+// position order wins) and replayed in position order into a DAG; an
+// edge that closes a cycle is reported at its site, naming the
+// established path it inverts. The report lands on the later (in source
+// order) acquisition, so the fix — or the //hpbd:allow — goes where the
+// inversion was introduced.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"hpbd/internal/lint/analysis"
+	"hpbd/internal/lint/analysis/cfg"
+	"hpbd/internal/lint/analysis/dataflow"
+)
+
+// Lockorder reports mutex acquisitions that invert an observed order.
+var Lockorder = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc:  "mutex acquisitions must follow one deterministic partial order",
+	Run:  runLockorder,
+}
+
+// lockState is the must-hold set: lock identity -> acquisition site.
+type lockState map[types.Object]token.Pos
+
+func (s lockState) clone() lockState {
+	n := make(lockState, len(s))
+	for k, v := range s {
+		n[k] = v
+	}
+	return n
+}
+
+// lockJoin intersects: only locks held on every incoming path count.
+func lockJoin(a, b lockState) lockState {
+	n := lockState{}
+	for k, v := range a {
+		if _, ok := b[k]; ok {
+			n[k] = v
+		}
+	}
+	return n
+}
+
+func lockEqual(a, b lockState) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if _, ok := b[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// lockEdge is one observed acquired-while-holding pair.
+type lockEdge struct {
+	from, to types.Object
+	pos      token.Pos // position of the inner (second) acquisition
+}
+
+func runLockorder(pass *analysis.Pass) (interface{}, error) {
+	lo := &lockorder{
+		fi:         newFuncIndex(pass),
+		pass:       pass,
+		summaries:  map[*ast.FuncDecl]map[types.Object]bool{},
+		inProgress: map[*ast.FuncDecl]bool{},
+		edgeSeen:   map[[2]types.Object]bool{},
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				lo.checkFunc(fd)
+			}
+		}
+	}
+	lo.analyzeOrder()
+	return nil, nil
+}
+
+type lockorder struct {
+	fi   *funcIndex
+	pass *analysis.Pass
+
+	summaries  map[*ast.FuncDecl]map[types.Object]bool
+	inProgress map[*ast.FuncDecl]bool
+
+	edges    []lockEdge
+	edgeSeen map[[2]types.Object]bool
+
+	recDiags map[token.Pos]analysis.Diagnostic
+}
+
+// lockCall matches a mutex method call: sync.Mutex/RWMutex or sim.Mutex.
+func (lo *lockorder) lockCall(call *ast.CallExpr) (lock types.Object, acquire, release bool) {
+	for _, t := range [...]struct {
+		pkg, typ string
+	}{{"sync", "Mutex"}, {"sync", "RWMutex"}, {"internal/sim", "Mutex"}} {
+		recv, m, ok := methodOn(lo.fi.info, call, t.pkg, t.typ)
+		if !ok {
+			continue
+		}
+		obj := resourceID(lo.fi.info, recv)
+		if obj == nil {
+			return nil, false, false
+		}
+		switch m {
+		case "Lock", "RLock":
+			return obj, true, false
+		case "Unlock", "RUnlock":
+			return obj, false, true
+		}
+		return nil, false, false
+	}
+	return nil, false, false
+}
+
+// addEdge records an acquired-while-holding pair, keeping the first
+// position observed for each ordered pair.
+func (lo *lockorder) addEdge(from, to types.Object, pos token.Pos) {
+	key := [2]types.Object{from, to}
+	if lo.edgeSeen[key] {
+		// Keep the earliest position (fixpoint re-runs arrive unordered).
+		for i := range lo.edges {
+			if lo.edges[i].from == from && lo.edges[i].to == to && pos < lo.edges[i].pos {
+				lo.edges[i].pos = pos
+			}
+		}
+		return
+	}
+	lo.edgeSeen[key] = true
+	lo.edges = append(lo.edges, lockEdge{from: from, to: to, pos: pos})
+}
+
+func (lo *lockorder) checkFunc(fd *ast.FuncDecl) {
+	// Cheap pre-filter: no lock operations, no work.
+	hasLocks := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if _, acq, rel := lo.lockCall(call); acq || rel {
+				hasLocks = true
+			}
+			if _, callee := lo.fi.staticCallee(call); callee != nil {
+				hasLocks = true
+			}
+		}
+		return !hasLocks
+	})
+	if !hasLocks {
+		return
+	}
+
+	g := lo.fi.cfgOf(fd)
+	flow := dataflow.Flow[lockState]{
+		Entry: lockState{},
+		Transfer: func(b *cfg.Block, in lockState) lockState {
+			out := in.clone()
+			for _, node := range b.Nodes {
+				lo.transferNode(node, out)
+			}
+			return out
+		},
+		Join:  lockJoin,
+		Equal: lockEqual,
+	}
+	dataflow.Forward(g, flow)
+}
+
+func (lo *lockorder) transferNode(node ast.Node, out lockState) {
+	inspectLeaf(node, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			// defer mu.Unlock() releases at exit; for a must-hold order
+			// analysis ignoring it is safe (held sets only shrink late).
+			return false
+		case *ast.FuncLit:
+			return true // pruned: a literal runs later, under its own flow
+		case *ast.CallExpr:
+			if lock, acq, rel := lo.lockCall(n); lock != nil {
+				if rel {
+					delete(out, lock)
+					return true
+				}
+				if acq {
+					if _, held := out[lock]; held {
+						if lo.recDiags == nil {
+							lo.recDiags = map[token.Pos]analysis.Diagnostic{}
+						}
+						lo.recDiags[n.Pos()] = analysis.Diagnostic{
+							Pos:     n.Pos(),
+							Message: fmt.Sprintf("mutex %q is acquired while already held (self-deadlock)", lock.Name()),
+						}
+						return true
+					}
+					for held := range out {
+						lo.addEdge(held, lock, n.Pos())
+					}
+					out[lock] = n.Pos()
+					return true
+				}
+			}
+			// A same-package callee may acquire locks while we hold ours.
+			if _, callee := lo.fi.staticCallee(n); callee != nil && len(out) > 0 {
+				for inner := range lo.mayAcquire(callee) {
+					for held := range out {
+						if held == inner {
+							continue // recursive acquisition via a callee is
+							// a real risk but indistinguishable from
+							// release-then-call patterns; the direct case
+							// above catches the common bug.
+						}
+						lo.addEdge(held, inner, n.Pos())
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// mayAcquire computes (memoized, recursion-guarded) the set of lock
+// identities a function may acquire, transitively through same-package
+// calls and literals.
+func (lo *lockorder) mayAcquire(fd *ast.FuncDecl) map[types.Object]bool {
+	if s, done := lo.summaries[fd]; done {
+		return s
+	}
+	if lo.inProgress[fd] {
+		return nil
+	}
+	lo.inProgress[fd] = true
+	defer func() { lo.inProgress[fd] = false }()
+	s := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if lock, acq, _ := lo.lockCall(call); acq && lock != nil {
+			s[lock] = true
+			return true
+		}
+		if _, callee := lo.fi.staticCallee(call); callee != nil && callee != fd {
+			for l := range lo.mayAcquire(callee) {
+				s[l] = true
+			}
+		}
+		return true
+	})
+	lo.summaries[fd] = s
+	return s
+}
+
+// analyzeOrder replays the observed edges in source order into a DAG and
+// reports every edge that closes a cycle against already-established
+// ones.
+func (lo *lockorder) analyzeOrder() {
+	var diags []analysis.Diagnostic
+	for _, d := range lo.recDiags {
+		diags = append(diags, d)
+	}
+
+	sort.Slice(lo.edges, func(i, j int) bool { return lo.edges[i].pos < lo.edges[j].pos })
+	adj := map[types.Object]map[types.Object]token.Pos{}
+	// reaches reports whether to already reaches from through accepted
+	// edges, returning one witness edge position on the path.
+	var reaches func(from, to types.Object, visited map[types.Object]bool) (token.Pos, bool)
+	reaches = func(from, to types.Object, visited map[types.Object]bool) (token.Pos, bool) {
+		if from == to {
+			return token.NoPos, true
+		}
+		visited[from] = true
+		// Deterministic order: sort successors by position.
+		type succ struct {
+			obj types.Object
+			pos token.Pos
+		}
+		var succs []succ
+		for o, p := range adj[from] {
+			succs = append(succs, succ{o, p})
+		}
+		sort.Slice(succs, func(i, j int) bool { return succs[i].pos < succs[j].pos })
+		for _, sc := range succs {
+			if visited[sc.obj] {
+				continue
+			}
+			if _, ok := reaches(sc.obj, to, visited); ok {
+				return sc.pos, true
+			}
+		}
+		return token.NoPos, false
+	}
+	for _, e := range lo.edges {
+		if witness, cycles := reaches(e.to, e.from, map[types.Object]bool{}); cycles {
+			estPos := witness
+			if estPos == token.NoPos {
+				// Direct inversion: the established edge is to -> from.
+				estPos = adj[e.to][e.from]
+			}
+			d := analysis.Diagnostic{
+				Pos: e.pos,
+				Message: fmt.Sprintf("acquiring %q while holding %q inverts the lock order established at %s",
+					e.to.Name(), e.from.Name(), lo.fi.fset.Position(estPos)),
+			}
+			if estPos.IsValid() {
+				d.Related = []token.Pos{estPos}
+			}
+			diags = append(diags, d)
+			continue // do not install the inverting edge
+		}
+		if adj[e.from] == nil {
+			adj[e.from] = map[types.Object]token.Pos{}
+		}
+		if _, ok := adj[e.from][e.to]; !ok {
+			adj[e.from][e.to] = e.pos
+		}
+	}
+
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].Pos != diags[j].Pos {
+			return diags[i].Pos < diags[j].Pos
+		}
+		return diags[i].Message < diags[j].Message
+	})
+	for _, d := range diags {
+		lo.pass.Report(d)
+	}
+}

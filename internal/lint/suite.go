@@ -22,13 +22,20 @@ import (
 	"hpbd/internal/lint/load"
 )
 
-// Analyzers is the full hpbd-vet suite in reporting order.
+// Analyzers is the full hpbd-vet suite in reporting order. The first
+// five enforce the determinism contract (DESIGN.md §8); the last four
+// are the flow-sensitive protocol analyzers built on
+// internal/lint/analysis/cfg + dataflow.
 var Analyzers = []*analysis.Analyzer{
 	Walltime,
 	Globalrand,
 	Mapiter,
 	Simblock,
 	Telemetrynil,
+	Creditbalance,
+	Handleonce,
+	Lockorder,
+	Hotalloc,
 }
 
 var knownAnalyzers = map[string]bool{}
@@ -68,7 +75,9 @@ var skipPackages = map[string]map[string]bool{
 }
 
 // mapiterPackages is the inverse: mapiter applies only inside the
-// deterministic core.
+// deterministic core — every package whose map iteration can reach a
+// scheduling decision, including the PR 5-6 directory/mirror/injector
+// layers.
 var mapiterPackages = map[string]bool{
 	"hpbd/internal/sim":         true,
 	"hpbd/internal/hpbd":        true,
@@ -77,6 +86,36 @@ var mapiterPackages = map[string]bool{
 	"hpbd/internal/blockdev":    true,
 	"hpbd/internal/cluster":     true,
 	"hpbd/internal/experiments": true,
+	"hpbd/internal/placement":   true,
+	"hpbd/internal/mirror":      true,
+	"hpbd/internal/faultsim":    true,
+}
+
+// onlyPackages restricts an analyzer to an inclusion list, like
+// mapiterPackages: the protocol analyzers audit the layers that speak
+// the credit/handle protocols. lockorder additionally covers the real
+// TCP device and the NBD baseline (ordinary sync.Mutex users); hotalloc
+// is absent — it runs everywhere, gated by the //hpbd:hotpath marker.
+var onlyPackages = map[string]map[string]bool{
+	Creditbalance.Name: {
+		"hpbd/internal/hpbd":    true,
+		"hpbd/internal/mirror":  true,
+		"hpbd/internal/cluster": true,
+	},
+	Handleonce.Name: {
+		"hpbd/internal/hpbd":      true,
+		"hpbd/internal/mirror":    true,
+		"hpbd/internal/cluster":   true,
+		"hpbd/internal/placement": true,
+	},
+	Lockorder.Name: {
+		"hpbd/internal/hpbd":      true,
+		"hpbd/internal/mirror":    true,
+		"hpbd/internal/cluster":   true,
+		"hpbd/internal/placement": true,
+		"hpbd/internal/netblock":  true,
+		"hpbd/internal/nbd":       true,
+	},
 }
 
 // applies reports whether analyzer a runs on package path under the
@@ -84,6 +123,9 @@ var mapiterPackages = map[string]bool{
 func applies(a *analysis.Analyzer, pkgPath string) bool {
 	if a.Name == Mapiter.Name {
 		return mapiterPackages[pkgPath]
+	}
+	if only, ok := onlyPackages[a.Name]; ok {
+		return only[pkgPath]
 	}
 	return !skipPackages[a.Name][pkgPath]
 }
@@ -119,6 +161,13 @@ func RunAnalyzer(a *analysis.Analyzer, pkg *load.Package) ([]Finding, error) {
 			pos := pkg.Fset.Position(d.Pos)
 			if suppressed(dirs, a.Name, pos.Line) {
 				return
+			}
+			// A directive covering any related position (e.g. the acquire
+			// site of a leak reported at a return) also suppresses.
+			for _, rp := range d.Related {
+				if rp.IsValid() && suppressed(dirs, a.Name, pkg.Fset.Position(rp).Line) {
+					return
+				}
 			}
 			findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
 		},
@@ -175,7 +224,7 @@ func Run(pkgs []*load.Package, analyzers []*analysis.Analyzer) ([]Finding, error
 func Doc() string {
 	var b strings.Builder
 	for _, a := range Analyzers {
-		fmt.Fprintf(&b, "  %-12s %s\n", a.Name, a.Doc)
+		fmt.Fprintf(&b, "  %-13s %s\n", a.Name, a.Doc)
 	}
 	return b.String()
 }

@@ -1,0 +1,112 @@
+// Fixture for the creditbalance analyzer: a sim.Semaphore credit
+// acquired in a function must be released or transferred on every path
+// out of it. Covers the stall idiom (TryAcquire in an if condition),
+// ownership transfer via PostSend, callee may-release summaries,
+// capture by a release callback, deferred release, double release, and
+// //hpbd:allow suppression at both the report and the acquire line.
+package creditbalance
+
+import (
+	"errors"
+
+	"hpbd/internal/ib"
+	"hpbd/internal/sim"
+)
+
+var errFail = errors.New("fail")
+
+// The basic leak: the error path returns without releasing.
+func leakOnErrorPath(p *sim.Proc, sem *sim.Semaphore, fail bool) error {
+	sem.Acquire(p, 1)
+	if fail {
+		return errFail // want "credit on \"sem\" acquired at line \\d+ may not be released on every path to this return"
+	}
+	sem.Release(1)
+	return nil
+}
+
+// TryAcquire in an if condition is edge-sensitive: the credit is held
+// only on the success edge.
+func leakOnSuccessEdge(sem *sim.Semaphore) {
+	if sem.TryAcquire(1) {
+		return // want "credit on \"sem\" acquired at line \\d+ may not be released on every path to this return"
+	}
+	// Failure edge: nothing held, falling off the end is fine.
+}
+
+// The client's stall idiom: TryAcquire, and block on Acquire only when
+// it fails. Exactly one credit is held afterwards, and released.
+func stallThenAcquire(p *sim.Proc, sem *sim.Semaphore) {
+	if !sem.TryAcquire(1) {
+		sem.Acquire(p, 1)
+	}
+	sem.Release(1)
+}
+
+// Posting the request transfers the credit to the in-flight request;
+// the reply path owns the release.
+func transferOnPost(p *sim.Proc, qp *ib.QP, sem *sim.Semaphore) error {
+	sem.Acquire(p, 1)
+	return qp.PostSend(p, ib.SendWR{})
+}
+
+func releaseHelper(sem *sim.Semaphore) {
+	sem.Release(1)
+}
+
+// A same-package callee whose summary may release the semaphore
+// discharges the obligation on the path that calls it.
+func transferToHelper(p *sim.Proc, sem *sim.Semaphore, fail bool) {
+	sem.Acquire(p, 1)
+	if fail {
+		releaseHelper(sem)
+		return
+	}
+	sem.Release(1)
+}
+
+// A function literal that releases the semaphore carries the
+// obligation (a scheduled retry callback).
+func literalCarries(p *sim.Proc, sem *sim.Semaphore, sched func(func())) {
+	sem.Acquire(p, 1)
+	sched(func() { sem.Release(1) })
+}
+
+// defer discharges at every exit.
+func deferredRelease(p *sim.Proc, sem *sim.Semaphore, fail bool) error {
+	sem.Acquire(p, 1)
+	defer sem.Release(1)
+	if fail {
+		return errFail
+	}
+	return nil
+}
+
+// Releasing when every reached site is already released breaks the
+// at-most-Credits-outstanding guarantee.
+func doubleRelease(p *sim.Proc, sem *sim.Semaphore) {
+	sem.Acquire(p, 1)
+	sem.Release(1)
+	sem.Release(1) // want "credit on \"sem\" is already released on every path reaching this Release \\(double release\\)"
+}
+
+// Suppression at the reporting line.
+func suppressedAtReturn(p *sim.Proc, sem *sim.Semaphore, fail bool) {
+	sem.Acquire(p, 1)
+	if fail {
+		return //hpbd:allow creditbalance -- fixture: the shutdown path drops the device and its window
+	}
+	sem.Release(1)
+}
+
+// Suppression at the acquire line: the diagnostic lands on the return,
+// but the acquire site rides along as a related position, so the
+// directive covers it from here.
+func suppressedAtAcquire(p *sim.Proc, sem *sim.Semaphore, fail bool) {
+	//hpbd:allow creditbalance -- fixture: leak is intentional, annotated where the credit is taken
+	sem.Acquire(p, 1)
+	if fail {
+		return
+	}
+	sem.Release(1)
+}

@@ -1,0 +1,146 @@
+// Fixture for the handleonce analyzer: a handle removed from an
+// in-flight tracking map must be settled exactly once. Covers the
+// completion verbs (Complete, Trigger), re-insertion, channel and
+// queue hand-off, callee summaries, settlement from a captured
+// callback, key identity across deletes, the delete-by-field idiom,
+// double settlement, and //hpbd:allow suppression via the delete site.
+package handleonce
+
+type req struct {
+	id   uint64
+	done bool
+}
+
+func (r *req) Complete() {}
+
+type dev struct {
+	pending map[uint64]*req
+}
+
+// The basic drop: the early-out path loses the request.
+func (d *dev) drop(h uint64) {
+	r, ok := d.pending[h]
+	if !ok {
+		return
+	}
+	delete(d.pending, h)
+	if r.done {
+		return // want "handle \"r\" removed from \"pending\" at line \\d+ may reach this return without being completed, requeued or handed off"
+	}
+	r.Complete()
+}
+
+// Settling twice completes the request twice.
+func (d *dev) double(h uint64) {
+	r := d.pending[h]
+	delete(d.pending, h)
+	r.Complete()
+	r.Complete() // want "handle \"r\" already settled at line \\d+ is settled again here"
+}
+
+// Re-insertion under a fresh handle: the map owns it again (the
+// failover requeue discipline).
+func (d *dev) requeue(h, nh uint64) {
+	r := d.pending[h]
+	delete(d.pending, h)
+	d.pending[nh] = r
+}
+
+func finish(r *req) {
+	r.Complete()
+}
+
+// A same-package callee whose summary settles the parameter.
+func (d *dev) viaHelper(h uint64) {
+	r := d.pending[h]
+	delete(d.pending, h)
+	finish(r)
+}
+
+// Hand-off through a channel settles.
+func (d *dev) viaChannel(h uint64, done chan *req) {
+	r := d.pending[h]
+	delete(d.pending, h)
+	done <- r
+}
+
+// A captured callback that settles the handle is the settlement (a
+// scheduled requeue); the capture itself is not a leak.
+func (d *dev) viaCallback(h uint64, sched func(func())) {
+	r := d.pending[h]
+	delete(d.pending, h)
+	sched(func() { r.Complete() })
+}
+
+// Returning the handle moves ownership to the caller.
+func (d *dev) handOff(h uint64) *req {
+	r := d.pending[h]
+	delete(d.pending, h)
+	return r
+}
+
+// A delete under a provably different key does not detach a binding
+// made under another key.
+func (d *dev) twoKeys(h1, h2 uint64) {
+	a := d.pending[h1]
+	_ = a
+	delete(d.pending, h2)
+}
+
+// delete(m, x.field) detaches x itself: the handle was reached through
+// the struct, not a prior lookup.
+func (d *dev) fieldKey(r *req) {
+	delete(d.pending, r.id)
+	r.Complete()
+}
+
+func (d *dev) fieldKeyLeak(r *req, dropIt bool) {
+	delete(d.pending, r.id)
+	if dropIt {
+		return // want "handle \"r\" removed from \"pending\" at line \\d+ may reach this return without being completed, requeued or handed off"
+	}
+	r.Complete()
+}
+
+// Suppression rides the delete site: the report lands at the exit, but
+// the delete position is related, so the directive covers it here.
+func (d *dev) suppressed(h uint64) {
+	r := d.pending[h]
+	_ = r
+	//hpbd:allow handleonce -- fixture: the shutdown path intentionally drops the entry
+	delete(d.pending, h)
+}
+
+// Trigger is a settlement verb: the server parks a waiter event in a
+// map and wakes it after removing it.
+type waiter struct {
+	woken bool
+}
+
+func (w *waiter) Trigger() {}
+
+type srv struct {
+	waits map[uint64]*waiter
+}
+
+func (s *srv) park(id uint64, w *waiter) {
+	s.waits[id] = w
+}
+
+func (s *srv) wake(id uint64) {
+	w, ok := s.waits[id]
+	if !ok {
+		return
+	}
+	delete(s.waits, id)
+	w.Trigger()
+}
+
+func (s *srv) wakeLeak(id uint64) {
+	w, ok := s.waits[id]
+	if !ok {
+		return
+	}
+	delete(s.waits, id)
+	_ = w // want "handle \"w\" removed from \"waits\" at line \\d+ may reach this return without being completed, requeued or handed off"
+}

@@ -1,0 +1,99 @@
+// Fixture for the hotalloc analyzer: functions marked //hpbd:hotpath
+// must not allocate. Covers the builtin allocators, map/slice
+// literals, escaping composite literals, closures, goroutines, string
+// concatenation, allocating conversions, implicit interface boxing,
+// allocation through a same-package callee, the allowances (value
+// composites, &var, &composite as a direct call argument, unmarked
+// functions), and //hpbd:allow suppression.
+package hotalloc
+
+type point struct {
+	x, y int
+}
+
+func use(p *point) {}
+
+func sink(v interface{}) {}
+
+//hpbd:hotpath
+func builtins(n int) {
+	b := make([]byte, n) // want "make allocates on the hot path"
+	_ = append(b, 1)     // want "append may grow its backing array on the hot path"
+	p := new(point)      // want "new allocates on the hot path"
+	_ = p
+}
+
+//hpbd:hotpath
+func literals() {
+	m := map[int]int{} // want "map literal allocates on the hot path"
+	_ = m
+	s := []int{1, 2} // want "slice literal allocates on the hot path"
+	_ = s
+	go func() {}() // want "starting a goroutine allocates on the hot path"
+}
+
+//hpbd:hotpath
+func escapes() *point {
+	return &point{} // want "&composite literal escapes to the heap on the hot path"
+}
+
+//hpbd:hotpath
+func closure() func() {
+	return func() {} // want "function literal allocates a closure on the hot path"
+}
+
+//hpbd:hotpath
+func concat(a, b string) string {
+	return a + b // want "string concatenation allocates on the hot path"
+}
+
+//hpbd:hotpath
+func concatAssign(s string) string {
+	s += "!" // want "string concatenation allocates on the hot path"
+	return s
+}
+
+//hpbd:hotpath
+func conversions(s string, b []byte) {
+	_ = []byte(s) // want "string-to-slice conversion allocates on the hot path"
+	_ = string(b) // want "slice-to-string conversion allocates on the hot path"
+}
+
+//hpbd:hotpath
+func boxes(x int, p *point) {
+	sink(x) // want "implicit conversion to interface allocates on the hot path"
+	sink(p) // pointers box without allocating
+}
+
+func grow(s []int) []int {
+	return append(s, 1)
+}
+
+//hpbd:hotpath
+func callsAllocating(s []int) {
+	_ = grow(s) // want "calls grow, which allocates at .*hotalloc.go:\\d+"
+}
+
+// The allowances: value composites, &var, &composite as a direct call
+// argument, index assignment, and calls to non-allocating helpers.
+//
+//hpbd:hotpath
+func fine(buf []byte, i int, v byte) {
+	buf[i] = v
+	pt := point{x: i}
+	_ = pt
+	q := &i
+	_ = q
+	use(&point{x: i})
+}
+
+// Unmarked functions allocate freely.
+func warmup(n int) []byte {
+	return make([]byte, n)
+}
+
+//hpbd:hotpath
+func suppressed(n int) {
+	//hpbd:allow hotalloc -- fixture: one-time warm-up growth is acceptable here
+	_ = make([]byte, n)
+}

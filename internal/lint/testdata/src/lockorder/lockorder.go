@@ -1,0 +1,114 @@
+// Fixture for the lockorder analyzer: mutex acquisitions must follow
+// one package-wide partial order. Covers sync.Mutex, sync.RWMutex and
+// sim.Mutex, direct and cross-call inversions, recursive acquisition,
+// and //hpbd:allow suppression at the inverting acquisition.
+package lockorder
+
+import (
+	"sync"
+
+	"hpbd/internal/sim"
+)
+
+type pair struct {
+	mu sync.RWMutex
+	a  sync.Mutex
+	b  sync.Mutex
+}
+
+// Establishes the order a -> b (and, below, mu -> a).
+func (p *pair) abOrder() {
+	p.a.Lock()
+	p.b.Lock()
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+// RLock participates in the order like any acquisition.
+func (p *pair) read() {
+	p.mu.RLock()
+	p.a.Lock()
+	p.a.Unlock()
+	p.mu.RUnlock()
+}
+
+// The direct inversion: b is held while a is acquired, against the
+// order abOrder established.
+func (p *pair) baInversion() {
+	p.b.Lock()
+	p.a.Lock() // want "acquiring \"a\" while holding \"b\" inverts the lock order established at .*lockorder.go:\\d+"
+	p.a.Unlock()
+	p.b.Unlock()
+}
+
+type rec struct {
+	m sync.Mutex
+}
+
+// Both mutex flavors self-deadlock on recursive acquisition.
+func (r *rec) recursive() {
+	r.m.Lock()
+	r.m.Lock() // want "mutex \"m\" is acquired while already held \\(self-deadlock\\)"
+	r.m.Unlock()
+	r.m.Unlock()
+}
+
+type simPair struct {
+	m1 *sim.Mutex
+	m2 *sim.Mutex
+}
+
+// Establishes m1 -> m2 for the simulator's mutex.
+func (s *simPair) order12(p *sim.Proc) {
+	s.m1.Lock(p)
+	s.m2.Lock(p)
+	s.m2.Unlock()
+	s.m1.Unlock()
+}
+
+func (s *simPair) lock1(p *sim.Proc) {
+	s.m1.Lock(p)
+	s.m1.Unlock()
+}
+
+// Calling a same-package function that may acquire m1 while holding m2
+// is the same inversion, one call deep.
+func (s *simPair) inversionViaCall(p *sim.Proc) {
+	s.m2.Lock(p)
+	s.lock1(p) // want "acquiring \"m1\" while holding \"m2\" inverts the lock order established at .*lockorder.go:\\d+"
+	s.m2.Unlock()
+}
+
+// Consistent cross-call nesting is fine: holding a around a callee
+// that takes b matches the established a -> b order.
+func (p *pair) lockB() {
+	p.b.Lock()
+	p.b.Unlock()
+}
+
+func (p *pair) callWhileHoldingA() {
+	p.a.Lock()
+	p.lockB()
+	p.a.Unlock()
+}
+
+type quiesced struct {
+	c sync.Mutex
+	d sync.Mutex
+}
+
+func (q *quiesced) cdOrder() {
+	q.c.Lock()
+	q.d.Lock()
+	q.d.Unlock()
+	q.c.Unlock()
+}
+
+// An annotated inversion: the shutdown path knows d's users are gone.
+func (q *quiesced) dcSuppressed() {
+	q.d.Lock()
+	//hpbd:allow lockorder -- fixture: shutdown path, d is quiesced before c is taken
+	q.c.Lock()
+	q.c.Unlock()
+	q.d.Unlock()
+}

@@ -48,6 +48,8 @@ func newHistogram(name string) *Histogram {
 }
 
 // Observe records one latency sample. Negative samples clamp to zero.
+//
+//hpbd:hotpath
 func (h *Histogram) Observe(d sim.Duration) {
 	if h == nil {
 		return

@@ -156,6 +156,8 @@ func (r *Registry) Lifecycle() *Lifecycle {
 
 // Record ingests one completed request: per-stage histograms, exact sums
 // and the flight-recorder ring. Zero-alloc in steady state.
+//
+//hpbd:hotpath
 func (l *Lifecycle) Record(rec *ReqRecord) {
 	if l == nil {
 		return
@@ -347,6 +349,8 @@ type FlightRecorder struct {
 }
 
 // add appends a record, overwriting the oldest once the ring is full.
+//
+//hpbd:hotpath
 func (f *FlightRecorder) add(rec *ReqRecord) {
 	if f == nil || len(f.ring) == 0 {
 		return

@@ -305,3 +305,49 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 		b.ReportMetric(float64(traced)/float64(base), "tracing/metrics_ratio")
 	}
 }
+
+// BenchmarkAblationODP compares pinned registration against on-demand
+// paging on the register-transfer-deregister cycle a cache-missing large
+// request pays.
+func BenchmarkAblationODP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationODP(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportRows(b, res)
+			reportRatio(b, res, "odp/pinned_128K_ratio", "odp/128K", "pinned/128K")
+		}
+	}
+}
+
+// BenchmarkAblationMerge compares per-request WR issue against
+// adjacent-WR merging under a paced swap-out backlog.
+func BenchmarkAblationMerge(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationMerge(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportRows(b, res)
+			reportRatio(b, res, "merge8/off_ratio", "merge-8", "merge-off")
+		}
+	}
+}
+
+// BenchmarkAblationCrossover compares the static Fig. 3 hybrid threshold
+// against the adaptive crossover controller on a 64K request stream.
+func BenchmarkAblationCrossover(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationCrossover(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportRows(b, res)
+			reportRatio(b, res, "adaptive/static_ratio", "adaptive", "static")
+		}
+	}
+}

@@ -176,6 +176,8 @@ type Queue struct {
 	comp     string // trace track name, set with telemetry
 	tracer   *telemetry.Tracer
 	qwait    *telemetry.Histogram
+	merges   *telemetry.Counter
+	reqIOs   *telemetry.Histogram
 }
 
 // NewQueue creates the request queue for driver and starts its dispatch
@@ -200,6 +202,18 @@ func (q *Queue) SetTelemetry(reg *telemetry.Registry) {
 
 // EnableLog turns on per-request logging (needed for Figure 6).
 func (q *Queue) EnableLog() { q.logReqs = true }
+
+// EnableMergeTelemetry exports the elevator's merge activity into reg:
+// blk.merges counts buffer heads absorbed into a pending request
+// (front or back), and the blk.req.ios histogram records the merged run
+// length of every dispatched request — the upstream counterpart of the
+// hpbd client's merge.* series, so client-side WR merging and block-layer
+// merging can be compared in one trace. Opt-in so default metric output
+// is unchanged.
+func (q *Queue) EnableMergeTelemetry(reg *telemetry.Registry) {
+	q.merges = reg.Counter("blk.merges")
+	q.reqIOs = reg.Histogram("blk.req.ios")
+}
 
 // EnableElevator switches dispatch from FIFO to C-LOOK ordering: the
 // pending request with the lowest sector at or past the last dispatch
@@ -238,6 +252,7 @@ func (q *Queue) Submit(write bool, sector int64, data []byte) (*IO, error) {
 			r.nbytes += len(data)
 			io.req = r
 			q.stats.Merges++
+			q.merges.Inc()
 			return io, nil
 		}
 		if sector+int64(len(data)/SectorSize) == r.Sector { // front merge
@@ -246,6 +261,7 @@ func (q *Queue) Submit(write bool, sector int64, data []byte) (*IO, error) {
 			r.nbytes += len(data)
 			io.req = r
 			q.stats.Merges++
+			q.merges.Inc()
 			return io, nil
 		}
 	}
@@ -292,6 +308,9 @@ func (q *Queue) dispatch(p *sim.Proc) {
 		}
 		p.Sleep(q.host.BlockPerRequest + sim.Duration(len(r.ios))*q.host.BlockPerBH)
 		q.qwait.Observe(p.Now().Sub(r.queued))
+		// Run length, not a latency: the histogram machinery is
+		// unit-agnostic, so the count rides in the Duration slot.
+		q.reqIOs.Observe(sim.Duration(len(r.ios)))
 		if q.tracer != nil {
 			q.tracer.Complete(q.comp, "dispatch", r.queued, p.Now(), map[string]any{
 				"req": r.id, "sector": r.Sector, "bytes": r.nbytes, "ios": len(r.ios), "write": r.Write,

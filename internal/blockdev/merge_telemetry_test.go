@@ -1,0 +1,97 @@
+package blockdev
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hpbd/internal/netmodel"
+	"hpbd/internal/sim"
+	"hpbd/internal/telemetry"
+)
+
+// EnableMergeTelemetry must mirror the elevator's merge accounting: the
+// blk.merges counter tracks Stats().Merges exactly, and the blk.req.ios
+// histogram records one sample per dispatched request carrying its merged
+// run length.
+func TestMergeTelemetryMirrorsElevator(t *testing.T) {
+	env := sim.NewEnv()
+	d := &memDriver{store: make([]byte, 1<<20)}
+	q := NewQueue(env, netmodel.DefaultHost(), d)
+	reg := telemetry.New(env)
+	q.EnableMergeTelemetry(reg)
+
+	env.Go("io", func(p *sim.Proc) {
+		// One run of 4 contiguous pages (3 back merges) and one isolated
+		// page: two requests, with run lengths 4 and 1.
+		var ios []*IO
+		for i := 0; i < 4; i++ {
+			io, err := q.Submit(true, int64(i*8), make([]byte, 4096))
+			if err != nil {
+				t.Errorf("Submit %d: %v", i, err)
+				return
+			}
+			ios = append(ios, io)
+		}
+		lone, err := q.Submit(true, 1024, make([]byte, 4096))
+		if err != nil {
+			t.Errorf("Submit lone: %v", err)
+			return
+		}
+		ios = append(ios, lone)
+		q.Unplug()
+		for i, io := range ios {
+			if err := io.Wait(p); err != nil {
+				t.Errorf("IO %d: %v", i, err)
+			}
+		}
+	})
+	env.Run()
+	env.Close()
+
+	st := q.Stats()
+	if st.Merges != 3 || st.RequestsDispatched != 2 {
+		t.Fatalf("elevator saw %d merges / %d requests, want 3 / 2", st.Merges, st.RequestsDispatched)
+	}
+	if got := reg.Counter("blk.merges").Value(); got != int64(st.Merges) {
+		t.Errorf("blk.merges = %d, want %d (must track Stats().Merges)", got, st.Merges)
+	}
+	h := reg.Histogram("blk.req.ios")
+	if h.Count() != int64(st.RequestsDispatched) {
+		t.Errorf("blk.req.ios samples = %d, want one per dispatched request (%d)",
+			h.Count(), st.RequestsDispatched)
+	}
+	// Run lengths ride in the duration slot: 4 and 1, so sum 5 and max 4.
+	if h.Sum() != 5 || h.Max() != 4 {
+		t.Errorf("blk.req.ios sum/max = %v/%v, want 5/4", h.Sum(), h.Max())
+	}
+}
+
+// Without the opt-in call the queue must not register the series at all —
+// the default OpenMetrics output is frozen.
+func TestMergeTelemetryIsOptIn(t *testing.T) {
+	env := sim.NewEnv()
+	d := &memDriver{store: make([]byte, 1<<20)}
+	q := NewQueue(env, netmodel.DefaultHost(), d)
+	reg := telemetry.New(env)
+	q.SetTelemetry(reg)
+	env.Go("io", func(p *sim.Proc) {
+		a, _ := q.Submit(true, 0, make([]byte, 4096))
+		b, _ := q.Submit(true, 8, make([]byte, 4096))
+		q.Unplug()
+		a.Wait(p)
+		b.Wait(p)
+	})
+	env.Run()
+	env.Close()
+	if q.Stats().Merges != 1 {
+		t.Fatal("adjacent pages did not merge; test rig broken")
+	}
+	var buf bytes.Buffer
+	if err := reg.WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "blk_merges") {
+		t.Error("blk.merges registered without opt-in; default metric output changed")
+	}
+}

@@ -180,10 +180,55 @@ func TestAblationDoorbellReducesHostOverhead(t *testing.T) {
 	}
 }
 
+func TestAblationODPBeatsPinnedCycle(t *testing.T) {
+	res, err := AblationODP(smallCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, size := range []string{"32K", "128K"} {
+		r, err := res.Ratio("odp/"+size, "pinned/"+size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r >= 1.0 {
+			t.Errorf("odp/pinned at %s = %.3f; on-demand paging should beat the pin-down on a cold cycle", size, r)
+		}
+	}
+}
+
+func TestAblationMergeCutsWireOps(t *testing.T) {
+	res, err := AblationMerge(smallCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := res.Ratio("merge-8", "merge-off")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r >= 1.0 {
+		t.Errorf("merge-8/merge-off = %.3f; merging a paced backlog should cut per-write latency", r)
+	}
+}
+
+func TestAblationCrossoverAdaptiveWins(t *testing.T) {
+	res, err := AblationCrossover(smallCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := res.Ratio("adaptive", "static")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r >= 1.0 {
+		t.Errorf("adaptive/static = %.3f; the controller should beat the static threshold on a 64K stream", r)
+	}
+}
+
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig1", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "table1",
 		"ablation-registration", "ablation-receiver", "ablation-striping", "ablation-poolsize",
 		"ablation-hybrid", "ablation-doorbell",
+		"ablation-odp", "ablation-merge", "ablation-crossover",
 		"sweep-bandwidth", "sweep-credits", "sweep-readahead"}
 	for _, id := range want {
 		if _, ok := Registry[id]; !ok {

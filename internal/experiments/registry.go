@@ -27,6 +27,9 @@ var Registry = map[string]Runner{
 	"ablation-poolsize":     AblationPoolSize,
 	"ablation-hybrid":       AblationHybrid,
 	"ablation-doorbell":     AblationDoorbell,
+	"ablation-odp":          AblationODP,
+	"ablation-merge":        AblationMerge,
+	"ablation-crossover":    AblationCrossover,
 
 	"sweep-bandwidth": SweepBandwidth,
 	"sweep-credits":   SweepCredits,

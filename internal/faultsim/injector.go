@@ -29,6 +29,16 @@ type Client interface {
 	ExhaustPool(d sim.Duration)
 }
 
+// ODPHost is the optional capability a Server or Client additionally
+// implements when its HCA can hold on-demand-paging regions; odpinval
+// faults type-assert for it, so existing implementations keep compiling
+// unchanged.
+type ODPHost interface {
+	// InvalidateODP drops all resident ODP windows on the host's HCA and
+	// returns how many were invalidated.
+	InvalidateODP() int
+}
+
 // Injector replays a Schedule against registered servers and clients
 // on the sim clock. It also implements ib.FaultHook so send-error and
 // delay faults apply inside the fabric's timing model. All state
@@ -145,6 +155,16 @@ func (in *Injector) apply(p *sim.Proc, f Fault) {
 	case KindPoolExhaust:
 		if ok = isCli; ok {
 			cli.ExhaustPool(f.Dur)
+		}
+	case KindODPInval:
+		var host ODPHost
+		if isSrv {
+			host, _ = srv.(ODPHost)
+		} else if isCli {
+			host, _ = cli.(ODPHost)
+		}
+		if ok = host != nil; ok {
+			host.InvalidateODP()
 		}
 	default:
 		ok = false

@@ -47,10 +47,15 @@ const (
 	// KindPoolExhaust grabs the target client's entire registration pool
 	// for Dur, forcing allocation stalls (and hybrid-path fallbacks).
 	KindPoolExhaust
+	// KindODPInval invalidates every resident on-demand-paging window on
+	// the target's HCA (an MMU-notifier storm under memory pressure), so
+	// the next access to each ODP region re-faults. Targets that expose
+	// no ODP surface skip the fault.
+	KindODPInval
 	numKinds
 )
 
-var kindTokens = [numKinds]string{"crash", "hang", "senderr", "delay", "starve", "poolx"}
+var kindTokens = [numKinds]string{"crash", "hang", "senderr", "delay", "starve", "poolx", "odpinval"}
 
 func (k Kind) String() string {
 	if int(k) < len(kindTokens) {

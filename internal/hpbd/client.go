@@ -61,6 +61,35 @@ type ClientConfig struct {
 	// would wait on replies it has not posted. <= 1 keeps the paper's
 	// one-post-per-request behavior.
 	DoorbellBatch int
+	// ODP switches the large-request MR path from pinned registrations to
+	// on-demand-paging regions (ib.RegisterODP): registration is ~free and
+	// the first WR through each page window pays a fault instead, so a
+	// cold buffer costs less than a pinned registration and a warm one
+	// costs nothing. Takes effect when the device has an MR path (
+	// HybridDataPath or MergeWindow); off by default.
+	ODP bool
+	// MergeWindow, when > 1, makes the sender coalesce up to this many
+	// sector-contiguous same-server queued requests into one large work
+	// request (RDMAbox's merged I/O) before credit accounting and doorbell
+	// batching: one credit, one WQE, one server-side op for the whole run,
+	// with completion fanned back out per constituent handle. <= 1 (the
+	// default) keeps the paper's one-WR-per-request behavior.
+	MergeWindow int
+	// MergeBytes caps a merged work request's payload (zero: the 128 KB
+	// block-layer bound). It must not exceed the servers' StagingBytes —
+	// a merged WR is one server op against one staging buffer.
+	MergeBytes int
+	// AdaptiveCrossover replaces the static hybrid threshold with a
+	// feedback controller: every CrossoverWindow completed requests it
+	// re-derives the copy/register crossover from the observed MR-cache
+	// reuse rate and nudges the threshold toward it, stepping further
+	// down when pool-wait time dominates the per-stage breakdown.
+	// Requires HybridDataPath and the request-lifecycle analyzer
+	// (FlightRecEntries >= 0). Off by default.
+	AdaptiveCrossover bool
+	// CrossoverWindow is the controller's observation window in completed
+	// requests (zero: 64).
+	CrossoverWindow int
 
 	// FlightRecEntries sizes the always-on flight recorder ring of recent
 	// request records (zero-alloc in steady state). 0 selects the default
@@ -198,6 +227,25 @@ func newRecoveryMetrics(reg *telemetry.Registry) recoveryMetrics {
 	}
 }
 
+// mergeMetrics are the WR-merging path's registry handles, resolved only
+// when MergeWindow > 1 so a non-merging device registers no extra series
+// (the handles are nil-safe).
+type mergeMetrics struct {
+	reqs  *telemetry.Counter   // constituent requests absorbed into merged WRs
+	wrs   *telemetry.Counter   // merged WRs posted
+	bytes *telemetry.Counter   // payload bytes carried by merged WRs
+	run   *telemetry.Histogram // merged run length (requests per WR)
+}
+
+func newMergeMetrics(reg *telemetry.Registry) mergeMetrics {
+	return mergeMetrics{
+		reqs:  reg.Counter("hpbd.merge.reqs"),
+		wrs:   reg.Counter("hpbd.merge.wrs"),
+		bytes: reg.Counter("hpbd.merge.bytes"),
+		run:   reg.Histogram("hpbd.merge.run"),
+	}
+}
+
 func newDeviceMetrics(reg *telemetry.Registry) deviceMetrics {
 	return deviceMetrics{
 		physReqs:     reg.Counter("hpbd.phys_reqs"),
@@ -235,6 +283,7 @@ type serverLink struct {
 type parentReq struct {
 	req     *blockdev.Request
 	readBuf []byte // gather buffer for reads
+	wdata   []byte // write payload, held while staging is merge-deferred
 	remain  int
 	err     error
 }
@@ -253,6 +302,13 @@ type phys struct {
 	sent    bool
 	devByte int64 // absolute device byte offset (fallback addressing)
 	attempt int   // recovery re-sends already performed
+
+	lazy bool // staging deferred to the sender's merge window
+	// subs marks a merge carrier: the sector-contiguous requests riding
+	// this WR, in device order. A carrier has no parent of its own —
+	// completion (success or any error path) fans out to the subs, each
+	// keeping its own handle, lifecycle record, and flow id.
+	subs []*phys
 
 	mig    bool      // a migration engine transfer (shared staging MR)
 	mtrack *migState // in-range foreground write tracked by a live move
@@ -301,8 +357,12 @@ type Device struct {
 	fbHeld    map[int64]bool // sectors whose authoritative copy is on Fallback
 
 	hybridThr     int      // requests >= this register on the fly (0: hybrid off)
-	mrc           *mrCache // nil unless HybridDataPath
+	mrc           *mrCache // nil unless HybridDataPath or MergeWindow
 	doorbellBatch int      // effective batch limit (clamped to Credits)
+	mergeWin      int      // sender merge window in requests (<= 1: off)
+	mergeBytes    int      // merged WR payload cap
+	mmet          mergeMetrics
+	xover         *crossoverCtrl // adaptive threshold controller, nil unless enabled
 
 	// Elastic-mode state (see elastic.go). All nil/zero until the first
 	// membership operation, so a static topology — even with
@@ -368,6 +428,31 @@ func NewDevice(f *ib.Fabric, name string, cfg ClientConfig) *Device {
 			entries = 8
 		}
 		d.mrc = newMRCache(hca, entries, tel)
+	}
+	if cfg.MergeWindow > 1 {
+		d.mergeWin = cfg.MergeWindow
+		d.mergeBytes = cfg.MergeBytes
+		if d.mergeBytes <= 0 {
+			d.mergeBytes = blockdev.MaxRequestBytes
+		}
+		if d.mrc == nil {
+			// Merged WRs ride reuse-cached MRs even when the hybrid path
+			// is off; a threshold past any request size keeps unmerged
+			// singles on the paper's copy-into-pool path.
+			entries := cfg.MRCacheEntries
+			if entries <= 0 {
+				entries = 8
+			}
+			d.mrc = newMRCache(hca, entries, tel)
+			d.hybridThr = int(^uint(0) >> 1)
+		}
+		d.mmet = newMergeMetrics(tel)
+	}
+	if cfg.ODP && d.mrc != nil {
+		d.mrc.odp = true
+	}
+	if cfg.AdaptiveCrossover && cfg.HybridDataPath && cfg.FlightRecEntries >= 0 {
+		d.xover = newCrossoverCtrl(d, cfg.CrossoverWindow, tel)
 	}
 	// The request-lifecycle analyzer and its flight recorder are always on
 	// (cheap: timestamp reads and a ring copy per request, never a sleep)
@@ -438,6 +523,16 @@ func (d *Device) Telemetry() *telemetry.Registry { return d.tel }
 
 // Pool exposes the registration buffer pool (for stats and tests).
 func (d *Device) Pool() *BufferPool { return d.pool }
+
+// HybridThreshold returns the current copy/register cutover in bytes —
+// static configuration, or the adaptive controller's latest output.
+func (d *Device) HybridThreshold() int { return d.hybridThr }
+
+// InvalidateODP implements the faultsim ODPHost capability: it drops
+// every resident on-demand-paging window on the client HCA, forcing the
+// next WR through each ODP region to re-fault. Returns the number of
+// windows invalidated (zero when the device holds no ODP regions).
+func (d *Device) InvalidateODP() int { return d.hca.InvalidateODP() }
 
 // Links returns the number of connected servers.
 func (d *Device) Links() int { return len(d.links) }
@@ -520,6 +615,9 @@ func (d *Device) Submit(p *sim.Proc, r *blockdev.Request) {
 	var wdata []byte
 	if r.Write {
 		wdata = r.Data()
+		if d.mergeWin > 1 {
+			parent.wdata = wdata // staging is deferred to the merge window
+		}
 	} else {
 		parent.readBuf = make([]byte, n)
 	}
@@ -561,7 +659,14 @@ func (d *Device) Submit(p *sim.Proc, r *blockdev.Request) {
 			d.routeDegraded(ph, nil)
 			continue
 		}
-		if d.mrc != nil && sg.Length >= d.hybridThr {
+		if d.mergeWin > 1 {
+			// Merging defers staging to the sender: only there is it known
+			// whether this request rides its own WR (pool or MR path, via
+			// stageOne) or a merged carrier's MR. The parent holds the
+			// write payload until then.
+			ph.poolOff = -1
+			ph.lazy = true
+		} else if d.mrc != nil && sg.Length >= d.hybridThr {
 			// Hybrid fast path: at or above the Fig. 3 crossover the
 			// request skips the pool and the server RDMAs against a
 			// per-request MR from the reuse cache. A cache miss charges
@@ -626,6 +731,9 @@ func (d *Device) releasePayload(p *sim.Proc, ph *phys) {
 		ph.mr = nil
 		return
 	}
+	if ph.poolOff < 0 {
+		return // merge-deferred staging never happened: nothing held
+	}
 	d.pool.Free(ph.poolOff)
 }
 
@@ -674,20 +782,173 @@ func (d *Device) sender(p *sim.Proc) {
 		if !ok {
 			return
 		}
-		if d.doorbellBatch <= 1 {
+		limit := d.doorbellBatch
+		if d.mergeWin > limit {
+			limit = d.mergeWin
+		}
+		if limit <= 1 {
 			d.sendOne(p, ph)
 			continue
 		}
 		batch := []*phys{ph}
-		for len(batch) < d.doorbellBatch {
+		for len(batch) < limit {
 			next, ok2 := d.sendQ.TryRecv()
 			if !ok2 {
 				break
 			}
 			batch = append(batch, next)
 		}
+		if d.mergeWin > 1 {
+			batch = d.mergeBatch(p, batch)
+		}
+		if d.doorbellBatch <= 1 {
+			for _, mph := range batch {
+				d.sendOne(p, mph)
+			}
+			continue
+		}
 		d.sendChained(p, batch)
 	}
+}
+
+// mergeBatch coalesces sector-contiguous same-server runs of the drained
+// batch into carrier WRs and stages everything else individually. Output
+// preserves arrival order (a carrier sits where its first constituent
+// did), so merging never reorders the issue stream.
+func (d *Device) mergeBatch(p *sim.Proc, batch []*phys) []*phys {
+	out := make([]*phys, 0, len(batch))
+	for i := 0; i < len(batch); {
+		j := d.mergeRun(batch, i)
+		if j-i < 2 {
+			ph := batch[i]
+			if ph.lazy && !d.failed && !ph.link.down {
+				if !d.stageOne(p, ph) {
+					i = j
+					continue // staging failed; the request is settled
+				}
+			}
+			out = append(out, ph)
+			i = j
+			continue
+		}
+		out = append(out, d.buildCarrier(p, batch[i:j]))
+		i = j
+	}
+	return out
+}
+
+// mergeRun scans the drained batch from i for the longest mergeable run:
+// unstaged foreground requests to the same live server, same direction,
+// contiguous in both device bytes and server-area offset, bounded by the
+// merge window and payload cap. Returns the index one past the run.
+//
+//hpbd:hotpath
+func (d *Device) mergeRun(batch []*phys, i int) int {
+	ph := batch[i]
+	if d.failed || !ph.lazy || ph.mig || ph.link.down {
+		return i + 1
+	}
+	total := ph.length
+	j := i + 1
+	for j < len(batch) && j-i < d.mergeWin {
+		nx := batch[j]
+		if nx.link != ph.link || nx.write != ph.write || !nx.lazy || nx.mig || nx.link.down {
+			break
+		}
+		if nx.devByte != ph.devByte+int64(total) || nx.offset != ph.offset+int64(total) {
+			break
+		}
+		if total+nx.length > d.mergeBytes {
+			break
+		}
+		total += nx.length
+		j++
+	}
+	return j
+}
+
+// stageOne gives a merge-deferred request its payload home — the same
+// pool-or-MR decision Submit makes when merging is off. Returns false
+// when the pool allocation fails (the request is then settled here).
+func (d *Device) stageOne(p *sim.Proc, ph *phys) bool {
+	ph.lazy = false
+	wdata := ph.parent.wdata
+	if d.mrc != nil && ph.length >= d.hybridThr {
+		ph.mr = d.mrc.get(p, ph.length)
+		if ph.write {
+			copy(ph.mr.Buf[:ph.length], wdata[ph.off:ph.off+ph.length])
+		}
+		d.met.hybridLarge.Inc()
+		return true
+	}
+	poolOff, err := d.pool.Alloc(p, ph.length)
+	if err != nil {
+		if _, pending := d.pending[ph.handle]; pending {
+			delete(d.pending, ph.handle)
+			d.finishPhys(ph, err)
+		}
+		return false
+	}
+	ph.poolOff = poolOff
+	if d.cfg.RegisterOnTheFly {
+		p.Sleep(d.mem.Register(ph.length))
+		if ph.write {
+			copy(d.poolMR.Buf[poolOff:], wdata[ph.off:ph.off+ph.length])
+		}
+	} else if ph.write {
+		p.Sleep(d.mem.Memcpy(ph.length))
+		copy(d.poolMR.Buf[poolOff:], wdata[ph.off:ph.off+ph.length])
+	}
+	return true
+}
+
+// buildCarrier folds a mergeable run into one carrier WR: one credit,
+// one WQE, one reuse-cached MR spanning the whole payload. Write data is
+// gathered through the HCA's scatter/gather list (no memcpy charge — the
+// point of merged I/O); the constituents leave the pending table and are
+// settled exactly once by the carrier's completion fan-out, on every
+// path.
+func (d *Device) buildCarrier(p *sim.Proc, run []*phys) *phys {
+	subs := append([]*phys(nil), run...) // run aliases the batch being rewritten
+	first := subs[0]
+	total := 0
+	for _, s := range subs {
+		total += s.length
+	}
+	c := &phys{
+		link:     first.link,
+		write:    first.write,
+		offset:   first.offset,
+		length:   total,
+		poolOff:  -1,
+		devByte:  first.devByte,
+		flowID:   first.flowID,
+		blkAt:    first.blkAt,
+		submitAt: first.submitAt,
+		enqAt:    first.enqAt,
+		subs:     subs,
+	}
+	c.mr = d.mrc.get(p, total)
+	if c.write {
+		off := 0
+		for _, s := range subs {
+			copy(c.mr.Buf[off:off+s.length], s.parent.wdata[s.off:s.off+s.length])
+			off += s.length
+		}
+	}
+	for _, s := range subs {
+		s.lazy = false
+		//hpbd:allow handleonce -- subs are settled exactly once via the carrier's finishPhys fan-out
+		delete(d.pending, s.handle)
+	}
+	d.nextH++
+	c.handle = d.nextH
+	d.pending[c.handle] = c
+	d.mmet.reqs.Add(int64(len(subs)))
+	d.mmet.wrs.Inc()
+	d.mmet.bytes.Add(int64(total))
+	d.mmet.run.Observe(sim.Duration(len(subs)))
+	return c
 }
 
 // sendOne is the paper's per-request issue path: one credit, one WQE, one
@@ -955,6 +1216,11 @@ func (d *Device) handleReply(p *sim.Proc, e ib.CQE) {
 	delete(d.pending, rep.Handle)
 	d.met.replies.Inc()
 
+	if ph.subs != nil {
+		d.applyMerged(p, ph, replyAt, rep.Status, link)
+		return
+	}
+
 	var ferr error
 	if rep.Status != wire.StatusOK {
 		d.met.remoteErrors.Inc()
@@ -1009,6 +1275,106 @@ func (d *Device) handleReply(p *sim.Proc, e ib.CQE) {
 	d.finishPhys(ph, ferr)
 }
 
+// applyMerged completes a carrier WR: the single reply settles every
+// constituent. Reads scatter out of the carrier MR into each parent's
+// gather buffer (no copy charge — the MR path's zero-copy contract);
+// each constituent gets its own lifecycle record and flow end, then the
+// fan-out in finishPhys settles the handles.
+func (d *Device) applyMerged(p *sim.Proc, ph *phys, replyAt sim.Time, status wire.Status, link *serverLink) {
+	var ferr error
+	if status != wire.StatusOK {
+		d.met.remoteErrors.Inc()
+		ferr = fmt.Errorf("%w: %v", ErrRemote, status)
+	} else if !ph.write {
+		d.met.opRead.Observe(p.Now().Sub(ph.sentAt))
+		off := 0
+		for _, s := range ph.subs {
+			copy(s.parent.readBuf[s.off:s.off+s.length], ph.mr.Buf[off:off+s.length])
+			off += s.length
+		}
+		d.met.bytesRead.Add(int64(ph.length))
+	} else {
+		d.met.opWrite.Observe(p.Now().Sub(ph.sentAt))
+		d.met.bytesWritten.Add(int64(ph.length))
+		if !ph.mig {
+			d.clearFallbackHold(ph.devByte, ph.length)
+		}
+	}
+	if d.tracer != nil {
+		name := "read-merged"
+		if ph.write {
+			name = "write-merged"
+		}
+		d.tracer.Complete(d.name, name, ph.enqAt, p.Now(), map[string]any{
+			"bytes": ph.length, "server": ph.link.srv.Name(),
+			"flow": ph.flowID, "handle": ph.handle, "reqs": len(ph.subs),
+		})
+		var lastFlow uint64
+		for _, s := range ph.subs {
+			if s.flowID != lastFlow {
+				d.tracer.FlowEnd(d.name, "req", s.flowID)
+				lastFlow = s.flowID
+			}
+		}
+	}
+	d.recordMergedLifecycle(p, ph, replyAt, ferr)
+	d.releasePayload(p, ph)
+	link.credits.Release(1)
+	d.finishPhys(ph, ferr)
+}
+
+// recordMergedLifecycle writes one lifecycle record per constituent of a
+// merged WR. Each record partitions the constituent's own [blkAt, now]
+// exactly: the early stages use its private timestamps, while the shared
+// flight (credit -> send -> rdma/server copy -> reply -> drain) comes
+// from the carrier's clock and single server stamp — the fan-in point is
+// the carrier's dequeue.
+func (d *Device) recordMergedLifecycle(p *sim.Proc, ph *phys, replyAt sim.Time, ferr error) {
+	if d.lc == nil {
+		return
+	}
+	now := p.Now()
+	flightStart := ph.creditAt
+	st, stOK := d.lc.TakeServerStamp(ph.handle) // carrier stamp: take once, split for all
+	if stOK && !(st.Start >= flightStart && st.Reply >= st.Start && replyAt >= st.Reply) {
+		stOK = false
+	}
+	for _, s := range ph.subs {
+		rec := telemetry.ReqRecord{
+			ID:      s.handle,
+			Flow:    s.flowID,
+			Write:   s.write,
+			Err:     ferr != nil,
+			Bytes:   s.length,
+			Server:  ph.link.srv.Name(),
+			Start:   s.blkAt,
+			End:     now,
+			Retries: retryCount(ph.attempt),
+		}
+		rec.Stages[telemetry.StageQueue] = s.submitAt.Sub(s.blkAt) + ph.deqAt.Sub(s.enqAt)
+		rec.Stages[telemetry.StagePoolWait] = s.enqAt.Sub(s.submitAt)
+		rec.Stages[telemetry.StageCreditStall] = ph.creditAt.Sub(ph.deqAt)
+		if stOK {
+			srvCopy := st.Copy
+			if srvCopy > st.Reply.Sub(st.Start) {
+				srvCopy = st.Reply.Sub(st.Start)
+			}
+			rec.Stages[telemetry.StageSend] = st.Start.Sub(flightStart)
+			rec.Stages[telemetry.StageServerCopy] = srvCopy
+			rec.Stages[telemetry.StageRDMA] = st.Reply.Sub(st.Start) - srvCopy
+			rec.Stages[telemetry.StageReply] = replyAt.Sub(st.Reply)
+		} else {
+			rec.Stages[telemetry.StageSend] = ph.sentAt.Sub(flightStart)
+			rec.Stages[telemetry.StageReply] = replyAt.Sub(ph.sentAt)
+		}
+		rec.Stages[telemetry.StageDrain] = now.Sub(replyAt)
+		d.lc.Record(&rec)
+		if d.xover != nil {
+			d.xover.observe(&rec)
+		}
+	}
+}
+
 // recordLifecycle attributes the completed request's end-to-end latency to
 // the critical-path stages. The stages partition [blkAt, now] exactly by
 // construction: every boundary is a captured timestamp, and the server's
@@ -1055,14 +1421,28 @@ func (d *Device) recordLifecycle(p *sim.Proc, ph *phys, replyAt sim.Time, ferr e
 	}
 	rec.Stages[telemetry.StageDrain] = now.Sub(replyAt)
 	d.lc.Record(&rec)
+	if d.xover != nil {
+		d.xover.observe(&rec)
+	}
 }
 
 // finishPhys records one physical completion and completes the parent
-// when all pieces are done.
+// when all pieces are done. A merge carrier has no parent: its outcome
+// fans out to the constituents instead, so every error path that settles
+// the carrier (device failure, link failover, retry exhaustion, timeout
+// cancel, degraded completion) settles each constituent exactly once.
 func (d *Device) finishPhys(ph *phys, err error) {
 	if m := ph.mtrack; m != nil {
 		ph.mtrack = nil
 		m.noteDone(ph, err)
+	}
+	if ph.subs != nil {
+		subs := ph.subs
+		ph.subs = nil // the fan-out happens once, whatever path got here
+		for _, s := range subs {
+			d.finishPhys(s, err)
+		}
+		return
 	}
 	parent := ph.parent
 	if err != nil && parent.err == nil {
@@ -1246,6 +1626,10 @@ func (d *Device) extractPayload(ph *phys) []byte {
 		data = make([]byte, ph.length)
 		if ph.mr != nil {
 			copy(data, ph.mr.Buf[:ph.length])
+		} else if ph.lazy {
+			// Merge-deferred staging never happened: the payload still
+			// lives in the parent's gather buffer.
+			copy(data, ph.parent.wdata[ph.off:ph.off+ph.length])
 		} else {
 			copy(data, d.poolMR.Buf[ph.poolOff:ph.poolOff+ph.length])
 		}
@@ -1290,8 +1674,17 @@ func (d *Device) routeDegraded(ph *phys, data []byte) {
 			err := fr.Wait(p)
 			if err == nil {
 				// The fallback driver scattered into buf (the standalone
-				// request's only IO buffer).
-				copy(ph.parent.readBuf[ph.off:], buf)
+				// request's only IO buffer). A carrier scatters on to its
+				// constituents' parents — it has no parent of its own.
+				if ph.subs != nil {
+					off := 0
+					for _, s := range ph.subs {
+						copy(s.parent.readBuf[s.off:s.off+s.length], buf[off:off+s.length])
+						off += s.length
+					}
+				} else {
+					copy(ph.parent.readBuf[ph.off:], buf)
+				}
 			}
 			d.finishDegraded(ph, err, "fallback")
 		})
@@ -1338,26 +1731,38 @@ func (d *Device) fallbackCovers(devByte int64, n int) bool {
 
 // finishDegraded records a degraded-path lifecycle record (stages still
 // partition [Start, End] exactly: everything after dispatch is drain
-// time) and completes the physical request.
+// time) and completes the physical request. A carrier degrades as its
+// constituents: one record each, then one fan-out.
 func (d *Device) finishDegraded(ph *phys, err error, server string) {
 	now := d.env.Now()
 	if d.lc != nil {
-		rec := telemetry.ReqRecord{
-			ID:      ph.handle,
-			Flow:    ph.flowID,
-			Write:   ph.write,
-			Err:     err != nil,
-			Bytes:   ph.length,
-			Server:  server,
-			Start:   ph.blkAt,
-			End:     now,
-			Retries: retryCount(ph.attempt),
+		if ph.subs != nil {
+			for _, s := range ph.subs {
+				d.degradedRecord(s, err, server, now, retryCount(ph.attempt))
+			}
+		} else {
+			d.degradedRecord(ph, err, server, now, retryCount(ph.attempt))
 		}
-		rec.Stages[telemetry.StageQueue] = ph.submitAt.Sub(ph.blkAt)
-		rec.Stages[telemetry.StageDrain] = now.Sub(ph.submitAt)
-		d.lc.Record(&rec)
 	}
 	d.finishPhys(ph, err)
+}
+
+// degradedRecord writes one degraded-path lifecycle record for ph.
+func (d *Device) degradedRecord(ph *phys, err error, server string, now sim.Time, retries uint8) {
+	rec := telemetry.ReqRecord{
+		ID:      ph.handle,
+		Flow:    ph.flowID,
+		Write:   ph.write,
+		Err:     err != nil,
+		Bytes:   ph.length,
+		Server:  server,
+		Start:   ph.blkAt,
+		End:     now,
+		Retries: retries,
+	}
+	rec.Stages[telemetry.StageQueue] = ph.submitAt.Sub(ph.blkAt)
+	rec.Stages[telemetry.StageDrain] = now.Sub(ph.submitAt)
+	d.lc.Record(&rec)
 }
 
 // retryCount clamps an attempt count into the record's uint8.

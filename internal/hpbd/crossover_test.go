@@ -1,0 +1,167 @@
+package hpbd
+
+import (
+	"testing"
+
+	"hpbd/internal/blockdev"
+	"hpbd/internal/ib"
+	"hpbd/internal/netmodel"
+	"hpbd/internal/sim"
+	"hpbd/internal/telemetry"
+)
+
+// adaptiveBed is a hybrid-path client with the crossover controller armed
+// at a small observation window so short tests tick it many times.
+func newAdaptiveBed(t *testing.T, odp bool) *chaosBed {
+	t.Helper()
+	env := sim.NewEnv()
+	reg := telemetry.New(env)
+	f := ib.NewFabric(env, ib.DefaultConfig())
+	ccfg := DefaultClientConfig()
+	ccfg.HybridDataPath = true
+	ccfg.AdaptiveCrossover = true
+	ccfg.CrossoverWindow = 8
+	ccfg.ODP = odp
+	ccfg.Telemetry = reg
+	dev := NewDevice(f, "hpbd0", ccfg)
+	tb := &testbed{env: env, fabric: f, dev: dev}
+	srv := NewServer(f, "mem0", DefaultServerConfig(64<<20))
+	if err := dev.ConnectServer(srv, 64<<20); err != nil {
+		t.Fatalf("ConnectServer: %v", err)
+	}
+	tb.servers = append(tb.servers, srv)
+	tb.queue = blockdev.NewQueue(env, netmodel.DefaultHost(), dev)
+	return &chaosBed{testbed: tb, reg: reg}
+}
+
+// adaptiveWorkload drives two phases: small discontiguous writes that
+// carry no MR-reuse signal (the controller must probe downward), then
+// repeated 64K writes whose reuse the controller can measure.
+func adaptiveWorkload(t *testing.T, cb *chaosBed, smalls, larges int) (thrAfterSmalls int) {
+	t.Helper()
+	cb.run(func(p *sim.Proc) {
+		for i := 0; i < smalls; i++ {
+			// Stride 64 sectors so the elevator cannot coalesce the phase
+			// into a handful of large requests.
+			w, err := cb.queue.Submit(true, int64(i*64), pattern(4096, byte(i)))
+			if err != nil {
+				t.Fatalf("submit small %d: %v", i, err)
+			}
+			cb.queue.Unplug()
+			if err := w.Wait(p); err != nil {
+				t.Fatalf("small write %d: %v", i, err)
+			}
+		}
+		thrAfterSmalls = cb.dev.HybridThreshold()
+		const size = 64 * 1024
+		for i := 0; i < larges; i++ {
+			w, err := cb.queue.Submit(true, 1<<20/blockdev.SectorSize, pattern(size, byte(i)))
+			if err != nil {
+				t.Fatalf("submit large %d: %v", i, err)
+			}
+			cb.queue.Unplug()
+			if err := w.Wait(p); err != nil {
+				t.Fatalf("large write %d: %v", i, err)
+			}
+		}
+	})
+	return thrAfterSmalls
+}
+
+// The controller must move: downward probing when the workload gives it
+// no reuse signal, convergence into the request range once it does, and
+// an always-sane published threshold.
+func TestAdaptiveCrossoverAdapts(t *testing.T) {
+	cb := newAdaptiveBed(t, false)
+	static := cb.dev.HybridThreshold()
+	if static != netmodel.Fig3CrossoverBytes {
+		t.Fatalf("initial threshold = %d, want the static design point %d", static, netmodel.Fig3CrossoverBytes)
+	}
+	thrAfterSmalls := adaptiveWorkload(t, cb, 16, 80)
+	if thrAfterSmalls >= static {
+		t.Errorf("threshold after a no-signal phase = %d, want probed below %d", thrAfterSmalls, static)
+	}
+	thr := cb.dev.HybridThreshold()
+	if cb.dev.Stats().HybridLarge == 0 {
+		t.Fatal("64K writes never reached the MR path; the controller failed to adapt")
+	}
+	if thr > 64*1024 {
+		t.Errorf("final threshold = %d, want <= 64K with deep reuse measured", thr)
+	}
+	if thr < netmodel.PageSize || thr%netmodel.PageSize != 0 {
+		t.Errorf("final threshold = %d, want a page multiple >= one page", thr)
+	}
+	if ticks := cb.reg.Counter("hpbd.crossover.ticks").Value(); ticks < 10 {
+		t.Errorf("controller ticked %d times over 96 completions at window 8, want >= 10", ticks)
+	}
+	if g := cb.reg.Gauge("hpbd.crossover.bytes").Value(); g != int64(thr) {
+		t.Errorf("published threshold gauge = %d, live threshold = %d", g, thr)
+	}
+	assertExactPartition(t, cb.dev)
+}
+
+// With ODP registrations the measured crossover sits at or below the
+// pinned one for the same workload — on-demand regions only make the
+// register path cheaper.
+func TestAdaptiveCrossoverODPNoHigher(t *testing.T) {
+	pinned := newAdaptiveBed(t, false)
+	adaptiveWorkload(t, pinned, 16, 80)
+	odp := newAdaptiveBed(t, true)
+	adaptiveWorkload(t, odp, 16, 80)
+	if o, p := odp.dev.HybridThreshold(), pinned.dev.HybridThreshold(); o > p {
+		t.Errorf("ODP threshold = %d > pinned threshold %d for the same workload", o, p)
+	}
+}
+
+// Same seed, same workload, same controller trajectory: the adaptive
+// threshold must not perturb the simulator's determinism contract.
+func TestAdaptiveCrossoverDeterministic(t *testing.T) {
+	type snap struct {
+		thr          int
+		ticks        int64
+		hits, misses int64
+	}
+	take := func() snap {
+		cb := newAdaptiveBed(t, false)
+		adaptiveWorkload(t, cb, 16, 80)
+		return snap{
+			thr:    cb.dev.HybridThreshold(),
+			ticks:  cb.reg.Counter("hpbd.crossover.ticks").Value(),
+			hits:   cb.dev.mrc.hits.Value(),
+			misses: cb.dev.mrc.misses.Value(),
+		}
+	}
+	a, b := take(), take()
+	if a != b {
+		t.Errorf("two identical runs diverged: %+v vs %+v", a, b)
+	}
+}
+
+// AdaptiveCrossover without the hybrid path has nothing to control and
+// must stay inert.
+func TestAdaptiveCrossoverRequiresHybrid(t *testing.T) {
+	env := sim.NewEnv()
+	reg := telemetry.New(env)
+	f := ib.NewFabric(env, ib.DefaultConfig())
+	ccfg := DefaultClientConfig()
+	ccfg.AdaptiveCrossover = true
+	ccfg.Telemetry = reg
+	dev := NewDevice(f, "hpbd0", ccfg)
+	srv := NewServer(f, "mem0", DefaultServerConfig(1<<20))
+	if err := dev.ConnectServer(srv, 1<<20); err != nil {
+		t.Fatalf("ConnectServer: %v", err)
+	}
+	queue := blockdev.NewQueue(env, netmodel.DefaultHost(), dev)
+	env.Go("io", func(p *sim.Proc) {
+		w, _ := queue.Submit(true, 0, pattern(4096, 1))
+		queue.Unplug()
+		if err := w.Wait(p); err != nil {
+			t.Errorf("write: %v", err)
+		}
+	})
+	env.Run()
+	env.Close()
+	if ticks := reg.Counter("hpbd.crossover.ticks").Value(); ticks != 0 {
+		t.Errorf("controller ticked %d times without a hybrid path", ticks)
+	}
+}

@@ -20,11 +20,16 @@ import (
 type mrCache struct {
 	hca  *ib.HCA
 	cap  int
+	odp  bool     // register misses as on-demand-paging regions
 	idle []*ib.MR // least recently returned first
 
 	hits   *telemetry.Counter
 	misses *telemetry.Counter
 	evicts *telemetry.Counter
+	// idleG mirrors len(idle) so the trace shows cache occupancy over
+	// time; keeping it exact through the eviction path is the accounting
+	// contract TestMRCacheEvictWhileIdle pins down.
+	idleG *telemetry.Gauge
 }
 
 func newMRCache(hca *ib.HCA, entries int, reg *telemetry.Registry) *mrCache {
@@ -34,6 +39,7 @@ func newMRCache(hca *ib.HCA, entries int, reg *telemetry.Registry) *mrCache {
 		hits:   reg.Counter("hpbd.hybrid.mr_hits"),
 		misses: reg.Counter("hpbd.hybrid.mr_misses"),
 		evicts: reg.Counter("hpbd.hybrid.mr_evicts"),
+		idleG:  reg.Gauge("hpbd.hybrid.mr_idle"),
 	}
 }
 
@@ -46,6 +52,7 @@ func (c *mrCache) get(p *sim.Proc, n int) *ib.MR {
 		if len(mr.Buf) >= n {
 			c.idle = append(c.idle[:i], c.idle[i+1:]...)
 			c.hits.Inc()
+			c.idleG.Set(int64(len(c.idle)))
 			return mr
 		}
 	}
@@ -55,6 +62,11 @@ func (c *mrCache) get(p *sim.Proc, n int) *ib.MR {
 		size = netmodel.PageSize
 	}
 	size = 1 << bits.Len(uint(size-1))
+	if c.odp {
+		// ODP mode: registration is ~free; the first WR through each
+		// window pays the fault instead (charged by the fabric).
+		return c.hca.RegisterODP(p, make([]byte, size))
+	}
 	return c.hca.RegisterMR(p, make([]byte, size))
 }
 
@@ -64,11 +76,13 @@ func (c *mrCache) get(p *sim.Proc, n int) *ib.MR {
 func (c *mrCache) put(p *sim.Proc, mr *ib.MR) {
 	c.idle = append(c.idle, mr)
 	if len(c.idle) <= c.cap {
+		c.idleG.Set(int64(len(c.idle)))
 		return
 	}
 	old := c.idle[0]
 	c.idle = c.idle[1:]
 	c.evicts.Inc()
+	c.idleG.Set(int64(len(c.idle)))
 	if p != nil {
 		c.hca.DeregisterMR(p, old)
 	} else {

@@ -22,6 +22,7 @@ package ib
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"hpbd/internal/netmodel"
 	"hpbd/internal/sim"
@@ -137,6 +138,11 @@ type Fabric struct {
 	cfg   Config
 	hcas  []*HCA
 	fault FaultHook
+
+	// odpFaults counts first-touch page faults on ODP regions. Created
+	// lazily on the first fault so fabrics that never register an ODP MR
+	// expose an unchanged metric set.
+	odpFaults *telemetry.Counter
 }
 
 // SetFaultHook installs h as the fabric's fault injector (nil removes
@@ -199,6 +205,65 @@ type MR struct {
 	LKey  uint32
 	RKey  uint32
 	valid bool
+
+	// odp marks an on-demand-paging region: registration pinned nothing,
+	// and the first access to each netmodel.ODPWindowBytes window pays a
+	// fault serviced by the HCA before the data moves.
+	odp bool
+	// resident tracks per-window residency for an ODP region. A window is
+	// faulted in by the first WR that touches it and stays resident until
+	// an invalidation (memory pressure, faultsim's odpinval) clears it.
+	resident []bool
+}
+
+// Valid reports whether the region is still registered.
+func (m *MR) Valid() bool { return m != nil && m.valid }
+
+// IsODP reports whether the region uses on-demand paging.
+func (m *MR) IsODP() bool { return m != nil && m.odp }
+
+// InvalidatePages drops all resident windows of an ODP region, forcing
+// the next access to each to re-fault (the MR itself stays registered —
+// this models the MMU-notifier invalidation path, not deregistration).
+// It returns the number of windows that were resident. No-op on pinned
+// regions.
+func (m *MR) InvalidatePages() int {
+	if !m.odp {
+		return 0
+	}
+	n := 0
+	for i := range m.resident {
+		if m.resident[i] {
+			m.resident[i] = false
+			n++
+		}
+	}
+	return n
+}
+
+// touch marks the windows covering [off, off+n) resident and returns how
+// many windows and 4 KB pages were newly faulted in (zero when the range
+// was already resident). Allocation-free: called on the data path.
+func (m *MR) touch(off, n int) (windows, pages int) {
+	if !m.odp || n <= 0 {
+		return 0, 0
+	}
+	lo := off / netmodel.ODPWindowBytes
+	hi := (off + n - 1) / netmodel.ODPWindowBytes
+	for w := lo; w <= hi && w < len(m.resident); w++ {
+		if m.resident[w] {
+			continue
+		}
+		m.resident[w] = true
+		windows++
+		// Pages resolved by this window's fault (last window may be short).
+		wb := netmodel.ODPWindowBytes
+		if rem := len(m.Buf) - w*netmodel.ODPWindowBytes; rem < wb {
+			wb = rem
+		}
+		pages += (wb + netmodel.PageSize - 1) / netmodel.PageSize
+	}
+	return windows, pages
 }
 
 // RegisterMR registers buf with the HCA, charging the calling process the
@@ -221,9 +286,26 @@ func (h *HCA) registerMRFree(buf []byte) *MR {
 // on the critical path).
 func (h *HCA) RegisterMRAtSetup(buf []byte) *MR { return h.registerMRFree(buf) }
 
-// DeregisterMR invalidates the region, charging the deregistration cost.
+// RegisterODP registers buf as an on-demand-paging region: the call is
+// near-free (nothing is pinned, so the cost does not scale with size),
+// but the first WR touching each ODPWindowBytes window pays a fault
+// charged by the fabric timing model before the data moves.
+func (h *HCA) RegisterODP(p *sim.Proc, buf []byte) *MR {
+	p.Sleep(h.fabric.cfg.Mem.ODPRegister())
+	mr := h.registerMRFree(buf)
+	mr.odp = true
+	mr.resident = make([]bool, netmodel.ODPWindows(len(buf)))
+	return mr
+}
+
+// DeregisterMR invalidates the region, charging the deregistration cost
+// (the cheaper ODP teardown for on-demand regions: no unpinning).
 func (h *HCA) DeregisterMR(p *sim.Proc, mr *MR) {
-	p.Sleep(h.fabric.cfg.Mem.Deregister())
+	if mr.odp {
+		p.Sleep(h.fabric.cfg.Mem.ODPDeregister())
+	} else {
+		p.Sleep(h.fabric.cfg.Mem.Deregister())
+	}
 	mr.valid = false
 	delete(h.mrs, mr.RKey)
 }
@@ -243,6 +325,43 @@ func (h *HCA) lookupMR(rkey uint32) *MR {
 		return nil
 	}
 	return mr
+}
+
+// InvalidateODP drops the resident windows of every ODP region on the
+// HCA (the machine-wide MMU-notifier storm a memory-pressure event or
+// faultsim's odpinval models), forcing re-faults on next access. Returns
+// the number of windows invalidated. Regions are visited in RKey order
+// so the (currently side-effect-equal) walk stays deterministic.
+func (h *HCA) InvalidateODP() int {
+	keys := make([]uint32, 0, len(h.mrs))
+	for k := range h.mrs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	n := 0
+	for _, k := range keys {
+		n += h.mrs[k].InvalidatePages()
+	}
+	return n
+}
+
+// odpDelay returns the fault-service latency for a WR touching
+// [off, off+n) of mr, zero for pinned or already-resident ranges. Faults
+// are counted on the lazily created odp.faults series so fabrics without
+// ODP regions keep their metric set unchanged.
+func (f *Fabric) odpDelay(mr *MR, off, n int) sim.Duration {
+	if mr == nil || !mr.odp {
+		return 0
+	}
+	windows, pages := mr.touch(off, n)
+	if windows == 0 {
+		return 0
+	}
+	if f.odpFaults == nil {
+		f.odpFaults = f.cfg.Telemetry.Counter("odp.faults")
+	}
+	f.odpFaults.Add(int64(windows))
+	return f.cfg.Mem.ODPFault(windows, pages)
 }
 
 // qpPenalty returns the QP-context-cache cost of an operation on qp. The

@@ -1,0 +1,147 @@
+package ib
+
+import (
+	"testing"
+
+	"hpbd/internal/netmodel"
+	"hpbd/internal/sim"
+	"hpbd/internal/telemetry"
+)
+
+// odpPair is pair() plus a metrics registry on the fabric, so the tests
+// can watch the odp.faults series the timing model feeds.
+func odpPair() (*sim.Env, *telemetry.Registry, *node, *node) {
+	env := sim.NewEnv()
+	reg := telemetry.New(env)
+	cfg := DefaultConfig()
+	cfg.Telemetry = reg
+	f := NewFabric(env, cfg)
+	mk := func(name string) *node {
+		h := f.NewHCA(name)
+		s, r := h.CreateCQ(name+"-send"), h.CreateCQ(name+"-recv")
+		return &node{hca: h, sendCQ: s, recvCQ: r}
+	}
+	a, b := mk("a"), mk("b")
+	a.qp = a.hca.CreateQP(a.sendCQ, a.recvCQ)
+	b.qp = b.hca.CreateQP(b.sendCQ, b.recvCQ)
+	Connect(a.qp, b.qp)
+	return env, reg, a, b
+}
+
+func TestRegisterODPCostsAndResidency(t *testing.T) {
+	env, _, a, _ := odpPair()
+	mem := a.hca.fabric.cfg.Mem
+	env.Go("run", func(p *sim.Proc) {
+		t0 := p.Now()
+		mr := a.hca.RegisterODP(p, make([]byte, 256*1024))
+		if got := p.Now().Sub(t0); got != mem.ODPRegister() {
+			t.Errorf("ODP registration charged %v, want flat %v", got, mem.ODPRegister())
+		}
+		if !mr.Valid() || !mr.IsODP() {
+			t.Error("fresh ODP region must be valid and flagged ODP")
+		}
+		// Nothing is resident before traffic, so there is nothing to drop.
+		if n := mr.InvalidatePages(); n != 0 {
+			t.Errorf("cold region invalidated %d windows, want 0", n)
+		}
+		// Pinned regions are untouched by the ODP surface.
+		pinned := a.hca.RegisterMRAtSetup(make([]byte, 4096))
+		if pinned.IsODP() || pinned.InvalidatePages() != 0 {
+			t.Error("pinned MR leaked into the ODP surface")
+		}
+		// Teardown takes the cheap no-unpin path.
+		t1 := p.Now()
+		a.hca.DeregisterMR(p, mr)
+		if got := p.Now().Sub(t1); got != mem.ODPDeregister() {
+			t.Errorf("ODP deregistration charged %v, want %v", got, mem.ODPDeregister())
+		}
+		if mr.Valid() {
+			t.Error("deregistered ODP region still valid")
+		}
+	})
+	env.Run()
+	env.Close()
+}
+
+// The fault lifecycle on the wire: a cold ODP source pays one fault per
+// window on first touch, a warm one pays nothing, and an invalidation
+// makes the same range fault again. The latency delta between the cold
+// and warm transfer must be exactly the modeled fault-service time.
+func TestODPFaultChargedOnceThenAfterInvalidate(t *testing.T) {
+	env, reg, a, b := odpPair()
+	mem := a.hca.fabric.cfg.Mem
+	const n = 128 * 1024 // 2 fault windows, 32 pages
+	faults := reg.Counter("odp.faults")
+	env.Go("run", func(p *sim.Proc) {
+		src := a.hca.RegisterODP(p, make([]byte, n))
+		dst := b.hca.RegisterMRAtSetup(make([]byte, n))
+		write := func(id uint64) sim.Duration {
+			t0 := p.Now()
+			if err := a.qp.PostSend(p, SendWR{
+				ID: id, Op: OpRDMAWrite,
+				Local: Segment{src, 0, n}, RemoteKey: dst.RKey, RemoteOff: 0,
+			}); err != nil {
+				t.Fatalf("PostSend %d: %v", id, err)
+			}
+			if e := a.sendCQ.WaitPoll(p); e.Status != StatusSuccess {
+				t.Fatalf("write %d failed: %v", id, e.Status)
+			}
+			return p.Now().Sub(t0)
+		}
+		cold := write(1)
+		if got := faults.Value(); got != 2 {
+			t.Fatalf("cold 128K transfer faulted %d windows, want 2", got)
+		}
+		warm := write(2)
+		if got := faults.Value(); got != 2 {
+			t.Errorf("warm transfer re-faulted: counter %d, want still 2", got)
+		}
+		if want := mem.ODPFault(2, 32); cold-warm != want {
+			t.Errorf("cold-warm latency delta = %v, want fault cost %v", cold-warm, want)
+		}
+		// The MMU-notifier path: drop residency, same range faults again.
+		if dropped := a.hca.InvalidateODP(); dropped != 2 {
+			t.Errorf("InvalidateODP dropped %d windows, want 2", dropped)
+		}
+		refault := write(3)
+		if got := faults.Value(); got != 4 {
+			t.Errorf("post-invalidate transfer faulted %d total windows, want 4", got)
+		}
+		if refault != cold {
+			t.Errorf("re-faulted transfer took %v, want the cold time %v", refault, cold)
+		}
+	})
+	env.Run()
+	env.Close()
+}
+
+// A remote-side ODP destination also faults: the responder charges the
+// fault before placement, and the windows belong to the target HCA.
+func TestODPRemoteDestinationFaults(t *testing.T) {
+	env, reg, a, b := odpPair()
+	const n = netmodel.ODPWindowBytes // exactly one window
+	env.Go("run", func(p *sim.Proc) {
+		src := a.hca.RegisterMRAtSetup(make([]byte, n))
+		dst := b.hca.RegisterODP(p, make([]byte, n))
+		if err := a.qp.PostSend(p, SendWR{
+			ID: 7, Op: OpRDMAWrite,
+			Local: Segment{src, 0, n}, RemoteKey: dst.RKey, RemoteOff: 0,
+		}); err != nil {
+			t.Fatalf("PostSend: %v", err)
+		}
+		if e := a.sendCQ.WaitPoll(p); e.Status != StatusSuccess {
+			t.Fatalf("write failed: %v", e.Status)
+		}
+		if got := reg.Counter("odp.faults").Value(); got != 1 {
+			t.Errorf("remote ODP destination faulted %d windows, want 1", got)
+		}
+		if got := b.hca.InvalidateODP(); got != 1 {
+			t.Errorf("target HCA held %d resident windows, want 1", got)
+		}
+		if got := a.hca.InvalidateODP(); got != 0 {
+			t.Errorf("initiator HCA held %d resident windows, want 0", got)
+		}
+	})
+	env.Run()
+	env.Close()
+}

@@ -213,14 +213,22 @@ func (q *QP) issue(wr SendWR) {
 	case OpSend, OpRDMAWrite:
 		payload := clone(wr.Local.bytes())
 		n := len(payload)
-		// QP context fetch penalties on both adapters.
-		start := now.Add(src.qpPenalty(q)).Add(extra)
+		// QP context fetch penalties on both adapters, plus first-touch
+		// fault service when the local gather buffer is an ODP region.
+		start := now.Add(src.qpPenalty(q)).Add(extra).
+			Add(q.hca.fabric.odpDelay(wr.Local.MR, wr.Local.Off, n))
 		egStart := maxTime(start, src.egressFree)
 		egDone := egStart.Add(cfg.Link.BW.Over(n))
 		src.egressFree = egDone
 		inStart := maxTime(egStart.Add(cfg.Link.Prop), dst.ingressFree)
 		inDone := inStart.Add(cfg.Link.BW.Over(n)).Add(dst.qpPenalty(q.peer))
 		dst.ingressFree = inDone
+		if wr.Op == OpRDMAWrite {
+			// A cold remote ODP window stalls the responder's RDMA engine
+			// while its fault resolves before the write can land.
+			inDone = inDone.Add(q.hca.fabric.odpDelay(dst.lookupMR(wr.RemoteKey), wr.RemoteOff, n))
+			dst.ingressFree = inDone
+		}
 
 		peer := q.peer
 		var failed Status // set by deliver on a NAK-worthy outcome
@@ -239,9 +247,12 @@ func (q *QP) issue(wr SendWR) {
 		})
 
 	case OpRDMARead:
-		// Request travels to the responder, then data streams back.
+		// Request travels to the responder, then data streams back. The
+		// local destination faults in before the request leaves (the HCA
+		// needs the sink resident to scatter the response).
 		n := wr.Local.Len
-		start := now.Add(src.qpPenalty(q)).Add(extra)
+		start := now.Add(src.qpPenalty(q)).Add(extra).
+			Add(q.hca.fabric.odpDelay(wr.Local.MR, wr.Local.Off, n))
 		reqArrive := maxTime(start, src.egressFree).Add(cfg.Link.BW.Over(32)).Add(cfg.Link.Prop)
 		peer := q.peer
 		env.After(reqArrive.Sub(now), func() {
@@ -282,8 +293,10 @@ func (q *QP) completeRDMARead(wr SendWR, peer *QP, n int, postAt sim.Time) {
 		return
 	}
 	payload := clone(rmr.Buf[wr.RemoteOff : wr.RemoteOff+n])
-	// Data path: responder egress -> requester ingress.
-	egStart := maxTime(now.Add(peer.hca.qpPenalty(peer)), peer.hca.egressFree)
+	// Data path: responder egress -> requester ingress. A cold remote ODP
+	// range must fault in before the responder can stream it out.
+	egStart := maxTime(now.Add(peer.hca.qpPenalty(peer)).
+		Add(q.hca.fabric.odpDelay(rmr, wr.RemoteOff, n)), peer.hca.egressFree)
 	egDone := egStart.Add(cfg.Link.BW.Over(n))
 	peer.hca.egressFree = egDone
 	inStart := maxTime(egStart.Add(cfg.Link.Prop), q.hca.ingressFree)

@@ -42,6 +42,23 @@ type MemModel struct {
 	RegPerPage sim.Duration
 	// DeregBase is the fixed cost of deregistration.
 	DeregBase sim.Duration
+
+	// ODPRegBase is the fixed cost of an on-demand-paging registration:
+	// no pages are pinned and no HCA translation entries are populated up
+	// front, so only the kernel trap and the MR bookkeeping remain (the
+	// NP-RDMA observation: registration becomes ~free, first access pays).
+	ODPRegBase sim.Duration
+	// ODPDeregBase is the fixed cost of tearing an ODP region down
+	// (nothing to unpin).
+	ODPDeregBase sim.Duration
+	// ODPFaultBase is the per-fault-event cost of faulting one
+	// ODPWindowBytes window in on first access: the HCA's page-fault
+	// doorbell, the kernel's ODP handler, and the translation-table
+	// update for the window.
+	ODPFaultBase sim.Duration
+	// ODPFaultPerPage is the incremental cost per 4 KB page resolved
+	// within a faulted window.
+	ODPFaultPerPage sim.Duration
 }
 
 // DefaultMem returns the memory model calibrated to the paper's platform.
@@ -55,6 +72,11 @@ func DefaultMem() MemModel {
 		RegBase:    95 * sim.Microsecond,
 		RegPerPage: 1200 * sim.Nanosecond,
 		DeregBase:  25 * sim.Microsecond,
+
+		ODPRegBase:      3 * sim.Microsecond,
+		ODPDeregBase:    2 * sim.Microsecond,
+		ODPFaultBase:    18 * sim.Microsecond,
+		ODPFaultPerPage: 450 * sim.Nanosecond,
 	}
 }
 
@@ -95,6 +117,63 @@ func (m MemModel) CopyRegisterCrossover(reuse int) int {
 	const limit = 1 << 30
 	for n := PageSize; n <= limit; n += PageSize {
 		if m.Register(n)/sim.Duration(reuse) <= m.Memcpy(n) {
+			return n
+		}
+	}
+	return limit
+}
+
+// ODPWindowBytes is the granularity of on-demand-paging faults: a first
+// touch inside a window resolves the whole window, so an N-byte transfer
+// through a cold ODP region takes ceil(N/ODPWindowBytes) faults.
+const ODPWindowBytes = 64 * 1024
+
+// ODPWindows returns the number of fault windows n bytes span when
+// touched from a window boundary.
+func ODPWindows(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (n + ODPWindowBytes - 1) / ODPWindowBytes
+}
+
+// ODPRegister returns the time to create an on-demand-paging region
+// (size-independent: nothing is pinned).
+func (m MemModel) ODPRegister() sim.Duration { return m.ODPRegBase }
+
+// ODPDeregister returns the time to destroy an on-demand-paging region.
+func (m MemModel) ODPDeregister() sim.Duration { return m.ODPDeregBase }
+
+// ODPFault returns the time to service first-touch faults covering
+// `windows` fault windows and `pages` 4 KB pages in total.
+func (m MemModel) ODPFault(windows, pages int) sim.Duration {
+	if windows <= 0 {
+		return 0
+	}
+	return sim.Duration(windows)*m.ODPFaultBase + sim.Duration(pages)*m.ODPFaultPerPage
+}
+
+// odpFirstTouch is the cost of registering an n-byte ODP region and
+// faulting all of it in once.
+func (m MemModel) odpFirstTouch(n int) sim.Duration {
+	pages := (n + PageSize - 1) / PageSize
+	return m.ODPRegister() + m.ODPFault(ODPWindows(n), pages)
+}
+
+// ODPRegisterCrossover is the on-demand-paging analog of
+// CopyRegisterCrossover: the smallest page-multiple transfer size at
+// which an ODP registration plus a full first-touch fault — amortized
+// over `reuse` transfers through an MR reuse cache — costs no more than
+// copying the payload. Because nothing is pinned, the cold crossover sits
+// far below the pinned Figure 3 one, which is what lets the adaptive
+// controller push the hybrid threshold down into the swap-request range.
+func (m MemModel) ODPRegisterCrossover(reuse int) int {
+	if reuse < 1 {
+		reuse = 1
+	}
+	const limit = 1 << 30
+	for n := PageSize; n <= limit; n += PageSize {
+		if m.odpFirstTouch(n)/sim.Duration(reuse) <= m.Memcpy(n) {
 			return n
 		}
 	}

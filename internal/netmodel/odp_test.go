@@ -1,0 +1,76 @@
+package netmodel
+
+import (
+	"testing"
+
+	"hpbd/internal/sim"
+)
+
+func TestODPWindows(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, 0}, {-5, 0}, {1, 1}, {ODPWindowBytes, 1},
+		{ODPWindowBytes + 1, 2}, {128 * 1024, 2}, {512 * 1024, 8},
+	}
+	for _, c := range cases {
+		if got := ODPWindows(c.n); got != c.want {
+			t.Errorf("ODPWindows(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestODPFaultArithmetic(t *testing.T) {
+	m := DefaultMem()
+	if m.ODPFault(0, 0) != 0 {
+		t.Error("zero windows must cost nothing")
+	}
+	want := 2*m.ODPFaultBase + 32*m.ODPFaultPerPage
+	if got := m.ODPFault(2, 32); got != want {
+		t.Errorf("ODPFault(2, 32) = %v, want %v", got, want)
+	}
+	// Registration and deregistration are size-independent constants —
+	// that is the whole point of on-demand paging.
+	if m.ODPRegister() != m.ODPRegBase || m.ODPDeregister() != m.ODPDeregBase {
+		t.Error("ODP register/deregister must be the flat base costs")
+	}
+}
+
+// The calibration contract: registering a cold ODP region and faulting it
+// in must undercut a pinned registration of the same size, and a warm
+// region (no faults) must be near-free. Otherwise ODP mode would never be
+// worth switching on.
+func TestODPColdBeatsPinnedRegistration(t *testing.T) {
+	m := DefaultMem()
+	for _, n := range []int{64 * 1024, 128 * 1024, 512 * 1024} {
+		cold := m.ODPRegister() + m.ODPFault(ODPWindows(n), (n+PageSize-1)/PageSize)
+		if pinned := m.Register(n); cold >= pinned {
+			t.Errorf("cold ODP %d bytes = %v, want < pinned registration %v", n, cold, pinned)
+		}
+	}
+	if warm := m.ODPRegister(); warm > 5*sim.Microsecond {
+		t.Errorf("warm ODP registration = %v; must be microseconds, not a pin-down", warm)
+	}
+}
+
+func TestODPRegisterCrossover(t *testing.T) {
+	m := DefaultMem()
+	// Even with zero reuse the ODP crossover must sit below the pinned
+	// one: the amortized cost it compares against memcpy is strictly
+	// cheaper at every size.
+	if odp, pinned := m.ODPRegisterCrossover(1), m.CopyRegisterCrossover(1); odp >= pinned {
+		t.Errorf("ODP crossover(1) = %d, want < pinned crossover %d", odp, pinned)
+	}
+	// More reuse amortizes the fault cost further: monotone non-increasing.
+	prev := m.ODPRegisterCrossover(1)
+	for reuse := 2; reuse <= 16; reuse *= 2 {
+		c := m.ODPRegisterCrossover(reuse)
+		if c > prev {
+			t.Errorf("ODP crossover(%d) = %d > crossover at less reuse %d", reuse, c, prev)
+		}
+		prev = c
+	}
+	// The result is a page multiple (the threshold consumer aligns to
+	// pages; the model should hand it one already aligned).
+	if c := m.ODPRegisterCrossover(4); c%PageSize != 0 {
+		t.Errorf("ODP crossover(4) = %d, not page-aligned", c)
+	}
+}

@@ -7,6 +7,7 @@
 //	hpbd-bench [-exp fig5,fig7] [-scale 32] [-seed 1] [-list]
 //	hpbd-bench -trace trace.json [-metrics metrics.om] [-scale 32] [-seed 1]
 //	hpbd-bench -trace trace.json -faults "crash@8ms=mem0,delay@2ms+4ms~200us=mem1"
+//	hpbd-bench -health [-health-interval 100us] [-faults "crash@8ms=mem0"] [-csv]
 package main
 
 import (
@@ -17,19 +18,23 @@ import (
 	"time"
 
 	"hpbd/internal/experiments"
+	"hpbd/internal/health"
+	"hpbd/internal/sim"
 	"hpbd/internal/telemetry"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "comma-separated experiment IDs (default: all)")
-		scale   = flag.Int("scale", experiments.PaperScale, "scale divisor for paper sizes")
-		seed    = flag.Int64("seed", 1, "workload RNG seed")
-		list    = flag.Bool("list", false, "list experiment IDs and exit")
-		csv     = flag.Bool("csv", false, "emit CSV rows instead of tables")
-		trace   = flag.String("trace", "", "run a traced multi-server testswap and write Chrome trace JSON to this path")
-		metrics = flag.String("metrics", "", "with -trace: also write the OpenMetrics exposition to this path")
-		faults  = flag.String("faults", "", "with -trace: replay this fault spec against a mirrored node (see internal/faultsim)")
+		exp      = flag.String("exp", "", "comma-separated experiment IDs (default: all)")
+		scale    = flag.Int("scale", experiments.PaperScale, "scale divisor for paper sizes")
+		seed     = flag.Int64("seed", 1, "workload RNG seed")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		csv      = flag.Bool("csv", false, "emit CSV rows instead of tables")
+		trace    = flag.String("trace", "", "run a traced multi-server testswap and write Chrome trace JSON to this path")
+		metrics  = flag.String("metrics", "", "with -trace: also write the OpenMetrics exposition to this path")
+		faults   = flag.String("faults", "", "with -trace or -health: replay this fault spec against a mirrored node (see internal/faultsim)")
+		healthOn = flag.Bool("health", false, "run testswap with the fleet health engine and print its report (-csv: the sample ring time series)")
+		healthIv = flag.String("health-interval", "", "with -health: sample interval, e.g. 100us (default: engine default)")
 	)
 	flag.Parse()
 
@@ -40,6 +45,18 @@ func main() {
 		return
 	}
 
+	if *healthOn {
+		if err := healthRun(*faults, *healthIv, *scale, *seed, *csv); err != nil {
+			fmt.Fprintf(os.Stderr, "health: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *healthIv != "" {
+		fmt.Fprintln(os.Stderr, "-health-interval requires -health")
+		os.Exit(1)
+	}
+
 	if *trace != "" {
 		if err := tracedRun(*trace, *metrics, *faults, *scale, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
@@ -48,7 +65,7 @@ func main() {
 		return
 	}
 	if *faults != "" {
-		fmt.Fprintln(os.Stderr, "-faults requires -trace (fault replay is a traced run)")
+		fmt.Fprintln(os.Stderr, "-faults requires -trace or -health (fault replay needs a run to replay against)")
 		os.Exit(1)
 	}
 
@@ -83,6 +100,32 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// healthRun executes testswap with the fleet health engine sampling the
+// registry (replaying a fault schedule against a mirrored node when
+// faultSpec is non-empty) and prints the health report — SLO compliance,
+// rule hits, alert timeline and per-server rollup. With csv the sample
+// ring's deterministic time series goes to stdout instead.
+func healthRun(faultSpec, interval string, scale int, seed int64, csv bool) error {
+	var hcfg health.Config
+	if interval != "" {
+		iv, err := sim.ParseDuration(interval)
+		if err != nil {
+			return fmt.Errorf("bad -health-interval: %v", err)
+		}
+		hcfg.SampleInterval = iv
+	}
+	cfg := experiments.Config{Scale: scale, Seed: seed}
+	node, err := experiments.HealthRun(cfg, 0, faultSpec, hcfg)
+	if err != nil {
+		return err
+	}
+	if csv {
+		return node.Health.Ring().WriteCSV(os.Stdout)
+	}
+	fmt.Print(node.Health.Report())
+	return nil
 }
 
 // tracedRun executes the traced multi-server testswap workload, writes

@@ -1,14 +1,20 @@
 // Command hpbdctl exercises a running hpbd-server: it attaches an area,
 // verifies data integrity with random pages, and measures sequential and
-// random throughput with pipelined requests. The trace, flightrec and
-// faults subcommands need no server: they run the simulated multi-server
-// swap workload, trace writing a Chrome trace-event file plus a metrics
-// summary, flightrec printing the critical-path breakdown and the flight
-// recorder's last-N-requests table, and faults replaying a fault
-// schedule against a mirrored node to show recovery in the trace. The
-// placement subcommand runs an elastic node through a mid-run fleet grow
-// and pretty-prints the resulting placement directory (deterministic for
-// a given seed and scale).
+// random throughput with pipelined requests. The trace, flightrec,
+// faults, placement, health and top subcommands need no server: they run
+// the simulated multi-server swap workload, trace writing a Chrome
+// trace-event file plus a metrics summary, flightrec printing the
+// critical-path breakdown and the flight recorder's last-N-requests
+// table, and faults replaying a fault schedule against a mirrored node
+// to show recovery in the trace. The placement subcommand runs an
+// elastic node through a mid-run fleet grow and pretty-prints the
+// resulting placement directory. The health subcommand runs the fleet
+// health engine over the workload — replaying -spec's fault schedule
+// against a mirrored node when given — and prints its report: SLO
+// compliance, anomaly-rule hits, the alert timeline and the per-server
+// rollup. The top subcommand runs an elastic node through a mid-run grow
+// and prints the per-server/per-epoch utilization table. All simulated
+// subcommands are deterministic for a given seed, scale and spec.
 //
 // Usage:
 //
@@ -18,6 +24,9 @@
 //	hpbdctl -servers 2 flightrec
 //	hpbdctl -out faults.json -spec "crash@8ms=mem0" faults
 //	hpbdctl -servers 2 placement
+//	hpbdctl -servers 2 -spec "crash@8ms=mem0" health
+//	hpbdctl -spec "" health       (healthy fleet, no fault replay)
+//	hpbdctl -servers 2 -interval 100us top
 package main
 
 import (
@@ -30,52 +39,90 @@ import (
 	"time"
 
 	"hpbd/internal/experiments"
+	"hpbd/internal/health"
 	"hpbd/internal/netblock"
+	"hpbd/internal/sim"
 )
+
+const usageCommands = "status|verify|bench|trace|flightrec|faults|placement|health|top"
 
 func main() {
 	var (
-		server  = flag.String("server", "127.0.0.1:10809", "server address")
-		sizeMB  = flag.Int64("size", 64, "area size to attach, MiB")
-		credits = flag.Int("credits", 16, "outstanding request credit")
-		seed    = flag.Int64("seed", 1, "verification RNG seed")
-		out     = flag.String("out", "trace.json", "trace: output path for Chrome trace-event JSON")
-		servers = flag.Int("servers", 4, "trace: number of simulated memory servers")
-		scale   = flag.Int("scale", experiments.PaperScale, "trace: scale divisor for paper sizes")
-		spec    = flag.String("spec", "crash@8ms=mem0", "faults: fault schedule spec (see internal/faultsim)")
+		server   = flag.String("server", "127.0.0.1:10809", "server address")
+		sizeMB   = flag.Int64("size", 64, "area size to attach, MiB")
+		credits  = flag.Int("credits", 16, "outstanding request credit")
+		seed     = flag.Int64("seed", 1, "verification RNG seed")
+		out      = flag.String("out", "trace.json", "trace: output path for Chrome trace-event JSON")
+		servers  = flag.Int("servers", 4, "trace: number of simulated memory servers")
+		scale    = flag.Int("scale", experiments.PaperScale, "trace: scale divisor for paper sizes")
+		spec     = flag.String("spec", "crash@8ms=mem0", "faults/health: fault schedule spec (see internal/faultsim; health: \"\" disables)")
+		interval = flag.String("interval", "", "health/top: sample interval, e.g. 100us (default: engine default)")
 	)
 	flag.Parse()
 	cmd := flag.Arg(0)
 	if cmd == "" {
 		cmd = "verify"
 	}
+	// Reject bad invocations before doing any work (in particular before
+	// dialing a server): an unknown subcommand or trailing garbage exits
+	// non-zero with usage on stderr, so scripts fail fast instead of
+	// reading a usage page off a zero status.
+	switch cmd {
+	case "status", "verify", "bench", "trace", "flightrec", "faults", "placement", "health", "top":
+	default:
+		fmt.Fprintf(os.Stderr, "hpbdctl: unknown command %q\nusage: hpbdctl [flags] <%s>\n", cmd, usageCommands)
+		os.Exit(2)
+	}
+	if flag.NArg() > 1 {
+		fmt.Fprintf(os.Stderr, "hpbdctl: unexpected arguments after %q: %v\nusage: hpbdctl [flags] <%s>\n",
+			cmd, flag.Args()[1:], usageCommands)
+		os.Exit(2)
+	}
+	hcfg, err := healthConfig(*interval)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hpbdctl: %v\n", err)
+		os.Exit(2)
+	}
 
-	// trace and flightrec run entirely in the simulator; no server
-	// connection needed.
-	if cmd == "trace" {
+	// trace, flightrec, faults, placement, health and top run entirely in
+	// the simulator; no server connection needed.
+	simCfg := experiments.Config{Scale: *scale, Seed: *seed}
+	switch cmd {
+	case "trace":
 		if err := trace(*out, *servers, *scale, *seed); err != nil {
 			log.Fatalf("hpbdctl trace: %v", err)
 		}
 		return
-	}
-	if cmd == "flightrec" {
+	case "flightrec":
 		if err := flightrec(*servers, *scale, *seed); err != nil {
 			log.Fatalf("hpbdctl flightrec: %v", err)
 		}
 		return
-	}
-	if cmd == "faults" {
+	case "faults":
 		if err := faultsRun(*out, *spec, *servers, *scale, *seed); err != nil {
 			log.Fatalf("hpbdctl faults: %v", err)
 		}
 		return
-	}
-	if cmd == "placement" {
-		dump, err := experiments.PlacementDump(experiments.Config{Scale: *scale, Seed: *seed}, *servers)
+	case "placement":
+		dump, err := experiments.PlacementDump(simCfg, *servers)
 		if err != nil {
 			log.Fatalf("hpbdctl placement: %v", err)
 		}
 		fmt.Print(dump)
+		return
+	case "health":
+		node, err := experiments.HealthRun(simCfg, *servers, *spec, hcfg)
+		if err != nil {
+			log.Fatalf("hpbdctl health: %v", err)
+		}
+		fmt.Print(node.Health.Report())
+		return
+	case "top":
+		node, err := experiments.HealthTopRun(simCfg, *servers, hcfg)
+		if err != nil {
+			log.Fatalf("hpbdctl top: %v", err)
+		}
+		fmt.Print(node.Health.TopTable())
 		return
 	}
 
@@ -100,9 +147,22 @@ func main() {
 		fmt.Println("verify: OK")
 	case "bench":
 		bench(c)
-	default:
-		log.Fatalf("hpbdctl: unknown command %q (status|verify|bench|trace|flightrec|faults|placement)", cmd)
 	}
+}
+
+// healthConfig builds the health engine config from the -interval flag
+// (empty keeps the engine's defaults).
+func healthConfig(interval string) (health.Config, error) {
+	var hcfg health.Config
+	if interval == "" {
+		return hcfg, nil
+	}
+	iv, err := sim.ParseDuration(interval)
+	if err != nil {
+		return hcfg, fmt.Errorf("bad -interval: %v", err)
+	}
+	hcfg.SampleInterval = iv
+	return hcfg, nil
 }
 
 // trace runs the simulated multi-server testswap workload with tracing

@@ -178,6 +178,7 @@ type Queue struct {
 	qwait    *telemetry.Histogram
 	merges   *telemetry.Counter
 	reqIOs   *telemetry.Histogram
+	activity func() // submission hook (health-engine kick); nil when unused
 }
 
 // NewQueue creates the request queue for driver and starts its dispatch
@@ -222,6 +223,11 @@ func (q *Queue) EnableMergeTelemetry(reg *telemetry.Registry) {
 // devices (HPBD) do not care.
 func (q *Queue) EnableElevator() { q.elevator = true }
 
+// SetActivityHook installs a callback invoked on every Submit. The
+// cluster uses it to re-arm a parked health-engine sampler when swap
+// traffic resumes; a nil hook (the default) costs one predictable branch.
+func (q *Queue) SetActivityHook(fn func()) { q.activity = fn }
+
 // Stats returns a copy of the queue statistics.
 func (q *Queue) Stats() Stats { return q.stats }
 
@@ -240,6 +246,9 @@ func (q *Queue) Submit(write bool, sector int64, data []byte) (*IO, error) {
 	}
 	io := &IO{Write: write, Sector: sector, Data: data, done: sim.NewEvent(q.env)}
 	q.stats.IOsSubmitted++
+	if q.activity != nil {
+		q.activity()
+	}
 
 	// Try back/front merge against pending requests (2.4 scans the whole
 	// queue; ours is short, so a linear scan is faithful and cheap).

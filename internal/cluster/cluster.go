@@ -9,6 +9,7 @@ import (
 	"hpbd/internal/blockdev"
 	"hpbd/internal/disk"
 	"hpbd/internal/faultsim"
+	"hpbd/internal/health"
 	"hpbd/internal/hpbd"
 	"hpbd/internal/ib"
 	"hpbd/internal/mirror"
@@ -103,6 +104,12 @@ type Config struct {
 	// Registry.EnableTracing). Layer-specific overrides (Client.Telemetry,
 	// IB.Telemetry, ...) win over this when set.
 	Telemetry *telemetry.Registry
+	// Health, if non-nil, runs the fleet health engine over the node's
+	// registry: a sim-time sampler, SLO burn-rate tracking and anomaly
+	// rules (see internal/health). The zero Config selects the documented
+	// defaults. Nil (the default) runs no health code at all and keeps
+	// every output surface byte-identical.
+	Health *health.Config
 }
 
 // Node is an assembled machine.
@@ -126,6 +133,8 @@ type Node struct {
 	Mirror *mirror.Device
 	// Faults is the fault injector when Config.Faults was given.
 	Faults *faultsim.Injector
+	// Health is the fleet health monitor when Config.Health was given.
+	Health *health.Monitor
 
 	// Ready triggers when the swap device is attached (the NBD dial
 	// happens in simulated time); workloads should wait on it.
@@ -326,6 +335,11 @@ func (n *Node) finish(cfg Config) {
 	}
 	if cfg.Elevator {
 		n.Queue.EnableElevator()
+	}
+	if cfg.Health != nil {
+		n.Health = health.NewMonitor(n.Env, n.Tel, *cfg.Health)
+		n.Queue.SetActivityHook(n.Health.Kick)
+		n.Health.Start()
 	}
 	n.VM.AddSwap(n.Queue, 0)
 	n.Ready.Trigger()

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"hpbd/internal/cluster"
+	"hpbd/internal/health"
 	"hpbd/internal/sim"
 	"hpbd/internal/workload"
 )
@@ -26,12 +27,15 @@ func SweepElastic(c Config) (*Result, error) {
 			"measures live growth with migration riding the same RDMA data path",
 	}
 	data := int64(paperData) / s
+	// Health rides along read-only; its SLO summary becomes an extra
+	// column showing whether the grows cost the foreground any budget.
 	base := cluster.Config{
 		MemBytes:  paperMem / s,
 		Swap:      cluster.SwapHPBD,
 		SwapBytes: paperSwap / s,
 		Servers:   2,
 		Elastic:   true,
+		Health:    &health.Config{},
 	}
 
 	// Static baseline: same node shape, no membership changes. Elastic
@@ -45,6 +49,7 @@ func SweepElastic(c Config) (*Result, error) {
 	res.Rows = append(res.Rows, Row{
 		Label: "static-2servers", Value: staticRun.Seconds(),
 		P50ms: p50, P99ms: p99, Stat: stageBreakdown(node),
+		SLO: node.Health.SLOSummary(),
 	})
 
 	growAt1 := staticRun / 4
@@ -66,6 +71,7 @@ func SweepElastic(c Config) (*Result, error) {
 				tel.Counter("migration.moves").Value(),
 				tel.Counter("migration.requeued").Value(),
 				tel.Histogram("migration.stall").Count()),
+			SLO: node.Health.SLOSummary(),
 		},
 		Row{Label: "rebalance-2to4", Value: rebal1.Seconds(), Stat: "2 servers added"},
 		Row{Label: "rebalance-4to8", Value: rebal2.Seconds(), Stat: "4 servers added"},

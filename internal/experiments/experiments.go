@@ -39,6 +39,11 @@ type Row struct {
 	Stat  string  // optional annotation
 	P50ms float64 // swap-in latency p50, ms (0 = not measured)
 	P99ms float64 // swap-in latency p99, ms (0 = not measured)
+	// SLO is the health engine's per-objective compliance summary
+	// ("req-e2e-p99 99.2% req-errors 100.0%"); empty when the run did not
+	// enable health. Renderers append it as an extra column only when
+	// present, so health-off output is byte-identical.
+	SLO string
 }
 
 // Result is one reproduced table/figure.

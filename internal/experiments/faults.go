@@ -6,6 +6,7 @@ import (
 
 	"hpbd/internal/cluster"
 	"hpbd/internal/faultsim"
+	"hpbd/internal/health"
 	"hpbd/internal/sim"
 	"hpbd/internal/telemetry"
 	"hpbd/internal/vm"
@@ -91,12 +92,17 @@ func SweepDegraded(c Config) (*Result, error) {
 	mkWorkload := func(sys *vm.System, _ *rand.Rand) runnable {
 		return workload.NewTestswap(sys, data)
 	}
+	// The health engine rides along (it only reads the registry, so the
+	// measured times do not move) and its SLO-compliance summary becomes
+	// an extra column: degraded modes should show the latency objective
+	// eating budget while the healthy run stays clean.
 	base := cluster.Config{
 		MemBytes:  paperMem / s,
 		Swap:      cluster.SwapHPBD,
 		SwapBytes: paperSwap / s,
 		Servers:   1,
 		Mirror:    true,
+		Health:    &health.Config{},
 	}
 
 	healthy, node, err := measure(base, c.Seed, mkWorkload)
@@ -107,6 +113,7 @@ func SweepDegraded(c Config) (*Result, error) {
 	res.Rows = append(res.Rows, Row{
 		Label: "mirrored-healthy", Value: healthy.Seconds(),
 		P50ms: p50, P99ms: p99, Stat: recoveryStat(node),
+		SLO: node.Health.SLOSummary(),
 	})
 
 	crashAt := sim.Duration(healthy) / 2
@@ -123,6 +130,7 @@ func SweepDegraded(c Config) (*Result, error) {
 	res.Rows = append(res.Rows, Row{
 		Label: "mirrored-crash-mid-run", Value: elapsed.Seconds(),
 		P50ms: p50, P99ms: p99, Stat: recoveryStat(node),
+		SLO: node.Health.SLOSummary(),
 	})
 
 	fb := base
@@ -139,6 +147,7 @@ func SweepDegraded(c Config) (*Result, error) {
 	res.Rows = append(res.Rows, Row{
 		Label: "fallback-disk-crash", Value: elapsed.Seconds(),
 		P50ms: p50, P99ms: p99, Stat: recoveryStat(node),
+		SLO: node.Health.SLOSummary(),
 	})
 	return res, nil
 }

@@ -27,6 +27,7 @@ var Registry = map[string]Runner{
 	"ablation-poolsize":     AblationPoolSize,
 	"ablation-hybrid":       AblationHybrid,
 	"ablation-doorbell":     AblationDoorbell,
+	"ablation-health":       AblationHealth,
 	"ablation-odp":          AblationODP,
 	"ablation-merge":        AblationMerge,
 	"ablation-crossover":    AblationCrossover,
@@ -87,6 +88,9 @@ func Format(r *Result) string {
 		if row.Stat != "" {
 			fmt.Fprintf(&b, "   [%s]", row.Stat)
 		}
+		if row.SLO != "" {
+			fmt.Fprintf(&b, "   {slo: %s}", row.SLO)
+		}
 		b.WriteByte('\n')
 	}
 	return b.String()
@@ -94,12 +98,18 @@ func Format(r *Result) string {
 
 // CSV renders a result as comma-separated rows
 // (id,label,value,unit,p50ms,p99ms,stat) for downstream plotting. The
-// latency columns are zero when the run did not measure them.
+// latency columns are zero when the run did not measure them. Rows from
+// health-enabled runs gain a trailing quoted SLO-compliance column;
+// health-off rows keep the original seven columns byte-for-byte.
 func CSV(r *Result) string {
 	var b strings.Builder
 	for _, row := range r.Rows {
-		fmt.Fprintf(&b, "%s,%s,%g,%s,%g,%g,%q\n",
+		fmt.Fprintf(&b, "%s,%s,%g,%s,%g,%g,%q",
 			r.ID, row.Label, row.Value, r.Unit, row.P50ms, row.P99ms, row.Stat)
+		if row.SLO != "" {
+			fmt.Fprintf(&b, ",%q", row.SLO)
+		}
+		b.WriteByte('\n')
 	}
 	return b.String()
 }

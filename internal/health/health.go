@@ -1,0 +1,243 @@
+// Package health is the fleet health engine: an opt-in, deterministic
+// monitoring layer over the telemetry registry. Where the registry and
+// the critical-path analyzer answer "what happened by the end of the
+// run?", this package answers the operator's question — "what is
+// happening right now?" — with three continuous signals:
+//
+//   - a sim-time sampler that scrapes the whole registry every
+//     SampleInterval into a fixed-size ring of snapshots (counters as
+//     cumulative values + windowed deltas, gauges as levels, histograms
+//     as windowed p50/p99), exportable as a deterministic time-series CSV;
+//   - an SLO tracker evaluating declarative objectives per sample with
+//     multi-window burn-rate alerting (the fast/slow-window scheme from
+//     SRE practice, scaled to sim time), firing slo.<name>.burn trace
+//     instants and a flight-recorder dump at the first breach;
+//   - a rule engine of anomaly detectors — small pure functions over the
+//     snapshot ring — covering credit starvation, RNR retry storms,
+//     migration dirty-resend runaway, ODP fault thrash, mirror replica
+//     divergence and staging-pool exhaustion.
+//
+// Everything runs inside the simulation: samples land at exact virtual
+// instants, alert timestamps are sim times, and two runs with the same
+// seed and fault schedule produce byte-identical sample rings and alert
+// timelines. The sampler only READS the registry, so enabling health
+// never perturbs workload timing; with health off (the default) no code
+// in this package runs and every output surface is byte-identical to a
+// build without it.
+//
+// Lifecycle: the sampler is a simulated process that must not keep the
+// event queue alive after the workload drains, so it parks once
+// IdleTicks consecutive samples observe no metric movement and is
+// re-armed by Kick() — wired to block-layer submission by the cluster —
+// when traffic resumes.
+package health
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hpbd/internal/sim"
+	"hpbd/internal/telemetry"
+)
+
+// Config tunes the health engine. The zero value selects the documented
+// defaults; a nil *Config on the cluster side means "health off".
+type Config struct {
+	// SampleInterval is the sim time between registry scrapes
+	// (default 200us).
+	SampleInterval sim.Duration
+	// RingSize bounds the snapshot ring (default 256 samples).
+	RingSize int
+	// IdleTicks is how many consecutive unchanged samples park the
+	// sampler until the next Kick (default 2).
+	IdleTicks int
+	// SLOs are the service-level objectives to track (nil: DefaultSLOs).
+	// An explicitly empty, non-nil slice disables SLO tracking.
+	SLOs []SLO
+	// Rules is the anomaly-detector catalogue (nil: DefaultRules).
+	// An explicitly empty, non-nil slice disables the rule engine.
+	Rules []Rule
+}
+
+func (c Config) withDefaults() Config {
+	if c.SampleInterval <= 0 {
+		c.SampleInterval = 200 * sim.Microsecond
+	}
+	if c.RingSize <= 0 {
+		c.RingSize = 256
+	}
+	if c.IdleTicks <= 0 {
+		c.IdleTicks = 2
+	}
+	if c.SLOs == nil {
+		c.SLOs = DefaultSLOs()
+	}
+	if c.Rules == nil {
+		c.Rules = DefaultRules()
+	}
+	return c
+}
+
+// Alert is one fired alert: an SLO burn or an anomaly-rule hit.
+type Alert struct {
+	At     sim.Time
+	Kind   string // "slo" or "rule"
+	Name   string // SLO or rule name
+	Detail string
+}
+
+// Monitor owns the sampler process, the snapshot ring, the SLO tracker
+// and the rule engine for one node. Obtain one with NewMonitor and start
+// it with Start before env.Run. Like the registry it monitors, a Monitor
+// is confined to its sim.Env's cooperatively-scheduled processes.
+type Monitor struct {
+	env *sim.Env
+	reg *telemetry.Registry
+	cfg Config
+
+	ring   *Ring
+	parked bool
+	idle   int
+	kickQ  *sim.WaitQueue
+
+	slos   []*sloState
+	rules  []*ruleState
+	alerts []Alert
+
+	samples  *telemetry.Counter
+	alertCnt *telemetry.Counter
+	burnCnt  *telemetry.Counter
+}
+
+// NewMonitor builds a health monitor over reg. Its own metrics
+// (health.samples, health.alerts, health.slo_burns) register lazily here,
+// so a node without a monitor keeps a byte-identical registry summary.
+func NewMonitor(env *sim.Env, reg *telemetry.Registry, cfg Config) *Monitor {
+	cfg = cfg.withDefaults()
+	m := &Monitor{
+		env:      env,
+		reg:      reg,
+		cfg:      cfg,
+		ring:     NewRing(cfg.RingSize),
+		parked:   true, // dormant until the first Kick: no traffic, no samples
+		kickQ:    sim.NewWaitQueue(env),
+		samples:  reg.Counter("health.samples"),
+		alertCnt: reg.Counter("health.alerts"),
+		burnCnt:  reg.Counter("health.slo_burns"),
+	}
+	for i := range cfg.SLOs {
+		m.slos = append(m.slos, newSLOState(cfg.SLOs[i]))
+	}
+	for i := range cfg.Rules {
+		m.rules = append(m.rules, &ruleState{rule: cfg.Rules[i]})
+	}
+	return m
+}
+
+// Config returns the monitor's effective (defaulted) configuration.
+func (m *Monitor) Config() Config { return m.cfg }
+
+// Ring returns the snapshot ring.
+func (m *Monitor) Ring() *Ring { return m.ring }
+
+// Alerts returns every fired alert in firing order.
+func (m *Monitor) Alerts() []Alert { return m.alerts }
+
+// Start spawns the sampler process. Call after the node's registry is
+// wired and before env.Run.
+func (m *Monitor) Start() {
+	m.env.Go("health-sampler", func(p *sim.Proc) {
+		for {
+			for m.parked {
+				m.kickQ.Wait(p)
+			}
+			p.Sleep(m.cfg.SampleInterval)
+			if m.sample(p.Now()) {
+				m.idle = 0
+			} else if m.idle++; m.idle >= m.cfg.IdleTicks {
+				m.parked = true
+			}
+		}
+	})
+}
+
+// Kick re-arms a parked sampler. The cluster wires it to block-layer
+// submission so the engine wakes with traffic and lets the event queue
+// drain when the run ends. Nil-safe and free when the sampler is awake.
+func (m *Monitor) Kick() {
+	if m == nil || !m.parked {
+		return
+	}
+	m.parked = false
+	m.idle = 0
+	m.kickQ.WakeAll()
+}
+
+// sample takes one snapshot, pushes it into the ring and evaluates the
+// SLO tracker and rule engine against the new window. It reports whether
+// any metric moved since the previous sample (the sampler's idle signal).
+func (m *Monitor) sample(now sim.Time) bool {
+	s := Sample{
+		At:       now,
+		Counters: make(map[string]int64),
+		Gauges:   make(map[string]int64),
+		Hists:    make(map[string]telemetry.HistSnapshot),
+	}
+	m.reg.VisitCounters(func(name string, v int64) { s.Counters[name] = v })
+	m.reg.VisitGauges(func(name string, v, _ int64) { s.Gauges[name] = v })
+	m.reg.VisitHistograms(func(name string, h *telemetry.Histogram) {
+		s.Hists[name] = h.Snapshot()
+	})
+	s.Epoch = s.Gauges["placement.epoch"]
+	prev := m.ring.Last()
+	changed := prev == nil || !s.sameTotals(prev)
+	m.ring.Push(s)
+	m.samples.Inc()
+	m.evalSLOs(now)
+	m.evalRules(now)
+	return changed
+}
+
+// fire records one alert on every surface: the deterministic alert log,
+// the health.alerts counter, and (when tracing is on) a trace instant on
+// the "health" track.
+func (m *Monitor) fire(at sim.Time, kind, name, detail string) {
+	m.alerts = append(m.alerts, Alert{At: at, Kind: kind, Name: name, Detail: detail})
+	m.alertCnt.Inc()
+	if tr := m.reg.Tracer(); tr != nil {
+		instant := "alert:" + name
+		if kind == "slo" {
+			instant = "slo." + name + ".burn"
+		}
+		tr.InstantArgs("health", instant, map[string]any{"detail": detail})
+	}
+}
+
+// Timeline renders the fired alerts as a deterministic aligned table,
+// oldest first.
+func (m *Monitor) Timeline() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "alert timeline (%d alerts):\n", len(m.alerts))
+	if len(m.alerts) == 0 {
+		fmt.Fprintf(&b, "  (none fired)\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "  %12s  %-4s  %-24s  %s\n", "t_us", "kind", "name", "detail")
+	for _, a := range m.alerts {
+		fmt.Fprintf(&b, "  %12.3f  %-4s  %-24s  %s\n",
+			float64(a.At)/1e3, a.Kind, a.Name, a.Detail)
+	}
+	return b.String()
+}
+
+// sortedNames returns the sorted keys of a string-keyed map (shared by
+// the deterministic render paths).
+func sortedNames[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

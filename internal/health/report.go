@@ -1,0 +1,157 @@
+package health
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hpbd/internal/sim"
+)
+
+// ServerStat is one memory server's activity over one placement epoch,
+// rebuilt from per-server counter deltas in the sample ring. Servers are
+// discovered from the registry itself — any counter family named
+// "<server>.requests" with an undotted prefix marks a server — so the
+// rollup follows fleet growth without configuration.
+type ServerStat struct {
+	Name        string
+	Epoch       int64
+	Requests    int64
+	BytesStored int64
+	BytesServed int64
+	RDMAIssued  int64
+	Span        sim.Duration // sim time the server spent in this epoch window
+}
+
+// serverNames lists the servers visible in a sample, sorted.
+func serverNames(s *Sample) []string {
+	var names []string
+	for name := range s.Counters {
+		if suf := ".requests"; strings.HasSuffix(name, suf) {
+			p := name[:len(name)-len(suf)]
+			if p != "" && !strings.Contains(p, ".") {
+				names = append(names, p)
+			}
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// FleetRollup aggregates per-server activity across the retained ring,
+// split by placement epoch: each inter-sample delta is charged to the
+// epoch the fleet was in when the later sample landed. Rows come back
+// sorted by epoch, then server name.
+func (m *Monitor) FleetRollup() []ServerStat {
+	type key struct {
+		epoch int64
+		name  string
+	}
+	acc := make(map[key]*ServerStat)
+	for i := 1; i < m.ring.Len(); i++ {
+		cur, prev := m.ring.At(i), m.ring.At(i-1)
+		for _, name := range serverNames(cur) {
+			k := key{cur.Epoch, name}
+			st := acc[k]
+			if st == nil {
+				st = &ServerStat{Name: name, Epoch: cur.Epoch}
+				acc[k] = st
+			}
+			st.Requests += cur.Counters[name+".requests"] - prev.Counters[name+".requests"]
+			st.BytesStored += cur.Counters[name+".bytes_stored"] - prev.Counters[name+".bytes_stored"]
+			st.BytesServed += cur.Counters[name+".bytes_served"] - prev.Counters[name+".bytes_served"]
+			st.RDMAIssued += cur.Counters[name+".rdma_issued"] - prev.Counters[name+".rdma_issued"]
+			st.Span += sim.Duration(cur.At - prev.At)
+		}
+	}
+	keys := make([]key, 0, len(acc))
+	for k := range acc {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].epoch != keys[j].epoch {
+			return keys[i].epoch < keys[j].epoch
+		}
+		return keys[i].name < keys[j].name
+	})
+	out := make([]ServerStat, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, *acc[k])
+	}
+	return out
+}
+
+// TopTable renders the fleet's busiest servers over the retained window
+// as a deterministic aligned table — the "hpbdctl top" surface. Servers
+// sort by requests descending (name ascending on ties) with per-epoch
+// rows kept separate, so a migration shows up as the load moving between
+// epoch rows.
+func (m *Monitor) TopTable() string {
+	rows := m.FleetRollup()
+	var b strings.Builder
+	span := sim.Duration(0)
+	if n := m.ring.Len(); n >= 2 {
+		span = sim.Duration(m.ring.At(n-1).At - m.ring.At(0).At)
+	}
+	fmt.Fprintf(&b, "fleet top (window %v, %d samples):\n", span, m.ring.Len())
+	if len(rows) == 0 {
+		fmt.Fprintf(&b, "  (no server activity sampled)\n")
+		return b.String()
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].Requests != rows[j].Requests {
+			return rows[i].Requests > rows[j].Requests
+		}
+		if rows[i].Name != rows[j].Name {
+			return rows[i].Name < rows[j].Name
+		}
+		return rows[i].Epoch < rows[j].Epoch
+	})
+	fmt.Fprintf(&b, "  %-8s %6s %9s %12s %12s %10s %10s\n",
+		"server", "epoch", "reqs", "stored_B", "served_B", "rdma", "req/ms")
+	for _, r := range rows {
+		rate := 0.0
+		if r.Span > 0 {
+			rate = float64(r.Requests) / (float64(r.Span) / 1e6)
+		}
+		fmt.Fprintf(&b, "  %-8s %6d %9d %12d %12d %10d %10.2f\n",
+			r.Name, r.Epoch, r.Requests, r.BytesStored, r.BytesServed, r.RDMAIssued, rate)
+	}
+	return b.String()
+}
+
+// Report renders the full health summary — sampler stats, SLO
+// compliance, rule hits, the alert timeline and the fleet rollup — as
+// one deterministic page. It is the body of "hpbdctl health".
+func (m *Monitor) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "health engine: %d samples every %v (ring %d, %d retained)\n",
+		m.ring.Total(), m.cfg.SampleInterval, m.cfg.RingSize, m.ring.Len())
+
+	fmt.Fprintf(&b, "slo compliance:\n")
+	stats := m.SLOStats()
+	if len(stats) == 0 {
+		fmt.Fprintf(&b, "  (no objectives configured)\n")
+	}
+	for _, st := range stats {
+		fmt.Fprintf(&b, "  %-14s %-38s %6.1f%% ok  worst burn %5.1fx  burns %d\n",
+			st.SLO.Name, st.SLO.Objective(), st.Compliance*100, st.WorstBurn, st.Burns)
+	}
+
+	fmt.Fprintf(&b, "anomaly rules:\n")
+	rules := m.RuleStats()
+	if len(rules) == 0 {
+		fmt.Fprintf(&b, "  (no rules configured)\n")
+	}
+	for _, st := range rules {
+		status := "quiet"
+		if st.Fired > 0 {
+			status = fmt.Sprintf("FIRED x%d", st.Fired)
+		}
+		fmt.Fprintf(&b, "  %-24s %-10s %s\n", st.Rule.Name, status, st.Rule.Help)
+	}
+
+	b.WriteString(m.Timeline())
+	b.WriteString(m.TopTable())
+	return b.String()
+}

@@ -1,0 +1,215 @@
+package health
+
+import (
+	"fmt"
+
+	"hpbd/internal/sim"
+)
+
+// SLO is one declarative service-level objective, in one of two forms:
+//
+//   - Latency: requests observed by histogram Metric must keep their
+//     Quantile below Threshold ("req.e2e p99 < 800us"). The implied
+//     error budget is 1-Quantile: at p99, 1% of requests may run long.
+//   - Error rate: the ratio of BadCounter to TotalCounter increments must
+//     stay below Budget ("timeouts / replies < 0.1%").
+//
+// Objectives are evaluated per sample over two trailing windows of
+// FastWindow and SlowWindow samples — the sim-time analogue of the
+// 5m/1h multi-window burn-rate pairing: the fast window catches the
+// incident while it is happening, the slow window keeps one noisy
+// sample from paging. The burn rate of a window is the fraction of the
+// error budget it consumed, normalized so burn == 1 means "spending
+// exactly the budget"; the alert fires when the fast burn reaches
+// FastBurn AND the slow burn reaches SlowBurn, and re-arms once the
+// fast window drops back under budget.
+type SLO struct {
+	Name string
+
+	// Latency form.
+	Metric    string
+	Quantile  float64
+	Threshold sim.Duration
+
+	// Error-rate form.
+	BadCounter   string
+	TotalCounter string
+
+	// Budget is the allowed bad fraction. Zero defaults to 1-Quantile
+	// for latency objectives and 0.001 for error-rate objectives.
+	Budget float64
+
+	// Windows in samples (defaults 4 fast / 16 slow) and the burn-rate
+	// firing thresholds (defaults 8 fast / 2 slow).
+	FastWindow, SlowWindow int
+	FastBurn, SlowBurn     float64
+}
+
+func (s SLO) withDefaults() SLO {
+	if s.Budget <= 0 {
+		if s.Metric != "" {
+			s.Budget = 1 - s.Quantile
+		} else {
+			s.Budget = 0.001
+		}
+	}
+	if s.FastWindow <= 0 {
+		s.FastWindow = 4
+	}
+	if s.SlowWindow <= 0 {
+		s.SlowWindow = 16
+	}
+	if s.FastBurn <= 0 {
+		s.FastBurn = 8
+	}
+	if s.SlowBurn <= 0 {
+		s.SlowBurn = 2
+	}
+	return s
+}
+
+// Objective renders the target in one line ("req.e2e p99 < 800us" or
+// "hpbd.timeouts/hpbd.replies < 0.100%").
+func (s SLO) Objective() string {
+	if s.Metric != "" {
+		return fmt.Sprintf("%s p%g < %v", s.Metric, s.Quantile*100, s.Threshold)
+	}
+	return fmt.Sprintf("%s/%s < %.3f%%", s.BadCounter, s.TotalCounter, s.Budget*100)
+}
+
+// DefaultSLOs returns the stock objectives: end-to-end request latency
+// (p99 under 800us, the healthy multi-server swap envelope at paper
+// scale) and the watchdog-timeout error budget.
+func DefaultSLOs() []SLO {
+	return []SLO{
+		{Name: "req-e2e-p99", Metric: "req.e2e", Quantile: 0.99, Threshold: 800 * sim.Microsecond},
+		{Name: "req-errors", BadCounter: "hpbd.timeouts", TotalCounter: "hpbd.phys_reqs", Budget: 0.001},
+	}
+}
+
+// sloState is one objective's tracker: the alert latch plus compliance
+// accounting.
+type sloState struct {
+	slo       SLO
+	firing    bool
+	breached  bool // ever fired (gates the one-shot flight-recorder dump)
+	evaluated int64
+	violated  int64 // windows whose fast burn was >= 1 (budget overspent)
+	worstBurn float64
+	burns     int64
+}
+
+func newSLOState(s SLO) *sloState { return &sloState{slo: s.withDefaults()} }
+
+// badFrac computes the bad-event fraction between two samples, and the
+// number of total events observed, for one objective.
+func (st *sloState) badFrac(cur, prev *Sample) (frac float64, total int64) {
+	s := st.slo
+	if s.Metric != "" {
+		win := cur.Hists[s.Metric].Sub(prev.Hists[s.Metric])
+		if win.N <= 0 {
+			return 0, 0
+		}
+		return float64(win.CountAbove(s.Threshold)) / float64(win.N), win.N
+	}
+	bad := cur.Counters[s.BadCounter] - prev.Counters[s.BadCounter]
+	tot := cur.Counters[s.TotalCounter] - prev.Counters[s.TotalCounter]
+	if tot <= 0 {
+		return 0, 0
+	}
+	return float64(bad) / float64(tot), tot
+}
+
+// evalSLOs runs every objective against the new ring head. Windows with no
+// events evaluate as compliant (no traffic spends no budget).
+func (m *Monitor) evalSLOs(now sim.Time) {
+	for _, st := range m.slos {
+		s := st.slo
+		fastPrev := m.ring.FromLast(s.FastWindow)
+		slowPrev := m.ring.FromLast(s.SlowWindow)
+		cur := m.ring.Last()
+		if cur == nil || fastPrev == nil || cur == fastPrev {
+			continue
+		}
+		fastFrac, n := st.badFrac(cur, fastPrev)
+		slowFrac, _ := st.badFrac(cur, slowPrev)
+		fastBurn := fastFrac / s.Budget
+		slowBurn := slowFrac / s.Budget
+		st.evaluated++
+		if fastBurn >= 1 {
+			st.violated++
+		}
+		if fastBurn > st.worstBurn {
+			st.worstBurn = fastBurn
+		}
+		if fastBurn >= s.FastBurn && slowBurn >= s.SlowBurn {
+			if !st.firing {
+				st.firing = true
+				st.burns++
+				m.burnCnt.Inc()
+				detail := fmt.Sprintf("%s: fast burn %.1fx slow burn %.1fx (budget %.3f%%, %d events)",
+					s.Objective(), fastBurn, slowBurn, s.Budget*100, n)
+				m.fire(now, "slo", s.Name, detail)
+				if !st.breached {
+					st.breached = true
+					m.reg.Lifecycle().Flight().DumpOnEvent(fmt.Sprintf(
+						"slo %s burn-rate breach at %v: %s", s.Name, now, detail))
+				}
+			}
+		} else if fastBurn < 1 {
+			st.firing = false
+		}
+	}
+}
+
+// SLOStat is one objective's compliance summary.
+type SLOStat struct {
+	SLO        SLO
+	Evaluated  int64   // windows evaluated
+	Violated   int64   // windows that overspent the budget (fast burn >= 1)
+	Burns      int64   // burn-rate alerts fired
+	WorstBurn  float64 // highest fast-window burn observed
+	Compliance float64 // fraction of evaluated windows inside budget
+}
+
+// SLOStats returns the per-objective compliance summaries in
+// configuration order.
+func (m *Monitor) SLOStats() []SLOStat {
+	out := make([]SLOStat, 0, len(m.slos))
+	for _, st := range m.slos {
+		stat := SLOStat{
+			SLO: st.slo, Evaluated: st.evaluated, Violated: st.violated,
+			Burns: st.burns, WorstBurn: st.worstBurn, Compliance: 1,
+		}
+		if st.evaluated > 0 {
+			stat.Compliance = 1 - float64(st.violated)/float64(st.evaluated)
+		}
+		out = append(out, stat)
+	}
+	return out
+}
+
+// SLOSummary renders compliance as a compact one-line annotation for
+// sweep rows ("req-e2e-p99 99.2% req-errors 100.0%"). Empty when no SLOs
+// are configured.
+func (m *Monitor) SLOSummary() string {
+	if m == nil {
+		return ""
+	}
+	parts := make([]string, 0, len(m.slos))
+	for _, stat := range m.SLOStats() {
+		parts = append(parts, fmt.Sprintf("%s %.1f%%", stat.SLO.Name, stat.Compliance*100))
+	}
+	return joinSpace(parts)
+}
+
+func joinSpace(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += " "
+		}
+		out += p
+	}
+	return out
+}

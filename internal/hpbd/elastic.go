@@ -394,6 +394,10 @@ func (d *Device) runMove(p *sim.Proc, mv placement.Move) error {
 	d.tracer.FlowBegin(d.name, "migration", seq)
 	abort := func(xerr error) error {
 		d.emet.aborted.Inc()
+		d.lc.Flight().DumpOnEvent(fmt.Sprintf(
+			"migration aborted: %s -> %s sectors=%d frontier=%d err=%v",
+			d.links[mv.From].srv.Name(), d.links[mv.To].srv.Name(),
+			mv.Sectors, m.frontier, xerr))
 		d.tracer.FlowEnd(d.name, "migration", seq)
 		span.EndArgs(map[string]any{
 			"from": d.links[mv.From].srv.Name(), "to": d.links[mv.To].srv.Name(),

@@ -4,27 +4,40 @@ import (
 	"testing"
 
 	"hpbd/internal/blockdev"
+	"hpbd/internal/health"
 	"hpbd/internal/ib"
 	"hpbd/internal/netmodel"
 	"hpbd/internal/sim"
+	"hpbd/internal/telemetry"
 )
 
 // benchRequestPath measures the real (host) cost of one simulated 4K
 // write round trip. entries selects the lifecycle configuration: 0 is the
 // always-on default (analyzer + flight ring), -1 the explicit opt-out.
 // The gap between the two is the observability tax on the datapath; the
-// acceptance gate keeps it within a few percent.
-func benchRequestPath(b *testing.B, entries int) {
+// acceptance gate keeps it within a few percent. withHealth additionally
+// attaches the fleet health engine (sampler, SLO tracker and rule
+// engine) the way cluster.Build wires it, so the gate also bounds the
+// monitoring tax.
+func benchRequestPath(b *testing.B, entries int, withHealth bool) {
 	env := sim.NewEnv()
 	f := ib.NewFabric(env, ib.DefaultConfig())
 	ccfg := DefaultClientConfig()
 	ccfg.FlightRecEntries = entries
+	if withHealth {
+		ccfg.Telemetry = telemetry.New(env)
+	}
 	dev := NewDevice(f, "hpbd0", ccfg)
 	srv := NewServer(f, "mem0", DefaultServerConfig(1<<20))
 	if err := dev.ConnectServer(srv, 1<<20); err != nil {
 		b.Fatalf("ConnectServer: %v", err)
 	}
 	q := blockdev.NewQueue(env, netmodel.DefaultHost(), dev)
+	if withHealth {
+		m := health.NewMonitor(env, ccfg.Telemetry, health.Config{})
+		q.SetActivityHook(m.Kick)
+		m.Start()
+	}
 	data := make([]byte, 4096)
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -46,5 +59,6 @@ func benchRequestPath(b *testing.B, entries int) {
 	env.Close()
 }
 
-func BenchmarkRequestPathLifecycleOn(b *testing.B)  { benchRequestPath(b, 0) }
-func BenchmarkRequestPathLifecycleOff(b *testing.B) { benchRequestPath(b, -1) }
+func BenchmarkRequestPathLifecycleOn(b *testing.B)  { benchRequestPath(b, 0, false) }
+func BenchmarkRequestPathLifecycleOff(b *testing.B) { benchRequestPath(b, -1, false) }
+func BenchmarkRequestPathHealthOn(b *testing.B)     { benchRequestPath(b, 0, true) }

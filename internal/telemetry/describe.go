@@ -1,0 +1,126 @@
+package telemetry
+
+import "strings"
+
+// metricHelp is the central metric-description table: one line per known
+// metric family, keyed by the registry's dotted name. WriteOpenMetrics
+// emits each as a # HELP line; hpbdctl's health views reuse the same text
+// so every surface describes a metric identically. Keep entries terse,
+// present-tense and free of newlines (the exposition format forbids them).
+var metricHelp = map[string]string{
+	// Block layer.
+	"blk.merges":     "block-layer requests absorbed by front/back merge",
+	"blk.queue.wait": "block-layer queueing delay per request",
+	"blk.req.ios":    "I/Os per dispatched block request (merge run length)",
+
+	// HPBD client datapath.
+	"hpbd.reads":             "read requests submitted to the HPBD client",
+	"hpbd.bytes_read":        "bytes read back from remote memory",
+	"hpbd.bytes_written":     "bytes written to remote memory",
+	"hpbd.phys_reqs":         "physical per-server requests after splitting",
+	"hpbd.splits":            "requests split across server boundaries",
+	"hpbd.replies":           "replies received from memory servers",
+	"hpbd.remote_errors":     "requests completed with a remote error status",
+	"hpbd.credit_stalls":     "sends that blocked on flow-control credits",
+	"hpbd.doorbells":         "doorbells rung (batched WR chains count once)",
+	"hpbd.recv.wakeups":      "receive-completion wakeups on the client",
+	"hpbd.queue.wait":        "driver send-queue residency per request",
+	"hpbd.op.read":           "end-to-end latency of client read operations",
+	"hpbd.op.write":          "end-to-end latency of client write operations",
+	"hpbd.retries":           "requests re-sent by the recovery path",
+	"hpbd.timeouts":          "requests that exceeded the watchdog timeout",
+	"hpbd.timeout_cancels":   "overdue requests cancelled and re-routed",
+	"hpbd.link_failures":     "server links declared dead",
+	"hpbd.fallbacks":         "requests absorbed by the local-disk fallback",
+	"hpbd.hybrid.large_reqs": "requests routed over the register path",
+	"hpbd.hybrid.mr_hits":    "MR cache hits on the register path",
+	"hpbd.hybrid.mr_misses":  "MR cache misses (fresh registrations)",
+	"hpbd.hybrid.mr_evicts":  "MR cache evictions (LRU)",
+	"hpbd.hybrid.mr_idle":    "registered MRs currently idle in the cache",
+	"hpbd.merge.reqs":        "requests folded into carrier WRs",
+	"hpbd.merge.wrs":         "carrier WRs issued for merged runs",
+	"hpbd.merge.bytes":       "bytes moved inside merged carrier WRs",
+	"hpbd.merge.run":         "requests per merged carrier WR",
+	"hpbd.crossover.bytes":   "current adaptive copy/register crossover",
+	"hpbd.crossover.ticks":   "adaptive-crossover controller evaluations",
+
+	// Staging pool.
+	"pool.in_use":       "staging-pool bytes currently allocated",
+	"pool.largest_free": "largest free staging-pool extent",
+	"pool.fragments":    "free extents in the staging pool",
+	"pool.alloc.waits":  "allocations that blocked for a free extent",
+	"pool.alloc.wait":   "allocation blocking time",
+
+	// Fabric.
+	"ib.qp_cache_miss": "QP context cache misses in the HCA model",
+	"odp.faults":       "on-demand-paging faults charged on first touch",
+
+	// VM.
+	"vm.swapin.latency":  "per-page swap-in latency",
+	"vm.swapout.latency": "per-page swap-out latency",
+
+	// Request lifecycle (critical-path analyzer).
+	"req.e2e":                "end-to-end request latency",
+	"req.stage.queue":        "block-layer queueing stage",
+	"req.stage.pool_wait":    "staging-pool wait stage",
+	"req.stage.credit_stall": "flow-control credit stall stage",
+	"req.stage.send":         "request wire-transfer stage",
+	"req.stage.rdma":         "server-side RDMA data-movement stage",
+	"req.stage.server_copy":  "server local store memcpy stage",
+	"req.stage.reply":        "reply wire-transfer stage",
+	"req.stage.drain":        "client completion-drain stage",
+
+	// Mirroring, migration, placement.
+	"mirror.reads":           "reads served by the RAID-1 mirror",
+	"mirror.writes":          "writes fanned out to both replicas",
+	"mirror.read_failovers":  "reads failed over to the surviving replica",
+	"mirror.degraded_writes": "writes acknowledged by one replica only",
+	"migration.bytes":        "bytes copied by live migration",
+	"migration.moves":        "planned range moves executed",
+	"migration.cutovers":     "migration epoch flips committed",
+	"migration.aborted":      "migrations aborted by transfer errors",
+	"migration.dirty_resent": "dirty sectors re-sent during migration",
+	"migration.requeued":     "pending requests requeued at cutover",
+	"migration.chunk":        "per-chunk migration copy time",
+	"migration.stall":        "foreground stall behind the migration freeze",
+	"placement.epoch":        "placement directory version",
+
+	// Fault injection.
+	"faultsim.injected": "faults injected on schedule",
+	"faultsim.skipped":  "scheduled faults with no matching target",
+
+	// Fleet health engine.
+	"health.samples":   "health-engine samples taken",
+	"health.alerts":    "health alerts fired (SLO burns + anomaly rules)",
+	"health.slo_burns": "SLO burn-rate alerts fired",
+}
+
+// serverHelp describes the per-server metric families, which are named
+// <server>.<suffix> (mem0.requests, ...) and so cannot be listed
+// statically.
+var serverHelp = map[string]string{
+	"requests":     "requests picked up by this memory server",
+	"writes":       "store writes executed by this server",
+	"reads":        "store reads executed by this server",
+	"bytes_stored": "bytes written into this server's store",
+	"bytes_served": "bytes served out of this server's store",
+	"bad_requests": "malformed or out-of-range requests rejected",
+	"idle_sleeps":  "times the server worker parked idle",
+	"rdma_issued":  "RDMA operations issued by this server",
+	"doorbells":    "doorbells rung by this server",
+}
+
+// MetricHelp returns the one-line description for a metric family, or ""
+// when the family is unknown. Per-server families ("mem0.requests") match
+// on their suffix.
+func MetricHelp(name string) string {
+	if h, ok := metricHelp[name]; ok {
+		return h
+	}
+	if i := strings.LastIndexByte(name, '.'); i > 0 {
+		if h, ok := serverHelp[name[i+1:]]; ok && !strings.Contains(name[:i], ".") {
+			return h
+		}
+	}
+	return ""
+}

@@ -123,6 +123,97 @@ func (h *Histogram) Mean() sim.Duration {
 	return h.sum / sim.Duration(h.count)
 }
 
+// HistSnapshot is a point-in-time copy of a histogram's bucket state.
+// Subtracting two snapshots of the same histogram (Sub) yields the
+// distribution of only the samples observed between them, so periodic
+// scrapers can extract windowed quantiles from the cumulative buckets.
+type HistSnapshot struct {
+	Counts []int64      // per-bucket counts (same geometry as the source)
+	N      int64        // total samples
+	Sum    sim.Duration // exact sum of samples
+}
+
+// Snapshot copies the histogram's current bucket state. A nil histogram
+// snapshots to the zero value.
+func (h *Histogram) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	counts := make([]int64, len(h.counts))
+	copy(counts, h.counts)
+	return HistSnapshot{Counts: counts, N: h.count, Sum: h.sum}
+}
+
+// Sub returns the windowed delta snapshot s - prev: the distribution of
+// the samples observed after prev was taken. A zero-value prev returns s
+// unchanged, so the first window of a scrape series needs no special case.
+func (s HistSnapshot) Sub(prev HistSnapshot) HistSnapshot {
+	if len(prev.Counts) == 0 {
+		return s
+	}
+	counts := make([]int64, len(s.Counts))
+	for i := range s.Counts {
+		c := s.Counts[i]
+		if i < len(prev.Counts) {
+			c -= prev.Counts[i]
+		}
+		if c < 0 { // never negative for snapshots of one histogram
+			c = 0
+		}
+		counts[i] = c
+	}
+	return HistSnapshot{Counts: counts, N: s.N - prev.N, Sum: s.Sum - prev.Sum}
+}
+
+// Quantile extracts the q-th quantile from the snapshot as the upper
+// bound of the bucket holding the order statistic (the same one-bucket
+// error contract as Histogram.Quantile, without the min/max clamp — a
+// snapshot does not retain exact extrema). Empty snapshots return 0.
+func (s HistSnapshot) Quantile(q float64) sim.Duration {
+	if s.N <= 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q*float64(s.N) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	cum := int64(0)
+	for i, c := range s.Counts {
+		cum += c
+		if cum >= rank {
+			if i < len(bucketBounds) {
+				return bucketBounds[i]
+			}
+			// Overflow bucket: the best deterministic bound we have.
+			return bucketBounds[len(bucketBounds)-1]
+		}
+	}
+	return bucketBounds[len(bucketBounds)-1]
+}
+
+// CountAbove returns how many samples in the snapshot exceed d, to bucket
+// granularity: a sample in the bucket straddling d counts as below it, so
+// the result is a deterministic underestimate by at most one bucket.
+func (s HistSnapshot) CountAbove(d sim.Duration) int64 {
+	above := s.N
+	for i, c := range s.Counts {
+		if i >= len(bucketBounds) || bucketBounds[i] > d {
+			break
+		}
+		above -= c
+	}
+	if above < 0 {
+		return 0
+	}
+	return above
+}
+
 // Quantile returns the q-th quantile (0 <= q <= 1) as the upper bound of
 // the bucket holding the order statistic, clamped into [Min, Max] so that
 // degenerate distributions report exact values. Empty histograms return 0.

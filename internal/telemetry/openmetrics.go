@@ -12,32 +12,40 @@ import (
 // cumulative le-bucketed counts, _sum and _count. Durations are exported in
 // seconds per the OpenMetrics unit convention. Metric families are emitted
 // in sorted-name order and only non-empty buckets appear (plus the
-// mandatory +Inf), so the snapshot is deterministic and compact. A nil or
-// empty registry writes just the EOF marker.
+// mandatory +Inf), so the snapshot is deterministic and compact. Families
+// with an entry in the central description table (describe.go) carry a
+// # HELP line. Distinct registry names that sanitize to the same
+// OpenMetrics name ("a.b" and "a_b" both become "a_b") are kept distinct
+// by a deterministic _dupN suffix instead of silently merging into one
+// family. A nil or empty registry writes just the EOF marker.
 func (r *Registry) WriteOpenMetrics(w io.Writer) error {
 	if r == nil {
 		_, err := io.WriteString(w, "# EOF\n")
 		return err
 	}
 	var b strings.Builder
+	used := make(map[string]bool)
 	for _, name := range sortedKeys(r.counters) {
-		n := sanitizeMetricName(name)
+		n := claimFamilyName(used, sanitizeMetricName(name))
 		fmt.Fprintf(&b, "# TYPE %s counter\n", n)
+		writeHelp(&b, n, name)
 		fmt.Fprintf(&b, "%s_total %d\n", n, r.counters[name].Value())
 	}
 	for _, name := range sortedKeys(r.gauges) {
 		g := r.gauges[name]
-		n := sanitizeMetricName(name)
+		n := claimFamilyName(used, sanitizeMetricName(name))
 		fmt.Fprintf(&b, "# TYPE %s gauge\n", n)
+		writeHelp(&b, n, name)
 		fmt.Fprintf(&b, "%s %d\n", n, g.Value())
 		fmt.Fprintf(&b, "# TYPE %s_peak gauge\n", n)
 		fmt.Fprintf(&b, "%s_peak %d\n", n, g.Peak())
 	}
 	for _, name := range sortedKeys(r.hists) {
 		h := r.hists[name]
-		n := sanitizeMetricName(name) + "_seconds"
+		n := claimFamilyName(used, sanitizeMetricName(name)+"_seconds")
 		fmt.Fprintf(&b, "# TYPE %s histogram\n", n)
 		fmt.Fprintf(&b, "# UNIT %s seconds\n", n)
+		writeHelp(&b, n, name)
 		cum := int64(0)
 		for i, c := range h.counts {
 			if c == 0 || i >= len(bucketBounds) {
@@ -54,6 +62,38 @@ func (r *Registry) WriteOpenMetrics(w io.Writer) error {
 	_, err := io.WriteString(w, b.String())
 	return err
 }
+
+// claimFamilyName reserves a sanitized family name, appending a _dupN
+// suffix when a previously emitted family already claimed it. Families
+// are claimed in sorted-original-name order within each metric section,
+// so the disambiguation is deterministic run-to-run.
+func claimFamilyName(used map[string]bool, n string) string {
+	if !used[n] {
+		used[n] = true
+		return n
+	}
+	for i := 2; ; i++ {
+		cand := fmt.Sprintf("%s_dup%d", n, i)
+		if !used[cand] {
+			used[cand] = true
+			return cand
+		}
+	}
+}
+
+// writeHelp emits the # HELP line for a family when the central
+// description table knows the metric.
+func writeHelp(b *strings.Builder, family, metric string) {
+	if h := MetricHelp(metric); h != "" {
+		fmt.Fprintf(b, "# HELP %s %s\n", family, h)
+	}
+}
+
+// MetricName maps a registry name onto the OpenMetrics charset, exactly
+// as WriteOpenMetrics does for its family names. Exported so periodic
+// exporters built on registry snapshots (the health engine's sample
+// pages) emit names that line up with the live exposition.
+func MetricName(name string) string { return sanitizeMetricName(name) }
 
 // sanitizeMetricName maps the registry's dotted names onto the OpenMetrics
 // charset [a-zA-Z0-9_:] ("hpbd.reads" -> "hpbd_reads").

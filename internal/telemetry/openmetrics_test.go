@@ -34,7 +34,7 @@ func lexOpenMetrics(t *testing.T, text string) int {
 	samples := 0
 	lastBucket := map[string]int64{}
 	for i, line := range lines[:len(lines)-2] {
-		if strings.HasPrefix(line, "# TYPE ") || strings.HasPrefix(line, "# UNIT ") {
+		if strings.HasPrefix(line, "# TYPE ") || strings.HasPrefix(line, "# UNIT ") || strings.HasPrefix(line, "# HELP ") {
 			fields := strings.Fields(line)
 			if len(fields) < 4 || !nameOK(fields[2]) {
 				t.Fatalf("line %d: bad metadata %q", i+1, line)
@@ -130,6 +130,64 @@ func TestWriteOpenMetricsDeterministic(t *testing.T) {
 	idx3 := strings.Index(b1.String(), "z_last_total")
 	if !(idx >= 0 && idx < idx2 && idx2 < idx3) {
 		t.Fatalf("counter families not sorted:\n%s", b1.String())
+	}
+}
+
+// TestWriteOpenMetricsHelp: families listed in the central description
+// table carry a # HELP line with the table's text; unknown families carry
+// none; per-server families match on suffix.
+func TestWriteOpenMetricsHelp(t *testing.T) {
+	reg := NewWithClock(func() sim.Time { return 0 })
+	reg.Counter("hpbd.reads").Add(3)
+	reg.Counter("mem0.requests").Add(5)
+	reg.Counter("no.such.metric").Inc()
+	var buf bytes.Buffer
+	if err := reg.WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lexOpenMetrics(t, out)
+	if want := "# HELP hpbd_reads " + MetricHelp("hpbd.reads") + "\n"; !strings.Contains(out, want) {
+		t.Errorf("missing %q in:\n%s", want, out)
+	}
+	if want := "# HELP mem0_requests " + MetricHelp("mem0.requests") + "\n"; !strings.Contains(out, want) {
+		t.Errorf("per-server HELP missing %q in:\n%s", want, out)
+	}
+	if strings.Contains(out, "# HELP no_such_metric") {
+		t.Errorf("unknown family got a HELP line:\n%s", out)
+	}
+	if MetricHelp("mem0.requests") == "" || MetricHelp("mem12.doorbells") == "" {
+		t.Error("per-server suffix lookup broken")
+	}
+	if MetricHelp("a.b.requests") != "" {
+		t.Error("nested-prefix name should not match the per-server table")
+	}
+}
+
+// TestWriteOpenMetricsCollision: registry names that sanitize to the same
+// OpenMetrics family ("a.b" vs "a_b") must stay distinct families instead
+// of silently merging, and the disambiguation must be deterministic.
+func TestWriteOpenMetricsCollision(t *testing.T) {
+	reg := NewWithClock(func() sim.Time { return 0 })
+	reg.Counter("a.b").Add(1)
+	reg.Counter("a_b").Add(2)
+	reg.Gauge("a-b").Set(3) // collides across sections too
+	var b1, b2 bytes.Buffer
+	if err := reg.WriteOpenMetrics(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.WriteOpenMetrics(&b2); err != nil {
+		t.Fatal(err)
+	}
+	out := b1.String()
+	lexOpenMetrics(t, out)
+	if out != b2.String() {
+		t.Fatalf("collision disambiguation not deterministic:\n%s\nvs\n%s", out, b2.String())
+	}
+	for _, want := range []string{"a_b_total 1", "a_b_dup2_total 2", "a_b_dup3 3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q — families merged or misnamed:\n%s", want, out)
+		}
 	}
 }
 

@@ -212,6 +212,39 @@ func (r *Registry) Summary() string {
 	return b.String()
 }
 
+// VisitCounters calls fn for every counter in sorted name order. It is
+// the read API for samplers (internal/health) that scrape the registry
+// periodically; the iteration order is deterministic by construction.
+func (r *Registry) VisitCounters(fn func(name string, v int64)) {
+	if r == nil {
+		return
+	}
+	for _, name := range sortedKeys(r.counters) {
+		fn(name, r.counters[name].Value())
+	}
+}
+
+// VisitGauges calls fn for every gauge in sorted name order.
+func (r *Registry) VisitGauges(fn func(name string, v, peak int64)) {
+	if r == nil {
+		return
+	}
+	for _, name := range sortedKeys(r.gauges) {
+		g := r.gauges[name]
+		fn(name, g.Value(), g.Peak())
+	}
+}
+
+// VisitHistograms calls fn for every histogram in sorted name order.
+func (r *Registry) VisitHistograms(fn func(name string, h *Histogram)) {
+	if r == nil {
+		return
+	}
+	for _, name := range sortedKeys(r.hists) {
+		fn(name, r.hists[name])
+	}
+}
+
 func sortedKeys[V any](m map[string]V) []string {
 	keys := make([]string, 0, len(m))
 	for k := range m {

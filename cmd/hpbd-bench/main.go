@@ -79,7 +79,7 @@ func main() {
 		name = strings.TrimSpace(name)
 		run, ok := experiments.Registry[name]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", name)
+			fmt.Fprintf(os.Stderr, "%v\n", experiments.UnknownExperiment(name))
 			failed = true
 			continue
 		}

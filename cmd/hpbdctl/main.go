@@ -13,8 +13,13 @@
 // against a mirrored node when given — and prints its report: SLO
 // compliance, anomaly-rule hits, the alert timeline and the per-server
 // rollup. The top subcommand runs an elastic node through a mid-run grow
-// and prints the per-server/per-epoch utilization table. All simulated
-// subcommands are deterministic for a given seed, scale and spec.
+// and prints the per-server/per-epoch utilization table. The tenants
+// subcommand runs a multi-tenant fleet from -qos's QoS spec under a
+// deterministic all-tenants storm and prints the per-tenant credit,
+// scheduler and quota table, with starvation alerts for tenants held
+// below their weighted entitlement (-fifo swaps in the unfair control
+// scheduler to show what the alerts catch). All simulated subcommands
+// are deterministic for a given seed, scale and spec.
 //
 // Usage:
 //
@@ -27,6 +32,8 @@
 //	hpbdctl -servers 2 -spec "crash@8ms=mem0" health
 //	hpbdctl -spec "" health       (healthy fleet, no fault replay)
 //	hpbdctl -servers 2 -interval 100us top
+//	hpbdctl -qos "pool=32,a:w1,b:w2:q1M" tenants
+//	hpbdctl -qos "pool=2,a:w1:r30,b:w10" -fifo tenants   (starved tenant demo)
 package main
 
 import (
@@ -44,7 +51,7 @@ import (
 	"hpbd/internal/sim"
 )
 
-const usageCommands = "status|verify|bench|trace|flightrec|faults|placement|health|top"
+const usageCommands = "status|verify|bench|trace|flightrec|faults|placement|health|top|tenants"
 
 func main() {
 	var (
@@ -57,6 +64,8 @@ func main() {
 		scale    = flag.Int("scale", experiments.PaperScale, "trace: scale divisor for paper sizes")
 		spec     = flag.String("spec", "crash@8ms=mem0", "faults/health: fault schedule spec (see internal/faultsim; health: \"\" disables)")
 		interval = flag.String("interval", "", "health/top: sample interval, e.g. 100us (default: engine default)")
+		qos      = flag.String("qos", "pool=32,a:w1,b:w2:q1M", "tenants: QoS spec (pool=N,id:wW:rR:qBYTES,...)")
+		fifo     = flag.Bool("fifo", false, "tenants: use the strict-FIFO control scheduler instead of WFQ")
 	)
 	flag.Parse()
 	cmd := flag.Arg(0)
@@ -68,7 +77,7 @@ func main() {
 	// non-zero with usage on stderr, so scripts fail fast instead of
 	// reading a usage page off a zero status.
 	switch cmd {
-	case "status", "verify", "bench", "trace", "flightrec", "faults", "placement", "health", "top":
+	case "status", "verify", "bench", "trace", "flightrec", "faults", "placement", "health", "top", "tenants":
 	default:
 		fmt.Fprintf(os.Stderr, "hpbdctl: unknown command %q\nusage: hpbdctl [flags] <%s>\n", cmd, usageCommands)
 		os.Exit(2)
@@ -123,6 +132,13 @@ func main() {
 			log.Fatalf("hpbdctl top: %v", err)
 		}
 		fmt.Print(node.Health.TopTable())
+		return
+	case "tenants":
+		table, err := experiments.TenantsReport(*qos, *fifo)
+		if err != nil {
+			log.Fatalf("hpbdctl tenants: %v", err)
+		}
+		fmt.Print(table)
 		return
 	}
 

@@ -37,6 +37,7 @@ var Registry = map[string]Runner{
 	"sweep-degraded":  SweepDegraded,
 	"sweep-elastic":   SweepElastic,
 	"sweep-readahead": SweepReadahead,
+	"sweep-tenant":    SweepTenant,
 	"sweep-elevator":  SweepElevator,
 }
 

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestUnknownExperimentListsRegistered is the regression test for the
+// hpbd-bench -exp error path: a typo'd experiment ID must come back
+// with the full registered list in Names() order, not a bare "unknown".
+func TestUnknownExperimentListsRegistered(t *testing.T) {
+	err := UnknownExperiment("fig99")
+	if err == nil {
+		t.Fatal("UnknownExperiment returned nil")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `unknown experiment "fig99"`) {
+		t.Errorf("error does not name the bad ID: %q", msg)
+	}
+	names := Names()
+	if !strings.Contains(msg, strings.Join(names, " ")) {
+		t.Errorf("error does not list Names() in order:\n%q\nwant to contain %q",
+			msg, strings.Join(names, " "))
+	}
+	for _, want := range []string{"fig5", "sweep-tenant", "table1"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error missing registered experiment %q: %q", want, msg)
+		}
+	}
+}
+
+func TestSweepTenantRegistered(t *testing.T) {
+	if _, ok := Registry["sweep-tenant"]; !ok {
+		t.Fatal("sweep-tenant not in the experiment registry")
+	}
+}
+
+// TestTenantsReportStarvationAlert drives the deterministic weighted-
+// unfair scenario the CI tenancy-smoke job greps: under FIFO a
+// weight-10 tenant sharing with a heavily-reserved weight-1 tenant is
+// served far below its entitlement, and the report must say so. The
+// same spec under WFQ must not alert — the scheduler is the remedy.
+func TestTenantsReportStarvationAlert(t *testing.T) {
+	const spec = "pool=2,a:w1:r30,b:w10"
+	fifo, err := TenantsReport(spec, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(fifo, "starvation alert: tenant b") {
+		t.Errorf("FIFO report lacks the starvation alert:\n%s", fifo)
+	}
+	if !strings.Contains(fifo, "credit conservation: ok") {
+		t.Errorf("FIFO report lacks the conservation check:\n%s", fifo)
+	}
+	wfq, err := TenantsReport(spec, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(wfq, "starvation alert") {
+		t.Errorf("WFQ report alerts despite fair scheduling:\n%s", wfq)
+	}
+	if !strings.Contains(wfq, "credit conservation: ok") {
+		t.Errorf("WFQ report lacks the conservation check:\n%s", wfq)
+	}
+}

@@ -124,6 +124,14 @@ type ClientConfig struct {
 	// Setting Fallback also enables the recovery path.
 	Fallback blockdev.Driver
 
+	// Tenant is the identity this device presents when attaching to
+	// servers (the area ledger owner; under server-side tenancy it must
+	// appear in the servers' QoS spec). When the device also has a
+	// Fallback driver, a reclaimer process demotes the tenant's coldest
+	// server pages to the fallback whenever a quota refusal kicks it.
+	// Empty (the default) attaches anonymously, exactly as before.
+	Tenant string
+
 	// Elastic enables dynamic membership: AddServerLive, DrainServer and
 	// RemoveServer become available, and the first membership operation
 	// switches the sector→server mapping from the static blocked layout
@@ -269,6 +277,7 @@ func newDeviceMetrics(reg *telemetry.Registry) deviceMetrics {
 type serverLink struct {
 	srv       *Server
 	qp        *ib.QP
+	srvQP     *ib.QP // server-side QP (keys the server's per-conn tenancy state)
 	credits   *sim.Semaphore
 	startByte int64
 	size      int64
@@ -345,13 +354,16 @@ type Device struct {
 	nextH   uint64
 	sleepQ  *sim.WaitQueue
 	// wdQ parks the watchdog while no requests are in flight.
-	wdQ    *sim.WaitQueue
-	failed bool
-	tel    *telemetry.Registry
-	met    deviceMetrics
-	rmet   recoveryMetrics
-	tracer *telemetry.Tracer
-	lc     *telemetry.Lifecycle
+	wdQ *sim.WaitQueue
+	// reclaimQ parks the tenancy reclaimer until a quota refusal kicks it
+	// (nil unless cfg.Tenant and cfg.Fallback are both set).
+	reclaimQ *sim.WaitQueue
+	failed   bool
+	tel      *telemetry.Registry
+	met      deviceMetrics
+	rmet     recoveryMetrics
+	tracer   *telemetry.Tracer
+	lc       *telemetry.Lifecycle
 
 	downLinks int            // count of links the recovery path failed
 	fbHeld    map[int64]bool // sectors whose authoritative copy is on Fallback
@@ -473,6 +485,10 @@ func NewDevice(f *ib.Fabric, name string, cfg ClientConfig) *Device {
 	if cfg.RequestTimeout > 0 {
 		env.Go(name+"-watchdog", d.watchdog)
 	}
+	if cfg.Tenant != "" && cfg.Fallback != nil {
+		d.reclaimQ = sim.NewWaitQueue(env)
+		env.Go(name+"-reclaim", d.reclaimer)
+	}
 	return d
 }
 
@@ -547,17 +563,22 @@ func (d *Device) ConnectServer(srv *Server, areaBytes int64) error {
 		return fmt.Errorf("hpbd: invalid area size %d", areaBytes)
 	}
 	qp := d.hca.CreateQP(d.cq, d.cq)
-	if _, _, err := srv.attach(qp, areaBytes); err != nil {
+	srvQP, _, err := srv.attach(qp, areaBytes, d.cfg.Tenant)
+	if err != nil {
 		return err
 	}
 	link := &serverLink{
 		srv:       srv,
 		qp:        qp,
+		srvQP:     srvQP,
 		credits:   sim.NewSemaphore(d.env, d.cfg.Credits),
 		startByte: d.total,
 		size:      areaBytes,
 		reqMR:     d.hca.RegisterMRAtSetup(make([]byte, d.cfg.Credits*wire.RequestSize)),
 		recvMR:    d.hca.RegisterMRAtSetup(make([]byte, d.cfg.Credits*wire.ReplySize)),
+	}
+	if d.reclaimQ != nil {
+		srv.setReclaimKick(srvQP, d.reclaimQ.WakeAll)
 	}
 	for i := 0; i < d.cfg.Credits; i++ {
 		if err := qp.PostRecv(ib.RecvWR{
@@ -1215,6 +1236,17 @@ func (d *Device) handleReply(p *sim.Proc, e ib.CQE) {
 	}
 	delete(d.pending, rep.Handle)
 	d.met.replies.Inc()
+
+	if rep.Status == wire.StatusRetry && d.recovery() {
+		// RNR-style admission pushback: the server refused the request
+		// for now (tenant over its memory quota). Back off and retry
+		// while reclaim makes room — the payload is still held for the
+		// re-send — degrading to the fallback when retries exhaust.
+		d.tracer.InstantArgs(d.name, "quota-pushback", map[string]any{"handle": rep.Handle})
+		link.credits.Release(1)
+		d.retryOrRoute(ph)
+		return
+	}
 
 	if ph.subs != nil {
 		d.applyMerged(p, ph, replyAt, rep.Status, link)

@@ -212,12 +212,14 @@ func (d *Device) AddServerLive(p *sim.Proc, srv *Server, areaBytes int64) error 
 	d.ensureDir()
 	d.ensureMigResources(p)
 	qp := d.hca.CreateQP(d.cq, d.cq)
-	if _, _, err := srv.attach(qp, areaBytes); err != nil {
+	srvQP, _, err := srv.attach(qp, areaBytes, d.cfg.Tenant)
+	if err != nil {
 		return err
 	}
 	link := &serverLink{
 		srv:     srv,
 		qp:      qp,
+		srvQP:   srvQP,
 		credits: sim.NewSemaphore(d.env, d.cfg.Credits),
 		// startByte -1: this link is not part of the legacy address
 		// space; only the directory maps sectors onto it.

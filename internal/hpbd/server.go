@@ -6,9 +6,11 @@ import (
 
 	"hpbd/internal/ib"
 	"hpbd/internal/netmodel"
+	"hpbd/internal/placement"
 	"hpbd/internal/ramdisk"
 	"hpbd/internal/sim"
 	"hpbd/internal/telemetry"
+	"hpbd/internal/tenant"
 	"hpbd/internal/wire"
 )
 
@@ -45,6 +47,28 @@ type ServerConfig struct {
 	// (metric names are prefixed with the server name); nil gives the
 	// server a private registry so Stats() always works.
 	Telemetry *telemetry.Registry
+
+	// Tenancy, if non-nil, turns on multi-tenant QoS (see tenancy.go):
+	// the receive window is credit-partitioned per tenant, worker issue
+	// order comes from the byte-weighted fair queue, and per-tenant
+	// quotas are admission-enforced. Nil (the default) keeps the
+	// single-tenant server byte-identical.
+	Tenancy *tenant.Spec
+	// TenantFIFO replaces the fair queue with strict FIFO issue while
+	// keeping every other tenancy mechanism — the isolation experiments'
+	// control arm. Ignored without Tenancy.
+	TenantFIFO bool
+	// TenantSelfCheck runs the credit bank's conservation check (the
+	// creditbalance analyzer's runtime twin) at every credit operation
+	// and scheduler tick, latching the first violation for TenancyCheck.
+	TenantSelfCheck bool
+	// TenantQuantum is the fair queue's issue quantum in bytes: a request
+	// larger than one quantum is transferred one quantum per scheduler
+	// grant, re-entering the queue between chunks, so a small request
+	// never waits behind more than one quantum of a neighbor's bulk
+	// transfer on the wire. Zero means 16 KB. Ignored with TenantFIFO,
+	// which keeps the legacy monolithic issue as the control arm.
+	TenantQuantum int
 }
 
 // DefaultServerConfig returns the paper's server configuration for a
@@ -105,10 +129,13 @@ func newServerMetrics(reg *telemetry.Registry, name string) serverMetrics {
 	}
 }
 
-// srvReq is one request in flight inside the server.
+// srvReq is one request in flight inside the server. cont is non-nil on
+// a quantum continuation: a partially transferred request re-queued by
+// the fair scheduler between chunks (see tnServeQuantum).
 type srvReq struct {
 	conn *clientConn
 	req  wire.Request
+	cont *tnCont
 }
 
 // clientConn is the server-side state for one attached client.
@@ -117,6 +144,11 @@ type clientConn struct {
 	areaOff  int64
 	areaSize int64
 	recvMR   *ib.MR // RecvDepth request buffers
+
+	// Tenancy state (nil/zero without ServerConfig.Tenancy).
+	tenantID    string
+	resident    map[int64]pageHeat // page index -> touch/write stamps
+	reclaimKick func()             // wakes the owning device's reclaimer
 }
 
 // Server is the user-space memory server daemon.
@@ -130,7 +162,8 @@ type Server struct {
 	store  *ramdisk.RamDisk
 
 	conns     map[*ib.QP]*clientConn
-	nextArea  int64
+	ledger    *placement.Ledger
+	tn        *srvTenancy // nil without cfg.Tenancy
 	work      *sim.Chan[srvReq]
 	sleepQ    *sim.WaitQueue
 	rdmaWaits map[uint64]*sim.Event
@@ -177,9 +210,13 @@ func NewServer(f *ib.Fabric, name string, cfg ServerConfig) *Server {
 		dataCQ:    hca.CreateCQ(name + "-data"),
 		store:     ramdisk.New(cfg.StoreBytes, f.Config().Mem),
 		conns:     make(map[*ib.QP]*clientConn),
+		ledger:    placement.NewLedger(cfg.StoreBytes),
 		work:      sim.NewChan[srvReq](env, 0),
 		sleepQ:    sim.NewWaitQueue(env),
 		rdmaWaits: make(map[uint64]*sim.Event),
+	}
+	if cfg.Tenancy != nil {
+		s.tnInit()
 	}
 	s.store.SetOpOverhead(cfg.StoreOpOverhead)
 	s.reqCQ.SetEventHandler(func() { s.sleepQ.WakeAll() })
@@ -189,7 +226,16 @@ func NewServer(f *ib.Fabric, name string, cfg ServerConfig) *Server {
 		s.issueQ = sim.NewChan[rdmaIssue](env, 0)
 		env.Go(name+"-issuer", s.rdmaIssuer)
 	}
-	for i := 0; i < cfg.Workers; i++ {
+	workers := cfg.Workers
+	if s.tn != nil && !cfg.TenantFIFO {
+		// Fair-queue mode issues through a single worker: the wire is the
+		// contended resource, and quantum-granular WFQ can only bound a
+		// small tenant's wait if one scheduler grant means one transfer in
+		// flight. The multi-worker RDMA/memcpy overlap is what the QoS
+		// contract trades away; the FIFO control arm keeps it.
+		workers = 1
+	}
+	for i := 0; i < workers; i++ {
 		wname := fmt.Sprintf("%s-worker%d", name, i)
 		env.Go(wname, func(p *sim.Proc) { s.worker(p, wname) })
 	}
@@ -234,7 +280,10 @@ func (s *Server) lifecycle() *telemetry.Lifecycle {
 func (s *Server) Store() *ramdisk.RamDisk { return s.store }
 
 // FreeBytes returns unallocated store space.
-func (s *Server) FreeBytes() int64 { return s.cfg.StoreBytes - s.nextArea }
+func (s *Server) FreeBytes() int64 { return s.ledger.Free() }
+
+// Ledger exposes the area ownership ledger (hpbdctl placement/tenants).
+func (s *Server) Ledger() *placement.Ledger { return s.ledger }
 
 // DropClients closes every client connection (server shutdown or crash):
 // clients observe flushed completions and fail their devices.
@@ -297,6 +346,21 @@ func (s *Server) repostStarved() {
 	if s.env.Now() < s.starveUntil {
 		return
 	}
+	if s.tn != nil {
+		// Tenancy: each withheld slot re-enters through the credit bank
+		// (acquire or withhold), then accumulated free credits drain to
+		// whatever demand built up during the window.
+		starved := s.starved
+		s.starved = nil
+		for _, sr := range starved {
+			if sr.conn.qp.Closed() {
+				continue
+			}
+			s.tnRepostOrWithhold(sr.conn, sr.wrid, sr.slot)
+		}
+		s.tnGrantDrain()
+		return
+	}
 	for _, sr := range s.starved {
 		if sr.conn.qp.Closed() {
 			continue
@@ -311,24 +375,42 @@ func (s *Server) repostStarved() {
 
 // attach allocates an area of size bytes for a client and wires a QP; it
 // is called by the client's ConnectServer during device setup (standing in
-// for the paper's socket-based QP information exchange).
-func (s *Server) attach(clientQP *ib.QP, size int64) (*ib.QP, int64, error) {
+// for the paper's socket-based QP information exchange). tenantID names
+// the owner in the area ledger; under tenancy it must appear in the QoS
+// spec, and the connection's receive window is posted under that
+// tenant's credits (slots its share cannot cover are withheld until the
+// bank grants them).
+func (s *Server) attach(clientQP *ib.QP, size int64, tenantID string) (*ib.QP, int64, error) {
 	if s.crashed {
 		return nil, 0, fmt.Errorf("hpbd: server %s is down", s.name)
 	}
-	if s.nextArea+size > s.cfg.StoreBytes {
+	if s.tn != nil && s.tn.spec.Find(tenantID) == nil {
+		return nil, 0, fmt.Errorf("hpbd: server %s has no tenant %q in its QoS spec", s.name, tenantID)
+	}
+	if size > s.ledger.Free() {
 		return nil, 0, fmt.Errorf("hpbd: server %s cannot export %d bytes (%d free)", s.name, size, s.FreeBytes())
+	}
+	off, err := s.ledger.Allocate(tenantID, size)
+	if err != nil {
+		return nil, 0, err
 	}
 	qp := s.hca.CreateQP(s.dataCQ, s.reqCQ)
 	ib.Connect(clientQP, qp)
 	conn := &clientConn{
 		qp:       qp,
-		areaOff:  s.nextArea,
+		areaOff:  off,
 		areaSize: size,
 		recvMR:   s.hca.RegisterMRAtSetup(make([]byte, s.cfg.RecvDepth*wire.RequestSize)),
+		tenantID: tenantID,
 	}
-	s.nextArea += size
 	s.conns[qp] = conn
+	if s.tn != nil {
+		conn.resident = make(map[int64]pageHeat)
+		for i := 0; i < s.cfg.RecvDepth; i++ {
+			s.tnRepostOrWithhold(conn, uint64(i), i)
+		}
+		return qp, conn.areaOff, nil
+	}
 	for i := 0; i < s.cfg.RecvDepth; i++ {
 		if err := qp.PostRecv(ib.RecvWR{
 			ID:    uint64(i),
@@ -378,7 +460,12 @@ func (s *Server) handleRecvCQE(p *sim.Proc, e ib.CQE) {
 	// Repost the receive buffer immediately; the request is decoded out.
 	// Under an active receive-starvation fault the repost is withheld
 	// instead (the request is still served), draining client credits.
-	if s.env.Now() < s.starveUntil {
+	// Tenancy routes the repost through the credit bank: the arriving
+	// request keeps the buffer's credit until its reply, and the
+	// replacement buffer needs a credit of its own.
+	if s.tn != nil {
+		s.tnRepostOrWithhold(conn, e.WRID, slot)
+	} else if s.env.Now() < s.starveUntil {
 		s.starved = append(s.starved, starvedRecv{conn: conn, wrid: e.WRID, slot: slot})
 	} else if perr := conn.qp.PostRecv(ib.RecvWR{
 		ID:    e.WRID,
@@ -391,10 +478,20 @@ func (s *Server) handleRecvCQE(p *sim.Proc, e ib.CQE) {
 		s.env.Go(s.name+"-nak", func(wp *sim.Proc) {
 			nakMR := s.hca.RegisterMRAtSetup(make([]byte, wire.ReplySize))
 			s.sendReply(wp, conn, nakMR, req.Handle, wire.StatusBadRequest)
+			if s.tn != nil {
+				s.tnRelease(conn)
+			}
 		})
 		return
 	}
 	s.met.requests.Inc()
+	if s.tn != nil {
+		// The fair queue never blocks the receive loop; workers pop in
+		// virtual-finish order. In quantum mode only the first wire
+		// chunk's bytes are charged here — continuations charge their own.
+		s.tn.sched.Push(conn.tenantID, s.tnDispatchBytes(req), s.env.Now(), srvReq{conn: conn, req: req})
+		return
+	}
 	s.work.Send(p, srvReq{conn: conn, req: req})
 }
 
@@ -517,108 +614,160 @@ func (s *Server) sendReply(p *sim.Proc, conn *clientConn, replyMR *ib.MR, handle
 
 // worker processes requests with its own staging buffer, providing the
 // multiple-outstanding-RDMA + memcpy overlap of §4.2.1. wname labels this
-// worker's trace track so the overlap is visible across workers.
+// worker's trace track so the overlap is visible across workers. Under
+// tenancy the worker pool feeds from the weighted fair queue instead of
+// the FIFO work channel, observes each request's queueing delay into its
+// tenant's sched-wait histogram, and releases the request's credit after
+// service.
 func (s *Server) worker(p *sim.Proc, wname string) {
 	staging := s.hca.RegisterMRAtSetup(make([]byte, s.cfg.StagingBytes))
 	replyMR := s.hca.RegisterMRAtSetup(make([]byte, wire.ReplySize))
+	if s.tn != nil {
+		for {
+			item, pushAt, ok := s.tn.sched.Pop(p)
+			if !ok {
+				return
+			}
+			s.tnCheck()
+			if item.cont == nil {
+				// Continuations are issue grants, not arrivals: only the
+				// request's first grant measures its queueing delay.
+				s.tn.met[item.conn.tenantID].schedWait.Observe(p.Now().Sub(pushAt))
+			}
+			if s.cfg.TenantFIFO {
+				s.serveOne(p, wname, staging, replyMR, item)
+				s.tnRelease(item.conn)
+				continue
+			}
+			item, grant := s.tnServeQuantum(p, wname, replyMR, item)
+			switch grant {
+			case tnDone:
+				s.tnRelease(item.conn)
+			case tnMore:
+				rest := s.tnChunk(int(item.req.Length), item.cont.done)
+				s.tn.sched.Push(item.conn.tenantID, rest, p.Now(), item)
+			case tnParked:
+				// A store proc owns the request now; it re-queues the
+				// continuation or finishes and releases the credit itself.
+			}
+		}
+	}
 	for {
 		item, ok := s.work.Recv(p)
 		if !ok {
 			return
 		}
-		conn, req := item.conn, item.req
-		// Lifecycle instrumentation: wstart anchors the server's interior
-		// split of the request, copyNs accumulates the local memcpy share,
-		// and the client's flow (linked by handle through the shared
-		// registry) continues on this worker's trace track. The stamp is
-		// published just before every reply so the client's breakdown can
-		// attribute send / rdma / server-copy / reply exactly.
-		lc := s.lifecycle()
-		wstart := p.Now()
-		var copyNs sim.Duration
-		flow, hasFlow := lc.TakeFlow(req.Handle)
-		if hasFlow {
-			s.tracer.FlowStep(wname, "req", flow)
-		}
-		reply := func(st wire.Status) {
-			// An active hang fault wedges the reply (and its stamp) until
-			// the deadline; sleeping before StampServer keeps the client's
-			// exact stage partition intact — the hang shows up as server
-			// time, which is where it was actually spent.
-			if s.hangUntil > p.Now() {
-				p.Sleep(s.hangUntil.Sub(p.Now()))
-			}
-			lc.StampServer(req.Handle, telemetry.ServerStamp{
-				Start: wstart, Reply: p.Now(), Copy: copyNs,
-			})
-			s.sendReply(p, conn, replyMR, req.Handle, st)
-		}
-		n := int(req.Length)
-		if n <= 0 || n > s.cfg.StagingBytes ||
-			req.Offset+uint64(n) > uint64(conn.areaSize) {
-			s.met.badRequests.Inc()
-			reply(wire.StatusOutOfRange)
-			continue
-		}
-		storeOff := conn.areaOff + int64(req.Offset)
-		switch req.Type {
-		case wire.ReqWrite:
-			// Swap-out: pull the page data out of the client's pool.
-			span := s.tracer.Begin(wname, "rdma-read")
-			ev, err := s.postRDMA(p, conn, ib.OpRDMARead,
-				ib.Segment{MR: staging, Off: 0, Len: n}, req.RKey, int(req.Addr), flow)
-			if err != nil {
-				reply(wire.StatusServerError)
-				continue
-			}
-			ev.Wait(p)
-			span.EndArgs(map[string]any{"bytes": n})
-			if conn.qp.Closed() {
-				continue
-			}
-			span = s.tracer.Begin(wname, "store-write")
-			copyStart := p.Now()
-			if err := s.store.WriteAt(p, staging.Buf[:n], storeOff); err != nil {
-				copyNs = p.Now().Sub(copyStart)
-				reply(wire.StatusServerError)
-				continue
-			}
-			copyNs = p.Now().Sub(copyStart)
-			span.EndArgs(map[string]any{"bytes": n})
-			s.met.writes.Inc()
-			s.met.bytesStored.Add(int64(n))
-			reply(wire.StatusOK)
+		s.serveOne(p, wname, staging, replyMR, item)
+	}
+}
 
-		case wire.ReqRead:
-			// Swap-in: push stored data into the client's pool.
-			span := s.tracer.Begin(wname, "store-read")
-			copyStart := p.Now()
-			if err := s.store.ReadAt(p, staging.Buf[:n], storeOff); err != nil {
-				copyNs = p.Now().Sub(copyStart)
-				reply(wire.StatusServerError)
-				continue
-			}
-			copyNs = p.Now().Sub(copyStart)
-			span.EndArgs(map[string]any{"bytes": n})
-			span = s.tracer.Begin(wname, "rdma-write")
-			ev, err := s.postRDMA(p, conn, ib.OpRDMAWrite,
-				ib.Segment{MR: staging, Off: 0, Len: n}, req.RKey, int(req.Addr), flow)
-			if err != nil {
-				reply(wire.StatusServerError)
-				continue
-			}
-			ev.Wait(p)
-			span.EndArgs(map[string]any{"bytes": n})
-			if conn.qp.Closed() {
-				continue
-			}
-			s.met.reads.Inc()
-			s.met.bytesServed.Add(int64(n))
-			reply(wire.StatusOK)
-
-		default:
-			s.met.badRequests.Inc()
-			reply(wire.StatusBadRequest)
+// serveOne services a single request on the calling worker's staging and
+// reply buffers.
+func (s *Server) serveOne(p *sim.Proc, wname string, staging, replyMR *ib.MR, item srvReq) {
+	conn, req := item.conn, item.req
+	// Lifecycle instrumentation: wstart anchors the server's interior
+	// split of the request, copyNs accumulates the local memcpy share,
+	// and the client's flow (linked by handle through the shared
+	// registry) continues on this worker's trace track. The stamp is
+	// published just before every reply so the client's breakdown can
+	// attribute send / rdma / server-copy / reply exactly.
+	lc := s.lifecycle()
+	wstart := p.Now()
+	var copyNs sim.Duration
+	flow, hasFlow := lc.TakeFlow(req.Handle)
+	if hasFlow {
+		s.tracer.FlowStep(wname, "req", flow)
+	}
+	reply := func(st wire.Status) {
+		// An active hang fault wedges the reply (and its stamp) until
+		// the deadline; sleeping before StampServer keeps the client's
+		// exact stage partition intact — the hang shows up as server
+		// time, which is where it was actually spent.
+		if s.hangUntil > p.Now() {
+			p.Sleep(s.hangUntil.Sub(p.Now()))
 		}
+		lc.StampServer(req.Handle, telemetry.ServerStamp{
+			Start: wstart, Reply: p.Now(), Copy: copyNs,
+		})
+		s.sendReply(p, conn, replyMR, req.Handle, st)
+	}
+	n := int(req.Length)
+	if n <= 0 || n > s.cfg.StagingBytes ||
+		req.Offset+uint64(n) > uint64(conn.areaSize) {
+		s.met.badRequests.Inc()
+		reply(wire.StatusOutOfRange)
+		return
+	}
+	storeOff := conn.areaOff + int64(req.Offset)
+	switch req.Type {
+	case wire.ReqWrite:
+		// Quota admission: over-quota growth is refused before any RDMA
+		// is issued; the client's recovery path backs off and retries.
+		if s.tn != nil && !s.tnAdmitWrite(conn, req) {
+			reply(wire.StatusRetry)
+			return
+		}
+		// Swap-out: pull the page data out of the client's pool.
+		span := s.tracer.Begin(wname, "rdma-read")
+		ev, err := s.postRDMA(p, conn, ib.OpRDMARead,
+			ib.Segment{MR: staging, Off: 0, Len: n}, req.RKey, int(req.Addr), flow)
+		if err != nil {
+			reply(wire.StatusServerError)
+			return
+		}
+		ev.Wait(p)
+		span.EndArgs(map[string]any{"bytes": n})
+		if conn.qp.Closed() {
+			return
+		}
+		span = s.tracer.Begin(wname, "store-write")
+		copyStart := p.Now()
+		if err := s.store.WriteAt(p, staging.Buf[:n], storeOff); err != nil {
+			copyNs = p.Now().Sub(copyStart)
+			reply(wire.StatusServerError)
+			return
+		}
+		copyNs = p.Now().Sub(copyStart)
+		span.EndArgs(map[string]any{"bytes": n})
+		s.met.writes.Inc()
+		s.met.bytesStored.Add(int64(n))
+		if s.tn != nil {
+			s.tnMarkWrite(conn, req)
+		}
+		reply(wire.StatusOK)
+
+	case wire.ReqRead:
+		// Swap-in: push stored data into the client's pool.
+		span := s.tracer.Begin(wname, "store-read")
+		copyStart := p.Now()
+		if err := s.store.ReadAt(p, staging.Buf[:n], storeOff); err != nil {
+			copyNs = p.Now().Sub(copyStart)
+			reply(wire.StatusServerError)
+			return
+		}
+		copyNs = p.Now().Sub(copyStart)
+		span.EndArgs(map[string]any{"bytes": n})
+		span = s.tracer.Begin(wname, "rdma-write")
+		ev, err := s.postRDMA(p, conn, ib.OpRDMAWrite,
+			ib.Segment{MR: staging, Off: 0, Len: n}, req.RKey, int(req.Addr), flow)
+		if err != nil {
+			reply(wire.StatusServerError)
+			return
+		}
+		ev.Wait(p)
+		span.EndArgs(map[string]any{"bytes": n})
+		if conn.qp.Closed() {
+			return
+		}
+		s.met.reads.Inc()
+		s.met.bytesServed.Add(int64(n))
+		if s.tn != nil {
+			s.tnTouchRead(conn, req)
+		}
+		reply(wire.StatusOK)
+
+	default:
+		s.met.badRequests.Inc()
+		reply(wire.StatusBadRequest)
 	}
 }

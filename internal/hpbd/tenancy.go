@@ -1,0 +1,725 @@
+package hpbd
+
+import (
+	"sort"
+
+	"hpbd/internal/blockdev"
+	"hpbd/internal/ib"
+	"hpbd/internal/sim"
+	"hpbd/internal/telemetry"
+	"hpbd/internal/tenant"
+	"hpbd/internal/wire"
+)
+
+// Multi-tenancy (server side). With ServerConfig.Tenancy set the server
+// enforces the spec's QoS contract at the paper's natural flow-control
+// point — the receive window. A credit covers one request slot from the
+// moment its receive buffer is posted until the reply leaves: arrival
+// consumes the buffer and immediately tries to acquire a fresh credit
+// for the replacement post; when the bank refuses, the slot is withheld
+// (exactly the StarveRecv machinery) so the greedy tenant's effective
+// window shrinks and its excess sends complete as RNR errors that its
+// client retries with backoff. Replying releases the request's credit,
+// and freed credits are granted to withheld slots in the bank's
+// deterministic priority order. Worker issue order comes from the
+// byte-weighted fair queue instead of the FIFO work channel, and
+// per-tenant resident bytes are tracked page-granular for the quota
+// admission check and cold-page reclaim.
+
+// tenantPageBytes is the residency-accounting granule (one 4K page).
+const tenantPageBytes = 4096
+
+// recvSlot is one receive buffer whose repost is withheld until its
+// tenant can hold another credit.
+type recvSlot struct {
+	conn *clientConn
+	wrid uint64
+	slot int
+}
+
+// tenantMetrics are one tenant's server-side metric handles, registered
+// lazily at server creation only when tenancy is on (so tenancy-off
+// output stays byte-identical).
+type tenantMetrics struct {
+	held         *telemetry.Gauge
+	borrowed     *telemetry.Gauge
+	schedWait    *telemetry.Histogram
+	resident     *telemetry.Gauge
+	evictions    *telemetry.Counter
+	quotaRetries *telemetry.Counter
+}
+
+// srvTenancy is the server's tenancy state.
+type srvTenancy struct {
+	spec      *tenant.Spec
+	bank      *tenant.CreditBank
+	sched     *tenant.Sched[srvReq]
+	met       map[string]*tenantMetrics // keyed access only, never iterated
+	withheld  map[string][]recvSlot     // per-tenant FIFO of withheld slots
+	resident  map[string]int64          // per-tenant resident bytes on this server
+	bufs      []*ib.MR                  // per-request staging pool (quantum mode)
+	selfCheck bool
+	checkErr  error
+}
+
+// tnInit builds the tenancy state for a validated spec. Flows, metrics
+// and accounting are registered in spec (ID) order.
+func (s *Server) tnInit() {
+	spec := s.cfg.Tenancy
+	tn := &srvTenancy{
+		spec:      spec,
+		bank:      tenant.NewCreditBank(spec),
+		sched:     tenant.NewSched[srvReq](s.env, s.cfg.TenantFIFO),
+		met:       make(map[string]*tenantMetrics, len(spec.Tenants)),
+		withheld:  make(map[string][]recvSlot, len(spec.Tenants)),
+		resident:  make(map[string]int64, len(spec.Tenants)),
+		selfCheck: s.cfg.TenantSelfCheck,
+	}
+	if !s.cfg.TenantFIFO {
+		// Quantum mode stages each in-service request in its own buffer
+		// (the data outlives any single scheduler grant). A request in
+		// service holds a credit, so the provisioned credit count bounds
+		// the pool; registering at setup mirrors the workers' staging.
+		for i := 0; i < spec.Provisioned(); i++ {
+			tn.bufs = append(tn.bufs, s.hca.RegisterMRAtSetup(make([]byte, s.cfg.StagingBytes)))
+		}
+	}
+	for i := range spec.Tenants {
+		t := &spec.Tenants[i]
+		tn.sched.AddFlow(t.ID, t.Weight)
+		prefix := s.name + ".tenant." + t.ID + "."
+		tn.met[t.ID] = &tenantMetrics{
+			held:         s.tel.Gauge(prefix + "credits_held"),
+			borrowed:     s.tel.Gauge(prefix + "credits_borrowed"),
+			schedWait:    s.tel.Histogram(prefix + "sched_wait"),
+			resident:     s.tel.Gauge(prefix + "resident_bytes"),
+			evictions:    s.tel.Counter(prefix + "evictions"),
+			quotaRetries: s.tel.Counter(prefix + "quota_retries"),
+		}
+	}
+	s.tn = tn
+}
+
+// tnCheck runs the bank's conservation check (the creditbalance
+// analyzer's runtime twin) when self-checking is armed, latching the
+// first violation.
+func (s *Server) tnCheck() {
+	if s.tn.selfCheck && s.tn.checkErr == nil {
+		s.tn.checkErr = s.tn.bank.Check()
+	}
+}
+
+// TenancyCheck returns the first credit-conservation violation the
+// self-check observed (nil: invariant held at every tick so far).
+func (s *Server) TenancyCheck() error {
+	if s.tn == nil {
+		return nil
+	}
+	return s.tn.checkErr
+}
+
+// tnGauges refreshes tenant id's credit gauges from the bank.
+func (s *Server) tnGauges(id string) {
+	m := s.tn.met[id]
+	m.held.Set(int64(s.tn.bank.Held(id)))
+	m.borrowed.Set(int64(s.tn.bank.Borrowed(id)))
+}
+
+// tnPostSlot reposts one receive buffer (its tenant already holds the
+// credit). A post failure means the connection is torn down: the credit
+// goes back to the bank.
+func (s *Server) tnPostSlot(sl recvSlot) {
+	if sl.conn.qp.Closed() {
+		s.tn.bank.Release(sl.conn.tenantID)
+		return
+	}
+	if err := sl.conn.qp.PostRecv(ib.RecvWR{
+		ID:    sl.wrid,
+		Local: ib.Segment{MR: sl.conn.recvMR, Off: sl.slot * wire.RequestSize, Len: wire.RequestSize},
+	}); err != nil {
+		s.tn.bank.Release(sl.conn.tenantID)
+	}
+}
+
+// tnRepostOrWithhold decides a freed receive slot's fate: repost under
+// a fresh credit when the tenant may hold one, otherwise withhold the
+// slot until a release grants it. Buffer posts use the capped acquire —
+// a posted buffer pins its credit until a request lands on it, which an
+// idle tenant may never do, so only the revocable Grant path (one
+// decision per release, with live demand in view) hands out beyond-cap
+// pool credits. An active StarveRecv fault withholds the slot in the
+// fault's own stash, credit-free, exactly as the non-tenant path does.
+func (s *Server) tnRepostOrWithhold(conn *clientConn, wrid uint64, slot int) {
+	if s.env.Now() < s.starveUntil {
+		s.starved = append(s.starved, starvedRecv{conn: conn, wrid: wrid, slot: slot})
+		return
+	}
+	id := conn.tenantID
+	if s.tn.bank.TryAcquireCapped(id) {
+		s.tnCheck()
+		s.tnPostSlot(recvSlot{conn: conn, wrid: wrid, slot: slot})
+	} else {
+		s.tn.withheld[id] = append(s.tn.withheld[id], recvSlot{conn: conn, wrid: wrid, slot: slot})
+		s.tn.bank.Waitlist(id, 1)
+	}
+	s.tnGauges(id)
+}
+
+// tnGrantDrain hands freed credits to withheld slots in the bank's
+// deterministic priority order until credits or demand run out.
+func (s *Server) tnGrantDrain() {
+	for {
+		gid, ok := s.tn.bank.Grant()
+		if !ok {
+			return
+		}
+		s.tnCheck()
+		slots := s.tn.withheld[gid]
+		sl := slots[0]
+		s.tn.withheld[gid] = slots[1:]
+		s.tnPostSlot(sl)
+		s.tnGauges(gid)
+	}
+}
+
+// tnRelease returns the credit a served request held and re-grants. An
+// active starvation window suppresses granting (credits pile up free);
+// repostStarved drains the backlog when the window lifts.
+func (s *Server) tnRelease(conn *clientConn) {
+	id := conn.tenantID
+	s.tn.bank.Release(id)
+	s.tnCheck()
+	s.tnGauges(id)
+	if s.env.Now() < s.starveUntil {
+		return
+	}
+	s.tnGrantDrain()
+}
+
+// tnPages returns the page span [first, last] a request covers within
+// its connection's area.
+func tnPages(req wire.Request) (int64, int64) {
+	first := int64(req.Offset) / tenantPageBytes
+	last := (int64(req.Offset) + int64(req.Length) - 1) / tenantPageBytes
+	return first, last
+}
+
+// tnAdmitWrite is the quota admission check: a write that would grow
+// the tenant's resident bytes past its quota is refused with RNR-style
+// pushback (the client backs off and retries while reclaim makes room).
+// The refusal kicks the connection's reclaim hook so the owning device
+// starts demoting cold pages.
+func (s *Server) tnAdmitWrite(conn *clientConn, req wire.Request) bool {
+	t := s.tn.spec.Find(conn.tenantID)
+	if t == nil || t.Quota <= 0 {
+		return true
+	}
+	first, last := tnPages(req)
+	var newBytes int64
+	for pg := first; pg <= last; pg++ {
+		if _, ok := conn.resident[pg]; !ok {
+			newBytes += tenantPageBytes
+		}
+	}
+	if newBytes == 0 || s.tn.resident[t.ID]+newBytes <= t.Quota {
+		return true
+	}
+	s.tn.met[t.ID].quotaRetries.Inc()
+	s.tracer.InstantArgs(s.name, "quota-retry", map[string]any{
+		"tenant": t.ID, "resident": s.tn.resident[t.ID], "quota": t.Quota,
+	})
+	if conn.reclaimKick != nil {
+		conn.reclaimKick()
+	}
+	return false
+}
+
+// pageHeat is one resident page's access stamps. Touch drives the
+// coldness ranking (reads and writes both refresh it); write alone
+// guards DiscardPage, so the reclaimer's own read-out of a victim page
+// never disqualifies the eviction it is part of.
+type pageHeat struct {
+	touch sim.Time
+	write sim.Time
+}
+
+// tnMarkWrite records a completed write's pages as resident (and hot).
+func (s *Server) tnMarkWrite(conn *clientConn, req wire.Request) {
+	now := s.env.Now()
+	first, last := tnPages(req)
+	id := conn.tenantID
+	for pg := first; pg <= last; pg++ {
+		if _, ok := conn.resident[pg]; !ok {
+			s.tn.resident[id] += tenantPageBytes
+		}
+		conn.resident[pg] = pageHeat{touch: now, write: now}
+	}
+	s.tn.met[id].resident.Set(s.tn.resident[id])
+}
+
+// tnTouchRead refreshes the heat of a read's resident pages so reclaim
+// keeps demoting genuinely cold data. The write stamp is untouched: a
+// read never makes the server copy newer than a sampled fallback copy.
+func (s *Server) tnTouchRead(conn *clientConn, req wire.Request) {
+	now := s.env.Now()
+	first, last := tnPages(req)
+	for pg := first; pg <= last; pg++ {
+		if h, ok := conn.resident[pg]; ok {
+			h.touch = now
+			conn.resident[pg] = h
+		}
+	}
+}
+
+// tnQuantum returns the fair queue's issue quantum in bytes. The 16 KB
+// default keeps a victim's residual wait under a neighbor's bulk chunk
+// near the small-request service time itself while holding per-chunk
+// posting overhead to a few percent of a 128 KB transfer.
+func (s *Server) tnQuantum() int {
+	q := s.cfg.TenantQuantum
+	if q <= 0 {
+		q = 16 * 1024
+	}
+	if q > s.cfg.StagingBytes {
+		q = s.cfg.StagingBytes
+	}
+	return q
+}
+
+// tnChunk is the next chunk's size for a request with done bytes moved.
+func (s *Server) tnChunk(n, done int) int {
+	chunk := n - done
+	if q := s.tnQuantum(); chunk > q {
+		chunk = q
+	}
+	return chunk
+}
+
+// tnDispatchBytes is the byte cost the receive loop charges when it
+// queues a fresh request. In quantum mode every grant that moves a chunk
+// over the wire is charged that chunk — so a flow's virtual time
+// advances by exactly its payload bytes — which makes the dispatch
+// charge the first chunk for writes (the first grant RDMA-reads it) and
+// zero for reads (the first grant only dispatches the store read; the
+// chunks charge themselves when the data is ready). FIFO charges the
+// whole request up front; there the cost only feeds the byte counters.
+func (s *Server) tnDispatchBytes(req wire.Request) int {
+	n := int(req.Length)
+	if s.cfg.TenantFIFO {
+		return n
+	}
+	if req.Type == wire.ReqRead {
+		return 0
+	}
+	return s.tnChunk(n, 0)
+}
+
+// tnGetBuf takes a staging buffer from the pool (registering a spare is
+// a defensive fallback; the pool is provisioned for the credit limit).
+func (s *Server) tnGetBuf() *ib.MR {
+	if n := len(s.tn.bufs); n > 0 {
+		b := s.tn.bufs[n-1]
+		s.tn.bufs = s.tn.bufs[:n-1]
+		return b
+	}
+	return s.hca.RegisterMRAtSetup(make([]byte, s.cfg.StagingBytes))
+}
+
+func (s *Server) tnPutBuf(b *ib.MR) { s.tn.bufs = append(s.tn.bufs, b) }
+
+// tnCont is the state a request carries across scheduler grants in
+// quantum mode: its staging buffer, how many payload bytes have moved,
+// the store stage's outcome, and the lifecycle bookkeeping serveOne
+// would have kept on its stack.
+type tnCont struct {
+	buf     *ib.MR
+	done    int
+	ready   bool // read: store read completed, chunks may stream
+	fail    bool // read: store read failed
+	wstart  sim.Time
+	copyNs  sim.Duration
+	flow    uint64
+	hasFlow bool
+}
+
+// tnGrant is a scheduler grant's outcome.
+type tnGrant int
+
+const (
+	tnDone   tnGrant = iota // request finished: the worker releases its credit
+	tnMore                  // partially transferred: re-queue the continuation
+	tnParked                // handed to a store proc, which re-queues or finishes it
+)
+
+// tnReply stamps and sends one reply (shared by the issue worker and the
+// store procs, which reply off the worker's critical path).
+func (s *Server) tnReply(p *sim.Proc, conn *clientConn, replyMR *ib.MR, req wire.Request, c *tnCont, st wire.Status) {
+	if s.hangUntil > p.Now() {
+		p.Sleep(s.hangUntil.Sub(p.Now()))
+	}
+	s.lifecycle().StampServer(req.Handle, telemetry.ServerStamp{
+		Start: c.wstart, Reply: p.Now(), Copy: c.copyNs,
+	})
+	s.sendReply(p, conn, replyMR, req.Handle, st)
+}
+
+// tnServeQuantum services one scheduler grant of item in quantum mode.
+// Validation and quota admission happen on the first grant; after that a
+// grant moves at most one quantum of payload over the wire, and the
+// store stage runs in a spawned proc off the issue worker entirely. Two
+// properties fall out, and both are load-bearing for isolation:
+//
+//   - a competing tenant's small request waits at most one quantum of
+//     wire time behind a neighbor's bulk transfer (the ingress link is
+//     reserved at post time, so queue-order-only fairness cannot bound
+//     this), and
+//   - the issue worker never sits in the store's per-op overhead, so
+//     that overhead — paid once per request, as in the monolithic path —
+//     never becomes the preemption granularity.
+//
+// A request in flight stages its payload in a pool buffer (tnGetBuf) so
+// nothing borrows the worker's staging across a preemption. Writes
+// RDMA-read chunk by chunk, then hand buffer, store write and reply to a
+// storer proc (tnParked). Reads dispatch the store read first (tnParked),
+// whose proc re-queues the request when the data is staged; the chunks
+// then RDMA-write per grant and the worker replies inline.
+func (s *Server) tnServeQuantum(p *sim.Proc, wname string, replyMR *ib.MR, item srvReq) (srvReq, tnGrant) {
+	conn, req := item.conn, item.req
+	n := int(req.Length)
+	c := item.cont
+	if c == nil {
+		c = &tnCont{wstart: p.Now()}
+		c.flow, c.hasFlow = s.lifecycle().TakeFlow(req.Handle)
+		if c.hasFlow {
+			s.tracer.FlowStep(wname, "req", c.flow)
+		}
+		item.cont = c
+		if n <= 0 || n > s.cfg.StagingBytes ||
+			req.Offset+uint64(n) > uint64(conn.areaSize) {
+			s.met.badRequests.Inc()
+			s.tnReply(p, conn, replyMR, req, c, wire.StatusOutOfRange)
+			return item, tnDone
+		}
+		switch req.Type {
+		case wire.ReqWrite:
+			if !s.tnAdmitWrite(conn, req) {
+				s.tnReply(p, conn, replyMR, req, c, wire.StatusRetry)
+				return item, tnDone
+			}
+		case wire.ReqRead:
+		default:
+			s.met.badRequests.Inc()
+			s.tnReply(p, conn, replyMR, req, c, wire.StatusBadRequest)
+			return item, tnDone
+		}
+		c.buf = s.tnGetBuf()
+	}
+	storeOff := conn.areaOff + int64(req.Offset)
+	switch req.Type {
+	case wire.ReqWrite:
+		chunk := s.tnChunk(n, c.done)
+		span := s.tracer.Begin(wname, "rdma-read")
+		ev, err := s.postRDMA(p, conn, ib.OpRDMARead,
+			ib.Segment{MR: c.buf, Off: c.done, Len: chunk}, req.RKey, int(req.Addr)+c.done, c.flow)
+		if err != nil {
+			s.tnPutBuf(c.buf)
+			s.tnReply(p, conn, replyMR, req, c, wire.StatusServerError)
+			return item, tnDone
+		}
+		ev.Wait(p)
+		span.EndArgs(map[string]any{"bytes": chunk, "done": c.done})
+		if conn.qp.Closed() {
+			s.tnPutBuf(c.buf)
+			return item, tnDone
+		}
+		c.done += chunk
+		if c.done < n {
+			return item, tnMore
+		}
+		s.env.Go(s.name+"-storer", func(sp *sim.Proc) {
+			span := s.tracer.Begin(s.name+"-store", "store-write")
+			copyStart := sp.Now()
+			err := s.store.WriteAt(sp, c.buf.Buf[:n], storeOff)
+			c.copyNs += sp.Now().Sub(copyStart)
+			span.EndArgs(map[string]any{"bytes": n})
+			st := wire.StatusServerError
+			if err == nil {
+				st = wire.StatusOK
+				s.met.writes.Inc()
+				s.met.bytesStored.Add(int64(n))
+				s.tnMarkWrite(conn, req)
+			}
+			s.tnPutBuf(c.buf)
+			if !conn.qp.Closed() {
+				mr := s.hca.RegisterMRAtSetup(make([]byte, wire.ReplySize))
+				s.tnReply(sp, conn, mr, req, c, st)
+			}
+			s.tnRelease(conn)
+		})
+		return item, tnParked
+
+	case wire.ReqRead:
+		if !c.ready {
+			s.env.Go(s.name+"-reader", func(sp *sim.Proc) {
+				span := s.tracer.Begin(s.name+"-store", "store-read")
+				copyStart := sp.Now()
+				err := s.store.ReadAt(sp, c.buf.Buf[:n], storeOff)
+				c.copyNs += sp.Now().Sub(copyStart)
+				span.EndArgs(map[string]any{"bytes": n})
+				c.ready = true
+				c.fail = err != nil
+				s.tn.sched.Push(conn.tenantID, s.tnChunk(n, 0), sp.Now(), item)
+			})
+			return item, tnParked
+		}
+		if c.fail {
+			s.tnPutBuf(c.buf)
+			s.tnReply(p, conn, replyMR, req, c, wire.StatusServerError)
+			return item, tnDone
+		}
+		chunk := s.tnChunk(n, c.done)
+		span := s.tracer.Begin(wname, "rdma-write")
+		ev, err := s.postRDMA(p, conn, ib.OpRDMAWrite,
+			ib.Segment{MR: c.buf, Off: c.done, Len: chunk}, req.RKey, int(req.Addr)+c.done, c.flow)
+		if err != nil {
+			s.tnPutBuf(c.buf)
+			s.tnReply(p, conn, replyMR, req, c, wire.StatusServerError)
+			return item, tnDone
+		}
+		ev.Wait(p)
+		span.EndArgs(map[string]any{"bytes": chunk, "done": c.done})
+		if conn.qp.Closed() {
+			s.tnPutBuf(c.buf)
+			return item, tnDone
+		}
+		c.done += chunk
+		if c.done < n {
+			return item, tnMore
+		}
+		s.met.reads.Inc()
+		s.met.bytesServed.Add(int64(n))
+		s.tnTouchRead(conn, req)
+		s.tnPutBuf(c.buf)
+		s.tnReply(p, conn, replyMR, req, c, wire.StatusOK)
+		return item, tnDone
+	}
+	s.met.badRequests.Inc()
+	s.tnReply(p, conn, replyMR, req, c, wire.StatusBadRequest)
+	return item, tnDone
+}
+
+// ColdPage is one resident page with its last-touch time, the token the
+// client's reclaimer passes back to DiscardPage so a racing fresh write
+// is never discarded.
+type ColdPage struct {
+	Page int64 // page index within the connection's area
+	Last sim.Time
+}
+
+// ColdestPages returns up to maxBytes of the connection's coldest
+// resident pages, coldest first (ties by page index, never map order).
+func (s *Server) ColdestPages(qp *ib.QP, maxBytes int64) []ColdPage {
+	conn := s.conns[qp]
+	if conn == nil || s.tn == nil {
+		return nil
+	}
+	pages := make([]ColdPage, 0, len(conn.resident))
+	for pg, h := range conn.resident {
+		pages = append(pages, ColdPage{Page: pg, Last: h.touch})
+	}
+	sort.Slice(pages, func(i, j int) bool {
+		if pages[i].Last != pages[j].Last {
+			return pages[i].Last < pages[j].Last
+		}
+		return pages[i].Page < pages[j].Page
+	})
+	n := int(maxBytes / tenantPageBytes)
+	if maxBytes%tenantPageBytes != 0 {
+		n++
+	}
+	if n < len(pages) {
+		pages = pages[:n]
+	}
+	return pages
+}
+
+// DiscardPage drops one evicted page from the residency accounting,
+// but only if it has not been rewritten since the reclaimer sampled it
+// (its write stamp must not postdate cp.Last). Reads in the window —
+// including the reclaimer's own copy-out — do not disqualify; a false
+// return tells the reclaimer the server copy is newer and its fallback
+// hold must be dropped.
+func (s *Server) DiscardPage(qp *ib.QP, cp ColdPage) bool {
+	conn := s.conns[qp]
+	if conn == nil || s.tn == nil {
+		return false
+	}
+	h, ok := conn.resident[cp.Page]
+	if !ok || h.write > cp.Last {
+		return false
+	}
+	delete(conn.resident, cp.Page)
+	id := conn.tenantID
+	s.tn.resident[id] -= tenantPageBytes
+	s.tn.met[id].resident.Set(s.tn.resident[id])
+	s.tn.met[id].evictions.Inc()
+	return true
+}
+
+// TenantResident returns the connection's tenant's resident bytes on
+// this server.
+func (s *Server) TenantResident(qp *ib.QP) int64 {
+	conn := s.conns[qp]
+	if conn == nil || s.tn == nil {
+		return 0
+	}
+	return s.tn.resident[conn.tenantID]
+}
+
+// TenantQuota returns the connection's tenant's quota (0: unlimited).
+func (s *Server) TenantQuota(qp *ib.QP) int64 {
+	conn := s.conns[qp]
+	if conn == nil || s.tn == nil {
+		return 0
+	}
+	if t := s.tn.spec.Find(conn.tenantID); t != nil {
+		return t.Quota
+	}
+	return 0
+}
+
+// setReclaimKick registers the owning device's reclaim wakeup for a
+// connection (called from ConnectServer when the device has a reclaimer).
+func (s *Server) setReclaimKick(qp *ib.QP, kick func()) {
+	if conn := s.conns[qp]; conn != nil {
+		conn.reclaimKick = kick
+	}
+}
+
+// TenantStat is one tenant's server-side QoS snapshot (hpbdctl tenants).
+type TenantStat struct {
+	ID       string
+	Weight   int
+	Reserved int
+	Quota    int64
+
+	Held     int // credits currently held
+	Borrowed int // of which borrowed from the pool
+	Waiting  int // withheld request slots
+
+	SchedReqs  int64 // requests issued by the fair queue
+	SchedBytes int64 // bytes issued by the fair queue
+	Queued     int   // currently backlogged in the queue
+	SchedP99   sim.Duration
+
+	Resident     int64
+	Evictions    int64
+	QuotaRetries int64
+}
+
+// TenantStats snapshots every tenant in spec order (nil without tenancy).
+func (s *Server) TenantStats() []TenantStat {
+	if s.tn == nil {
+		return nil
+	}
+	flows := s.tn.sched.FlowStats()
+	out := make([]TenantStat, 0, len(flows))
+	for _, f := range flows {
+		t := s.tn.spec.Find(f.ID)
+		m := s.tn.met[f.ID]
+		out = append(out, TenantStat{
+			ID:           f.ID,
+			Weight:       t.Weight,
+			Reserved:     t.Reserved,
+			Quota:        t.Quota,
+			Held:         s.tn.bank.Held(f.ID),
+			Borrowed:     s.tn.bank.Borrowed(f.ID),
+			Waiting:      s.tn.bank.Waiting(f.ID),
+			SchedReqs:    f.Reqs,
+			SchedBytes:   f.Bytes,
+			Queued:       f.Queued,
+			SchedP99:     m.schedWait.Quantile(0.99),
+			Resident:     s.tn.resident[f.ID],
+			Evictions:    m.evictions.Value(),
+			QuotaRetries: m.quotaRetries.Value(),
+		})
+	}
+	return out
+}
+
+// Multi-tenancy (client side). A device created with ClientConfig.Tenant
+// presents that identity at attach; when it also has a fallback disk, a
+// reclaimer process parks until a quota refusal kicks it, then demotes
+// the server's coldest pages of this tenant to the fallback (read the
+// page through the normal request path, absorb it on the fallback disk,
+// mark the sectors fallback-held — PR 5's hold machinery — and discard
+// the server copy), restoring headroom so the backed-off writes admit.
+
+// reclaimHeadroom is how far below quota reclaim drives residency: one
+// full-size request of room, so a refused 128K burst admits after one
+// pass.
+const reclaimHeadroom = int64(blockdev.MaxRequestBytes)
+
+// reclaimer is the device's demotion daemon. It parks event-free while
+// quota pressure is absent (a sleeping loop would keep Env.Run from
+// draining) and runs passes while it makes progress.
+func (d *Device) reclaimer(p *sim.Proc) {
+	for {
+		d.reclaimQ.Wait(p)
+		for d.reclaimPass(p) {
+		}
+	}
+}
+
+// reclaimPass demotes cold pages on every over-quota link once,
+// returning whether it evicted anything.
+func (d *Device) reclaimPass(p *sim.Proc) bool {
+	progress := false
+	for _, link := range d.links {
+		// startByte < 0: an elastic directory-mapped link; reclaim only
+		// addresses the legacy blocked layout.
+		if link.down || link.removed || link.srvQP == nil || link.srv.Crashed() || link.startByte < 0 {
+			continue
+		}
+		quota := link.srv.TenantQuota(link.srvQP)
+		res := link.srv.TenantResident(link.srvQP)
+		if quota <= 0 || res+reclaimHeadroom <= quota {
+			continue
+		}
+		target := res + reclaimHeadroom - quota
+		for _, cp := range link.srv.ColdestPages(link.srvQP, target) {
+			if d.demotePage(p, link, cp) {
+				progress = true
+			}
+		}
+	}
+	return progress
+}
+
+// demotePage moves one cold page to the fallback disk: server read,
+// fallback write, hold, then a guarded discard of the server copy. If a
+// fresh write raced the demotion the discard refuses and the hold is
+// dropped — the server copy stays authoritative.
+func (d *Device) demotePage(p *sim.Proc, link *serverLink, cp ColdPage) bool {
+	devByte := link.startByte + cp.Page*tenantPageBytes
+	buf := make([]byte, tenantPageBytes)
+	r := blockdev.NewRequest(d.env, false, devByte/blockdev.SectorSize, buf)
+	d.Submit(p, r)
+	if err := r.Wait(p); err != nil {
+		return false
+	}
+	fr := blockdev.NewRequest(d.env, true, devByte/blockdev.SectorSize, buf)
+	d.cfg.Fallback.Submit(p, fr)
+	if err := fr.Wait(p); err != nil {
+		return false
+	}
+	d.holdOnFallback(devByte, tenantPageBytes)
+	if !link.srv.DiscardPage(link.srvQP, cp) {
+		d.clearFallbackHold(devByte, tenantPageBytes)
+		return false
+	}
+	d.tracer.InstantArgs(d.name, "demote", map[string]any{
+		"server": link.srv.Name(), "page": cp.Page, "bytes": tenantPageBytes,
+	})
+	return true
+}

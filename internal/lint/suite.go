@@ -89,6 +89,7 @@ var mapiterPackages = map[string]bool{
 	"hpbd/internal/placement":   true,
 	"hpbd/internal/mirror":      true,
 	"hpbd/internal/faultsim":    true,
+	"hpbd/internal/tenant":      true,
 }
 
 // onlyPackages restricts an analyzer to an inclusion list, like
@@ -101,6 +102,7 @@ var onlyPackages = map[string]map[string]bool{
 		"hpbd/internal/hpbd":    true,
 		"hpbd/internal/mirror":  true,
 		"hpbd/internal/cluster": true,
+		"hpbd/internal/tenant":  true,
 	},
 	Handleonce.Name: {
 		"hpbd/internal/hpbd":      true,

@@ -1,0 +1,89 @@
+package placement
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// OwnedArea is one allocated area of a server's store, tagged with the
+// tenant that owns it ("" for single-tenant use).
+type OwnedArea struct {
+	Owner string
+	Off   int64
+	Size  int64
+}
+
+// Ledger tracks a server's area allocations with tenant ownership. It
+// replaces the bare high-water-mark the server used to keep: the
+// allocation policy is identical (append-only, first-come), but every
+// area carries an owner, so per-tenant accounting and the hpbdctl
+// tenants table can attribute store bytes to tenants.
+type Ledger struct {
+	cap   int64
+	next  int64
+	areas []OwnedArea
+}
+
+// NewLedger creates a ledger over cap bytes of store.
+func NewLedger(cap int64) *Ledger { return &Ledger{cap: cap} }
+
+// Allocate reserves the next size bytes for owner and returns the area
+// offset. Allocation is append-only — areas are never reclaimed, which
+// matches the paper's attach-for-life protocol.
+func (l *Ledger) Allocate(owner string, size int64) (int64, error) {
+	if size <= 0 {
+		return 0, fmt.Errorf("placement: invalid area size %d", size)
+	}
+	if l.next+size > l.cap {
+		return 0, fmt.Errorf("placement: cannot allocate %d bytes (%d free)", size, l.Free())
+	}
+	off := l.next
+	l.next += size
+	l.areas = append(l.areas, OwnedArea{Owner: owner, Off: off, Size: size})
+	return off, nil
+}
+
+// Allocated returns the bytes handed out so far.
+func (l *Ledger) Allocated() int64 { return l.next }
+
+// Free returns the unallocated store bytes.
+func (l *Ledger) Free() int64 { return l.cap - l.next }
+
+// OwnerBytes sums the areas owned by owner.
+func (l *Ledger) OwnerBytes(owner string) int64 {
+	var n int64
+	for i := range l.areas {
+		if l.areas[i].Owner == owner {
+			n += l.areas[i].Size
+		}
+	}
+	return n
+}
+
+// Areas returns the allocations in allocation order.
+func (l *Ledger) Areas() []OwnedArea {
+	out := make([]OwnedArea, len(l.areas))
+	copy(out, l.areas)
+	return out
+}
+
+// Dump pretty-prints the ledger (one line per area, allocation order).
+func (l *Ledger) Dump(w io.Writer) {
+	fmt.Fprintf(w, "area ledger: %d/%d bytes allocated, %d areas\n", l.next, l.cap, len(l.areas))
+	for i := range l.areas {
+		a := &l.areas[i]
+		owner := a.Owner
+		if owner == "" {
+			owner = "-"
+		}
+		fmt.Fprintf(w, "  [%12d, %12d) %10d bytes  owner %s\n", a.Off, a.Off+a.Size, a.Size, owner)
+	}
+}
+
+// String renders the ledger via Dump.
+func (l *Ledger) String() string {
+	var b strings.Builder
+	l.Dump(&b)
+	return b.String()
+}

@@ -1,0 +1,91 @@
+package placement
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLedgerAllocate(t *testing.T) {
+	l := NewLedger(1000)
+	off1, err := l.Allocate("a", 400)
+	if err != nil || off1 != 0 {
+		t.Fatalf("first Allocate = %d, %v", off1, err)
+	}
+	off2, err := l.Allocate("b", 300)
+	if err != nil || off2 != 400 {
+		t.Fatalf("second Allocate = %d, %v; want append at 400", off2, err)
+	}
+	if l.Allocated() != 700 || l.Free() != 300 {
+		t.Errorf("allocated %d free %d, want 700/300", l.Allocated(), l.Free())
+	}
+	if _, err := l.Allocate("c", 301); err == nil {
+		t.Error("over-capacity Allocate succeeded")
+	}
+	if _, err := l.Allocate("c", 0); err == nil {
+		t.Error("zero-size Allocate succeeded")
+	}
+	if _, err := l.Allocate("c", -1); err == nil {
+		t.Error("negative-size Allocate succeeded")
+	}
+	// Failed allocations must not consume space.
+	if l.Allocated() != 700 {
+		t.Errorf("failed allocations moved the mark to %d", l.Allocated())
+	}
+}
+
+func TestLedgerOwnership(t *testing.T) {
+	l := NewLedger(1 << 20)
+	for i, alloc := range []struct {
+		owner string
+		size  int64
+	}{{"a", 4096}, {"b", 8192}, {"a", 4096}, {"", 512}} {
+		if _, err := l.Allocate(alloc.owner, alloc.size); err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+	}
+	if got := l.OwnerBytes("a"); got != 8192 {
+		t.Errorf("OwnerBytes(a) = %d, want 8192", got)
+	}
+	if got := l.OwnerBytes("b"); got != 8192 {
+		t.Errorf("OwnerBytes(b) = %d, want 8192", got)
+	}
+	if got := l.OwnerBytes(""); got != 512 {
+		t.Errorf("OwnerBytes(\"\") = %d, want 512", got)
+	}
+	if got := l.OwnerBytes("ghost"); got != 0 {
+		t.Errorf("OwnerBytes(ghost) = %d, want 0", got)
+	}
+	areas := l.Areas()
+	if len(areas) != 4 {
+		t.Fatalf("Areas len = %d, want 4", len(areas))
+	}
+	// Areas are contiguous in allocation order.
+	var next int64
+	for i, a := range areas {
+		if a.Off != next {
+			t.Errorf("area %d at %d, want %d (append-only layout)", i, a.Off, next)
+		}
+		next = a.Off + a.Size
+	}
+	// The returned slice is a copy: mutating it must not corrupt the ledger.
+	areas[0].Owner = "evil"
+	if l.Areas()[0].Owner != "a" {
+		t.Error("Areas exposed internal state")
+	}
+}
+
+func TestLedgerDump(t *testing.T) {
+	l := NewLedger(8192)
+	if _, err := l.Allocate("a", 4096); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Allocate("", 1024); err != nil {
+		t.Fatal(err)
+	}
+	out := l.String()
+	for _, want := range []string{"5120/8192", "2 areas", "owner a", "owner -"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Dump missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,272 @@
+package tenant
+
+import "testing"
+
+func mustSpec(t *testing.T, s string) *Spec {
+	t.Helper()
+	spec, err := ParseSpec(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+func checkBank(t *testing.T, b *CreditBank) {
+	t.Helper()
+	if err := b.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBankReservationFirst(t *testing.T) {
+	b := NewCreditBank(mustSpec(t, "pool=2,a:w1:r2,b:w1"))
+	// a's first two acquires come from its reservation, not the pool.
+	for i := 0; i < 2; i++ {
+		if !b.TryAcquire("a") {
+			t.Fatalf("acquire %d failed", i)
+		}
+	}
+	if b.Borrowed("a") != 0 {
+		t.Errorf("a borrowed %d from the pool before draining its reservation", b.Borrowed("a"))
+	}
+	if b.PoolFree() != 2 {
+		t.Errorf("pool free = %d, want 2", b.PoolFree())
+	}
+	// The third spills into the pool.
+	if !b.TryAcquire("a") {
+		t.Fatal("pool acquire failed")
+	}
+	if b.Borrowed("a") != 1 || b.Held("a") != 3 {
+		t.Errorf("a borrowed=%d held=%d, want 1, 3", b.Borrowed("a"), b.Held("a"))
+	}
+	checkBank(t, b)
+}
+
+func TestBankCappedAcquire(t *testing.T) {
+	// Pool 4 split 1:1 means each flow's borrow cap is 2. Capped
+	// acquires (buffer posts) must stop at the cap even with the pool
+	// half full; the plain acquire may go beyond while nobody waits.
+	b := NewCreditBank(mustSpec(t, "pool=4,a:w1,b:w1"))
+	for i := 0; i < 2; i++ {
+		if !b.TryAcquireCapped("a") {
+			t.Fatalf("capped acquire %d failed under cap", i)
+		}
+	}
+	if b.TryAcquireCapped("a") {
+		t.Error("capped acquire succeeded past the weighted cap")
+	}
+	if !b.TryAcquire("a") {
+		t.Error("uncapped acquire failed with pool free and no other demand")
+	}
+	// Once b has demand it could satisfy, a's beyond-cap borrowing stops.
+	b.Waitlist("b", 1)
+	if b.TryAcquire("a") {
+		t.Error("beyond-cap acquire succeeded while another tenant waits")
+	}
+	checkBank(t, b)
+}
+
+func TestBankWeightedCaps(t *testing.T) {
+	// Pool 9 at weights 2:1 splits 6/3.
+	b := NewCreditBank(mustSpec(t, "pool=9,a:w2,b:w1"))
+	got := 0
+	for b.TryAcquireCapped("a") {
+		got++
+	}
+	if got != 6 {
+		t.Errorf("a capped borrow = %d, want 6", got)
+	}
+	got = 0
+	for b.TryAcquireCapped("b") {
+		got++
+	}
+	if got != 3 {
+		t.Errorf("b capped borrow = %d, want 3", got)
+	}
+	checkBank(t, b)
+}
+
+func TestBankCapRemainders(t *testing.T) {
+	// Pool 4 over three weight-1 flows: 4/3 leaves a remainder credit,
+	// which goes to the earliest ID — caps 2/1/1.
+	b := NewCreditBank(mustSpec(t, "pool=4,a,b,c"))
+	caps := []struct {
+		id   string
+		want int
+	}{{"a", 2}, {"b", 1}, {"c", 1}}
+	for _, tc := range caps {
+		got := 0
+		for b.TryAcquireCapped(tc.id) {
+			got++
+		}
+		if got != tc.want {
+			t.Errorf("%s cap = %d, want %d", tc.id, got, tc.want)
+		}
+		for i := 0; i < got; i++ {
+			b.Release(tc.id)
+		}
+	}
+	checkBank(t, b)
+}
+
+func TestBankReleaseReturnsPoolFirst(t *testing.T) {
+	b := NewCreditBank(mustSpec(t, "pool=2,a:w1:r1"))
+	for i := 0; i < 3; i++ {
+		if !b.TryAcquire("a") {
+			t.Fatalf("acquire %d failed", i)
+		}
+	}
+	if b.PoolFree() != 0 {
+		t.Fatalf("pool free = %d, want 0", b.PoolFree())
+	}
+	b.Release("a")
+	if b.PoolFree() != 1 {
+		t.Errorf("release returned to reservation before the pool: free = %d", b.PoolFree())
+	}
+	checkBank(t, b)
+}
+
+func TestBankOverReleaseCaught(t *testing.T) {
+	b := NewCreditBank(mustSpec(t, "pool=2,a:w1"))
+	b.Release("a") // nothing held: ignored, bank stays consistent
+	checkBank(t, b)
+	b.Release("unknown")
+	checkBank(t, b)
+}
+
+func TestBankGrantPriority(t *testing.T) {
+	// b has an unused reservation, so a waiting b beats a waiting a for
+	// the next grant even though a asked first.
+	b := NewCreditBank(mustSpec(t, "pool=8,a:w3,b:w1:r1"))
+	b.Waitlist("a", 1)
+	b.Waitlist("b", 1)
+	id, ok := b.Grant()
+	if !ok || id != "b" {
+		t.Fatalf("Grant = %q, %v; want b (reserved entitlement)", id, ok)
+	}
+	// Both reservations spent: pool grants go to the smallest
+	// borrowed/weight ratio; a fresh tie goes to the earlier ID.
+	b.Waitlist("b", 1)
+	id, ok = b.Grant()
+	if !ok || id != "a" {
+		t.Fatalf("Grant = %q, %v; want a (ratio tie, earlier ID)", id, ok)
+	}
+	// Now a has borrowed 1 (ratio 1/3), b 0 (ratio 0/1): b is lower.
+	b.Waitlist("a", 1)
+	id, ok = b.Grant()
+	if !ok || id != "b" {
+		t.Fatalf("Grant = %q, %v; want b (smaller borrowed/weight)", id, ok)
+	}
+	// One waiter left (a); with no demand beyond it, Grant stops.
+	id, ok = b.Grant()
+	if !ok || id != "a" {
+		t.Fatalf("Grant = %q, %v; want a (last waiter)", id, ok)
+	}
+	if id, ok := b.Grant(); ok {
+		t.Fatalf("Grant = %q with nobody waiting, want none", id)
+	}
+	checkBank(t, b)
+}
+
+func TestBankGrantPoolExhausted(t *testing.T) {
+	b := NewCreditBank(mustSpec(t, "pool=2,a:w1,b:w1"))
+	b.Waitlist("a", 3)
+	granted := 0
+	for {
+		if _, ok := b.Grant(); !ok {
+			break
+		}
+		granted++
+	}
+	if granted != 2 {
+		t.Errorf("granted %d credits from a pool of 2", granted)
+	}
+	if b.Waiting("a") != 1 {
+		t.Errorf("a waiting = %d, want 1 (unsatisfied demand)", b.Waiting("a"))
+	}
+	checkBank(t, b)
+}
+
+func TestBankGrantBeyondCap(t *testing.T) {
+	// Only a waits; its cap (1 of pool 2 at weights 1:1) is spent.
+	// Grant still hands it the idle credit — work conservation.
+	b := NewCreditBank(mustSpec(t, "pool=2,a:w1,b:w1"))
+	if !b.TryAcquireCapped("a") {
+		t.Fatal("capped acquire failed")
+	}
+	b.Waitlist("a", 1)
+	id, ok := b.Grant()
+	if !ok || id != "a" {
+		t.Fatalf("Grant = %q, %v; want a beyond its cap with no other demand", id, ok)
+	}
+	checkBank(t, b)
+}
+
+func TestBankUnknownTenant(t *testing.T) {
+	b := NewCreditBank(mustSpec(t, "pool=2,a:w1"))
+	if b.TryAcquire("ghost") || b.TryAcquireCapped("ghost") {
+		t.Error("acquire for unknown tenant succeeded")
+	}
+	b.Waitlist("ghost", 1) // ignored
+	if _, ok := b.Grant(); ok {
+		t.Error("Grant served an unknown tenant")
+	}
+	checkBank(t, b)
+}
+
+// TestBankConservation drives a deterministic interleaving of every
+// bank operation and verifies the conservation invariant after each
+// step — the unit-level twin of the fleet self-check.
+func TestBankConservation(t *testing.T) {
+	b := NewCreditBank(mustSpec(t, "pool=5,a:w3:r2,b:w1:r1,c:w2"))
+	held := map[string]int{}
+	// A fixed pseudo-random walk (LCG) over acquire/release/waitlist/grant.
+	state := uint64(12345)
+	next := func(n int) int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int(state>>33) % n
+	}
+	ids := []string{"a", "b", "c"}
+	for step := 0; step < 2000; step++ {
+		id := ids[next(3)]
+		switch next(4) {
+		case 0:
+			if b.TryAcquire(id) {
+				held[id]++
+			}
+		case 1:
+			if b.TryAcquireCapped(id) {
+				held[id]++
+			}
+		case 2:
+			if held[id] > 0 {
+				b.Release(id)
+				held[id]--
+			}
+		case 3:
+			b.Waitlist(id, 1)
+			if g, ok := b.Grant(); ok {
+				held[g]++
+			}
+		}
+		if err := b.Check(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		for _, id := range ids {
+			if b.Held(id) != held[id] {
+				t.Fatalf("step %d: %s held %d, bank says %d", step, id, held[id], b.Held(id))
+			}
+		}
+	}
+	// Drain everything: the bank must return to full.
+	for _, id := range ids {
+		for held[id] > 0 {
+			b.Release(id)
+			held[id]--
+		}
+	}
+	if b.PoolFree() != 5 {
+		t.Errorf("pool free after drain = %d, want 5", b.PoolFree())
+	}
+	checkBank(t, b)
+}

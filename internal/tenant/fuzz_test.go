@@ -1,0 +1,81 @@
+package tenant
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzTenantSpec exercises both TQ-v1 codec directions from one corpus:
+// inputs that parse as text specs must survive text and binary round
+// trips unchanged, and inputs that decode as binary specs must re-encode
+// byte-identically. Any panic, validation escape or round-trip drift is
+// a finding.
+func FuzzTenantSpec(f *testing.F) {
+	seeds := []string{
+		"pool=8,A:w4:r8:q2M,B:w1:r4",
+		"pool=0,a:r1",
+		"pool=32,a:w1,b:w2:q1M",
+		"pool=2,a:w1:r30,b:w10",
+		"pool=1,x_y-9:w1048576:r1048576:q4G",
+		"pool=4,a,a",  // duplicate: must fail, not panic
+		"pool=4,a:w0", // invalid weight
+		"TQ\x01\x00\x00\x00\x04\x00\x01\x01a\x00\x00\x00\x01\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Text direction.
+		if s, err := ParseSpec(string(data)); err == nil {
+			if err := s.Validate(); err != nil {
+				t.Fatalf("ParseSpec returned invalid spec: %v", err)
+			}
+			s2, err := ParseSpec(s.String())
+			if err != nil {
+				t.Fatalf("reparse of %q: %v", s.String(), err)
+			}
+			if !reflect.DeepEqual(s, s2) {
+				t.Fatalf("text round trip drift: %+v != %+v", s, s2)
+			}
+			enc, err := s.Marshal()
+			if err != nil {
+				t.Fatalf("Marshal of valid spec: %v", err)
+			}
+			s3, err := Unmarshal(enc)
+			if err != nil {
+				t.Fatalf("Unmarshal of Marshal output: %v", err)
+			}
+			if !reflect.DeepEqual(s, s3) {
+				t.Fatalf("binary round trip drift: %+v != %+v", s, s3)
+			}
+		}
+		// Binary direction: fuzzed bytes that decode must be valid and
+		// re-encode to the same bytes (the codec is canonical).
+		if s, err := Unmarshal(data); err == nil {
+			if err := s.Validate(); err != nil {
+				t.Fatalf("Unmarshal returned invalid spec: %v", err)
+			}
+			enc, err := s.Marshal()
+			if err != nil {
+				t.Fatalf("re-Marshal of decoded spec: %v", err)
+			}
+			s2, err := Unmarshal(enc)
+			if err != nil {
+				t.Fatalf("re-Unmarshal: %v", err)
+			}
+			if !reflect.DeepEqual(s, s2) {
+				t.Fatalf("binary re-decode drift: %+v != %+v", s, s2)
+			}
+			// Decoded specs are normalized, so a decoded-then-encoded
+			// spec is a fixed point even if the input bytes were not.
+			enc2, err := s2.Marshal()
+			if err != nil {
+				t.Fatalf("second Marshal: %v", err)
+			}
+			if !bytes.Equal(enc, enc2) {
+				t.Fatalf("canonical encoding not a fixed point: %x != %x", enc, enc2)
+			}
+		}
+	})
+}

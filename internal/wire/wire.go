@@ -82,6 +82,10 @@ const (
 	StatusBadRequest
 	StatusOutOfRange
 	StatusServerError
+	// StatusRetry is RNR-style admission pushback: the server refused
+	// the request for now (a tenant over its memory quota) and the
+	// client should back off and retry after reclaim makes room.
+	StatusRetry
 )
 
 func (s Status) String() string {
@@ -94,6 +98,8 @@ func (s Status) String() string {
 		return "out-of-range"
 	case StatusServerError:
 		return "server-error"
+	case StatusRetry:
+		return "retry"
 	}
 	return fmt.Sprintf("Status(%d)", uint8(s))
 }
